@@ -1,0 +1,48 @@
+// R-F6 — Per-layer pruning sensitivity.
+//
+// Prunes one layer at a time and measures accuracy: the profile that
+// justifies (a) which layers the planner may prune and (b) non-uniform
+// per-layer ratios.  Early conv layers and the classifier head are the
+// sensitive ones; wide mid layers absorb pruning almost for free.
+#include "bench_common.h"
+#include "prune/sensitivity.h"
+
+using namespace rrp;
+
+namespace {
+
+void run(models::ModelKind kind) {
+  models::ProvisionedModel pm = bench::provision(kind);
+  prune::SensitivityOptions opt;
+  opt.ratios = {0.0, 0.25, 0.5, 0.75, 0.9};
+  const auto points = prune::layer_sensitivity(
+      pm.net, pm.eval_data, models::zoo_input_shape(), opt);
+
+  // Pivot: one row per layer, one column per ratio.
+  std::vector<std::string> header{"layer"};
+  for (double r : opt.ratios) header.push_back("acc@" + fmt(r, 2));
+  TableFormatter table(header);
+
+  std::string current;
+  std::vector<std::string> row;
+  for (const auto& p : points) {
+    if (p.layer != current) {
+      if (!row.empty()) table.row(row);
+      current = p.layer;
+      row = {current};
+    }
+    row.push_back(fmt(p.accuracy, 3));
+  }
+  if (!row.empty()) table.row(row);
+
+  std::cout << "\n[" << models::model_kind_name(kind) << "]\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("R-F6", "per-layer structured pruning sensitivity");
+  for (models::ModelKind kind : models::all_model_kinds()) run(kind);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// R-F7 — Importance-metric ablation.
+//
+// The same nested-ladder machinery with three channel-importance metrics:
+// data-free L1 and L2 magnitude, and data-driven first-order Taylor
+// (|w·∂L/∂w| over calibration batches).  Reported: one-shot accuracy per
+// ratio per metric (no co-training, isolating the ranking quality).
+#include "bench_common.h"
+#include "core/reversible_pruner.h"
+
+using namespace rrp;
+
+namespace {
+
+void run(models::ModelKind kind) {
+  models::ProvisionedModel pm = bench::provision(kind);
+  const std::vector<double> ratios{0.0, 0.2, 0.4, 0.6, 0.8};
+  const nn::Shape in = models::zoo_input_shape();
+
+  auto ladder_accuracy =
+      [&](prune::PruneLevelLibrary lib) -> std::vector<double> {
+    std::vector<double> acc;
+    core::ReversiblePruner rp(pm.net, std::move(lib));
+    for (int k = 0; k < rp.level_count(); ++k) {
+      rp.set_level(k);
+      acc.push_back(nn::evaluate_accuracy(pm.net, pm.eval_data));
+    }
+    rp.set_level(0);
+    return acc;
+  };
+
+  const auto l1 = ladder_accuracy(prune::PruneLevelLibrary::build_structured(
+      pm.net, ratios, in, prune::ImportanceMetric::L1, 2));
+  const auto l2 = ladder_accuracy(prune::PruneLevelLibrary::build_structured(
+      pm.net, ratios, in, prune::ImportanceMetric::L2, 2));
+
+  Rng rng(7);
+  const prune::TaylorScores ts =
+      prune::taylor_scores(pm.net, pm.train_data, /*batches=*/12,
+                           /*batch_size=*/32, rng);
+  const auto taylor =
+      ladder_accuracy(prune::PruneLevelLibrary::build_structured_scored(
+          pm.net, ratios, in, ts.channel, 2));
+
+  TableFormatter table({"ratio", "L1_acc", "L2_acc", "Taylor_acc"});
+  for (std::size_t i = 0; i < ratios.size(); ++i)
+    table.row({fmt(ratios[i], 2), fmt(l1[i], 3), fmt(l2[i], 3),
+               fmt(taylor[i], 3)});
+  std::cout << "\n[" << models::model_kind_name(kind) << "]\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("R-F7", "channel-importance metric ablation "
+                              "(one-shot, no co-training)");
+  for (models::ModelKind kind :
+       {models::ModelKind::LeNet, models::ModelKind::ResNetLite,
+        models::ModelKind::DetNet})
+    run(kind);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// R-F8 — Uniform vs sensitivity-guided non-uniform ladders.
+//
+// The per-layer sensitivity profile (R-F6) feeds
+// PruneLevelLibrary::build_structured_nonuniform: fragile layers are
+// pruned at a throttled ratio, robust layers at the full level ratio.
+// Comparison at (approximately) matched effective MACs: the non-uniform
+// ladder should retain more accuracy for the same compute.
+#include "bench_common.h"
+#include "core/reversible_pruner.h"
+#include "prune/sensitivity.h"
+
+using namespace rrp;
+
+namespace {
+
+void run(models::ModelKind kind) {
+  models::ProvisionedModel pm = bench::provision(kind);
+  const nn::Shape in = models::zoo_input_shape();
+  const std::vector<double> ratios{0.0, 0.3, 0.5, 0.7, 0.85};
+
+  // Sensitivity sweep on the co-trained weights -> per-layer scales.
+  prune::SensitivityOptions opt;
+  opt.ratios = {0.0, 0.25, 0.5, 0.75};
+  const auto points =
+      prune::layer_sensitivity(pm.net, pm.eval_data, in, opt);
+  const auto scales = prune::sensitivity_scales(points, /*max_drop=*/0.05);
+
+  auto uniform = prune::PruneLevelLibrary::build_structured(
+      pm.net, ratios, in, prune::ImportanceMetric::L1, 2);
+  auto nonuniform = prune::PruneLevelLibrary::build_structured_nonuniform(
+      pm.net, ratios, in, scales, prune::ImportanceMetric::L1, 2);
+
+  auto evaluate = [&](prune::PruneLevelLibrary& lib, int k,
+                      double* acc, std::int64_t* macs) {
+    core::ReversiblePruner rp(pm.net, lib);
+    rp.set_level(k);
+    *acc = nn::evaluate_accuracy(pm.net, pm.eval_data);
+    *macs = rp.active_macs(in);
+    rp.set_level(0);
+  };
+
+  TableFormatter table({"level", "uni_MMACs", "uni_acc", "nonuni_MMACs",
+                        "nonuni_acc", "acc_delta"});
+  for (int k = 0; k < uniform.level_count(); ++k) {
+    double ua, na;
+    std::int64_t um, nm;
+    evaluate(uniform, k, &ua, &um);
+    evaluate(nonuniform, k, &na, &nm);
+    table.row({std::to_string(k), fmt(um / 1e6, 3), fmt(ua, 3),
+               fmt(nm / 1e6, 3), fmt(na, 3), fmt(na - ua, 3)});
+  }
+  std::cout << "\n[" << models::model_kind_name(kind)
+            << "] per-layer scales:";
+  for (const auto& [layer, s] : scales)
+    std::cout << " " << layer << "=" << fmt(s, 2);
+  std::cout << "\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("R-F8",
+                      "uniform vs sensitivity-guided non-uniform ladders "
+                      "(one-shot)");
+  for (models::ModelKind kind :
+       {models::ModelKind::LeNet, models::ModelKind::DetNet})
+    run(kind);
+  return 0;
+}

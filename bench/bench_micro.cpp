@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark): GEMM kernel, per-level inference of
+// the masked and compacted providers, and the raw level-switch primitives.
+// These are the numbers the platform model is sanity-checked against.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/reversible_pruner.h"
+#include "nn/gemm.h"
+
+using namespace rrp;
+
+namespace {
+
+models::ProvisionedModel& detnet() {
+  static models::ProvisionedModel pm =
+      bench::provision(models::ModelKind::DetNet);
+  return pm;
+}
+
+nn::Tensor sample_input() {
+  nn::Tensor x(models::zoo_input_shape());
+  Rng rng(3);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return x;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  Rng rng(1);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::gemm(n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_InferMasked(benchmark::State& state) {
+  auto& pm = detnet();
+  static core::ReversiblePruner provider = pm.make_pruner();
+  provider.set_level(static_cast<int>(state.range(0)));
+  const nn::Tensor x = sample_input();
+  for (auto _ : state) {
+    auto y = provider.infer(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  provider.set_level(0);
+}
+BENCHMARK(BM_InferMasked)->DenseRange(0, 4);
+
+void BM_InferCompact(benchmark::State& state) {
+  auto& pm = detnet();
+  static core::CompactedLevelCache cache(pm.net, pm.levels,
+                                         models::zoo_input_shape(),
+                                         pm.bn_states);
+  cache.set_level(static_cast<int>(state.range(0)));
+  const nn::Tensor x = sample_input();
+  for (auto _ : state) {
+    auto y = cache.infer(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  cache.set_level(0);
+}
+BENCHMARK(BM_InferCompact)->DenseRange(0, 4);
+
+void BM_ReversibleSwitch(benchmark::State& state) {
+  auto& pm = detnet();
+  static core::ReversiblePruner provider = pm.make_pruner();
+  const int to = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    provider.set_level(to);
+    provider.set_level(0);
+  }
+  state.SetLabel("roundtrip 0<->" + std::to_string(to));
+}
+BENCHMARK(BM_ReversibleSwitch)->DenseRange(1, 4);
+
+void BM_ReloadSwitch(benchmark::State& state) {
+  auto& pm = detnet();
+  static core::ReloadProvider provider(
+      pm.net, pm.levels, core::ReloadProvider::Source::Memory);
+  const int to = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    provider.set_level(to);
+    provider.set_level(0);
+  }
+  state.SetLabel("roundtrip 0<->" + std::to_string(to));
+}
+BENCHMARK(BM_ReloadSwitch)->DenseRange(1, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

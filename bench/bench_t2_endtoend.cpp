@@ -1,0 +1,155 @@
+// R-T2 — The headline end-to-end comparison across scenario suites.
+//
+// Systems compared on every suite (highway / urban / cut_in / degraded):
+//   no-prune            — full network every frame (accuracy ceiling,
+//                         energy worst case)
+//   static-L2 / static-L4 — design-time pruning (energy win, cannot
+//                         recover: safety violations in hazards)
+//   reload+adaptive     — NON-reversible runtime pruning: adapts via
+//                         artifact reload; pays the full-model reload cost
+//                         on every hazard (deadline misses)
+//   reversible (ours)   — masked O(Δ) switching with safety monitor
+//   oracle              — reversible with future knowledge (upper bound)
+//
+// Columns are the reconstructed table's: perception accuracy, missed
+// critical detections, deadline misses, energy, switching behaviour.
+#include "bench_common.h"
+#include "core/reversible_pruner.h"
+
+using namespace rrp;
+
+namespace {
+
+struct SystemRow {
+  std::string system;
+  core::RunSummary summary;
+};
+
+/// Averages summaries over seeds (counts become per-run means).
+core::RunSummary average(const std::vector<core::RunSummary>& xs) {
+  core::RunSummary m;
+  const double n = static_cast<double>(xs.size());
+  for (const auto& s : xs) {
+    m.frames += s.frames;
+    m.accuracy += s.accuracy / n;
+    m.critical_accuracy += s.critical_accuracy / n;
+    m.missed_critical_rate += s.missed_critical_rate / n;
+    m.deadline_miss_rate += s.deadline_miss_rate / n;
+    m.total_energy_mj += s.total_energy_mj / n;
+    m.mean_level += s.mean_level / n;
+    m.level_switches += s.level_switches;
+    m.mean_switch_us += s.mean_switch_us / n;
+    m.safety_violations += s.safety_violations;
+    m.vetoes += s.vetoes;
+  }
+  m.level_switches /= static_cast<std::int64_t>(xs.size());
+  m.safety_violations /= static_cast<std::int64_t>(xs.size());
+  m.vetoes /= static_cast<std::int64_t>(xs.size());
+  return m;
+}
+
+void run_suite(models::ProvisionedModel& pm,
+               const std::vector<sim::Scenario>& replicas,
+               const sim::RunConfig& base_cfg) {
+  const core::SafetyConfig certified = bench::standard_certified();
+  std::vector<SystemRow> rows;
+
+  // `make` rebuilds provider+policy fresh per replica (controllers are
+  // stateful); results are averaged over scenario seeds.
+  auto run_system = [&](const std::string& name, auto&& make) {
+    std::vector<core::RunSummary> summaries;
+    for (std::size_t rep = 0; rep < replicas.size(); ++rep) {
+      sim::RunConfig cfg = base_cfg;
+      cfg.noise_seed = base_cfg.noise_seed + rep;
+      auto [provider, policy] = make(replicas[rep]);
+      core::SafetyMonitor monitor(certified);
+      core::RuntimeController ctl(*policy, *provider, &monitor);
+      summaries.push_back(
+          sim::run_scenario(replicas[rep], ctl, cfg).summary);
+    }
+    rows.push_back({name, average(summaries)});
+  };
+
+  using ProviderPtr = std::unique_ptr<core::InferenceProvider>;
+  using PolicyPtr = std::unique_ptr<core::Policy>;
+  const int levels = pm.levels.level_count();
+
+  run_system("no-prune", [&](const sim::Scenario&) {
+    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+    PolicyPtr pol = std::make_unique<core::FixedPolicy>(0);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+  run_system("static-L2", [&](const sim::Scenario&) {
+    ProviderPtr p = std::make_unique<core::StaticProvider>(
+        pm.net, pm.levels, 2, pm.bn_states);
+    PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, levels);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+  run_system("static-L4", [&](const sim::Scenario&) {
+    ProviderPtr p = std::make_unique<core::StaticProvider>(
+        pm.net, pm.levels, 4, pm.bn_states);
+    PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, levels);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+  run_system("reload+adaptive", [&](const sim::Scenario&) {
+    ProviderPtr p = std::make_unique<core::ReloadProvider>(
+        pm.net, pm.levels, core::ReloadProvider::Source::Memory, "",
+        pm.bn_states);
+    PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, levels);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+  run_system("reversible (ours)", [&](const sim::Scenario&) {
+    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+    PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, levels);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+  run_system("oracle", [&](const sim::Scenario& sc) {
+    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+    PolicyPtr pol = std::make_unique<core::OraclePolicy>(
+        certified, sim::criticality_trace(sc, base_cfg.criticality), 15);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
+
+  TableFormatter table({"system", "accuracy", "crit_acc", "missed_crit_%",
+                        "deadline_miss_%", "energy_mJ", "mean_level",
+                        "switches", "mean_switch_us", "violations"});
+  for (const auto& r : rows) {
+    const core::RunSummary& s = r.summary;
+    table.row({r.system, fmt(s.accuracy, 3), fmt(s.critical_accuracy, 3),
+               fmt(100.0 * s.missed_critical_rate, 1),
+               fmt(100.0 * s.deadline_miss_rate, 1),
+               fmt(s.total_energy_mj, 1), fmt(s.mean_level, 2),
+               std::to_string(s.level_switches), fmt(s.mean_switch_us, 1),
+               std::to_string(s.safety_violations)});
+  }
+  std::cout << "\n--- suite: " << replicas.front().name << " ("
+            << replicas.front().frame_count() << " frames x "
+            << replicas.size() << " seeds, averaged) ---\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("R-T2", "end-to-end safety/efficiency across suites");
+  models::ProvisionedModel pm = bench::provision(models::ModelKind::ResNetLite);
+  std::cout << "model: resnetlite, per-level accuracy:";
+  for (double a : pm.level_accuracy) std::cout << " " << fmt(a, 3);
+  std::cout << "\n";
+
+  const sim::RunConfig cfg = bench::standard_run_config();
+  constexpr int kSeeds = 3;
+  for (int suite = 0; suite < 4; ++suite) {
+    std::vector<sim::Scenario> replicas;
+    for (int rep = 0; rep < kSeeds; ++rep)
+      replicas.push_back(
+          sim::standard_suites(900, 20240325 + 1000ull * rep)[
+              static_cast<std::size_t>(suite)]);
+    run_suite(pm, replicas, cfg);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// R-T4 — Transition cost anatomy.
+//
+// Cost of every k -> k' transition for the masked reversible provider
+// (elements touched == symmetric mask difference; wall-clock microseconds)
+// against the reload baseline (always the full model).  Shows (a) the
+// O(Δ) property — adjacent levels are cheapest, 0<->deepest is the
+// worst case, (b) prune and restore cost the same (same diff set), and
+// (c) reload cost is flat and orders of magnitude higher.
+#include "bench_common.h"
+#include "core/reversible_pruner.h"
+
+using namespace rrp;
+
+namespace {
+
+double median_transition_us(core::InferenceProvider& p, int from, int to,
+                            int reps = 15) {
+  std::vector<double> xs;
+  for (int r = 0; r < reps; ++r) {
+    p.set_level(from);
+    xs.push_back(p.set_level(to).wall_us);
+  }
+  return quantile(xs, 0.5);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("R-T4", "transition cost for every level pair");
+  models::ProvisionedModel pm = bench::provision(models::ModelKind::ResNetLite);
+  core::ReversiblePruner masked = pm.make_pruner();
+  core::ReloadProvider reload(pm.net, pm.levels,
+                              core::ReloadProvider::Source::Memory, "",
+                              pm.bn_states);
+  const int levels = masked.level_count();
+
+  TableFormatter table({"from", "to", "elements", "masked_us", "reload_us",
+                        "speedup"});
+  for (int from = 0; from < levels; ++from) {
+    for (int to = 0; to < levels; ++to) {
+      if (from == to) continue;
+      masked.set_level(from);
+      const auto s = masked.set_level(to);
+      const double masked_us = median_transition_us(masked, from, to);
+      const double reload_us = median_transition_us(reload, from, to);
+      table.row({std::to_string(from), std::to_string(to),
+                 std::to_string(s.elements_changed), fmt(masked_us, 1),
+                 fmt(reload_us, 1), fmt(reload_us / std::max(masked_us, 0.01), 0) + "x"});
+    }
+  }
+  table.print(std::cout);
+
+  // The symmetry check the table encodes: k->k' touches the same element
+  // set as k'->k.
+  masked.set_level(0);
+  const auto up = masked.set_level(levels - 1);
+  const auto down = masked.set_level(0);
+  std::cout << "\nprune 0->" << levels - 1 << " touched "
+            << up.elements_changed << " elements; restore touched "
+            << down.elements_changed << " (identical set)\n";
+  return 0;
+}

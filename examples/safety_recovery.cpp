@@ -1,0 +1,105 @@
+// safety_recovery — the "back to the future" moment, frame by frame.
+//
+// The vehicle cruises with deep pruning active; a vehicle suddenly cuts in
+// at critical TTC.  The demo walks the next frames one by one and shows
+// the safety monitor vetoing the stale level, the reversible O(Δ) restore,
+// and the assurance log entries a safety case would cite.
+//
+// Run from the repository root:   ./build/examples/safety_recovery
+#include <iostream>
+
+#include "models/trained_cache.h"
+#include "sim/runner.h"
+#include "util/csv.h"
+#include "util/log.h"
+
+using namespace rrp;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  std::cout << "== sudden cut-in: reversible recovery demo ==\n\n";
+
+  models::ProvisionedModel pm =
+      models::get_provisioned(models::ModelKind::ResNetLite);
+  core::ReversiblePruner provider = pm.make_pruner();
+  core::SafetyConfig certified;
+  certified.max_level_for = {4, 3, 1, 0};
+  core::CriticalityGreedyPolicy policy(certified, 6, provider.level_count());
+  core::SafetyMonitor monitor(certified);
+  core::RuntimeController controller(policy, provider, &monitor);
+
+  // Hand-scripted micro-scenario: 20 calm frames, then the cut-in.
+  sim::Scenario sc;
+  sc.name = "cutin-demo";
+  sim::Scene scene;
+  scene.ego_speed_mps = 25.0;
+  scene.visibility = 0.95;
+  for (int f = 0; f < 40; ++f) {
+    if (f == 20) {
+      sim::Actor cut;
+      cut.type = sim::ActorType::Vehicle;
+      cut.distance_m = 24.0;
+      cut.closing_mps = 12.0;  // TTC = 2 s -> High, soon Critical
+      scene.actors.push_back(cut);
+    }
+    sc.scenes.push_back(scene);
+    sim::step_actors(scene, 1.0 / 30.0);
+  }
+
+  // Drive the loop manually so we can narrate each frame.
+  sim::RunConfig cfg;
+  cfg.deadline_ms = 12.0;
+  Rng noise(99);
+  const sim::CriticalityConfig crit_cfg;
+  for (std::size_t f = 0; f < sc.scenes.size(); ++f) {
+    const std::size_t sensed = f > 0 ? f - 1 : 0;  // one frame of latency
+    core::ControlInput in;
+    in.frame = static_cast<std::int64_t>(f);
+    in.criticality = sim::classify_scene(sc.scenes[sensed], crit_cfg);
+    in.deadline_ms = cfg.deadline_ms;
+    const core::ControlDecision d = controller.step(in);
+
+    if (f < 18 && f % 6 != 0 && !d.veto &&
+        d.transition.from_level == d.transition.to_level)
+      continue;  // keep the log readable during steady cruise
+    std::cout << "frame " << f << ": criticality "
+              << core::criticality_name(in.criticality) << ", level "
+              << provider.current_level();
+    if (d.transition.from_level != d.transition.to_level)
+      std::cout << "  <- switched " << d.transition.from_level << " -> "
+                << d.transition.to_level << " ("
+                << d.transition.elements_changed << " weights, "
+                << fmt(d.transition.wall_us, 1) << " us)";
+    if (d.veto) std::cout << "  [SAFETY VETO of level " << d.requested_level
+                          << "]";
+    std::cout << "\n";
+  }
+
+  // Act two: a (deliberately) reckless planner keeps demanding the deepest
+  // level during the hazard — the safety monitor vetoes it every frame.
+  std::cout << "\n-- act two: buggy planner demands L4 during the hazard --\n";
+  core::FixedPolicy reckless(4);
+  core::RuntimeController buggy(reckless, provider, &monitor);
+  for (std::size_t f = 30; f < 36; ++f) {
+    core::ControlInput in;
+    in.frame = static_cast<std::int64_t>(f + 100);  // distinct log frames
+    in.criticality = sim::classify_scene(sc.scenes[f], crit_cfg);
+    const core::ControlDecision d = buggy.step(in);
+    std::cout << "frame " << in.frame << ": criticality "
+              << core::criticality_name(in.criticality) << ", requested L"
+              << d.requested_level << " -> enforced L" << d.enforced_level
+              << (d.veto ? "  [SAFETY VETO]" : "") << "\n";
+  }
+
+  std::cout << "\nassurance log (" << monitor.log().size() << " entries):\n";
+  for (const auto& rec : monitor.log())
+    std::cout << "  frame " << rec.frame << ": criticality "
+              << core::criticality_name(rec.criticality) << ", requested L"
+              << rec.requested_level << " -> enforced L"
+              << rec.enforced_level << (rec.veto ? " (veto)" : "")
+              << (rec.violation ? " (VIOLATION)" : "") << "\n";
+  std::cout << "\nviolations: " << monitor.violation_count()
+            << " — the reversible runtime restored before any frame "
+               "executed above its certified level.\n";
+  return 0;
+}

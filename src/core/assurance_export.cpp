@@ -1,0 +1,82 @@
+#include "core/assurance_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rrp::core {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_assurance_json(const AssuranceReport& report, std::ostream& out) {
+  const RunSummary& s = report.summary;
+  out << "{\n"
+      << "  \"scenario\": \"" << json_escape(report.scenario) << "\",\n"
+      << "  \"provider\": \"" << json_escape(report.provider) << "\",\n"
+      << "  \"policy\": \"" << json_escape(report.policy) << "\",\n"
+      << "  \"certified_max_level\": {\n";
+  for (int c = 0; c < kCriticalityClasses; ++c) {
+    out << "    \"" << criticality_name(static_cast<CriticalityClass>(c))
+        << "\": " << report.certified.max_level_for[static_cast<std::size_t>(c)]
+        << (c + 1 < kCriticalityClasses ? ",\n" : "\n");
+  }
+  out << "  },\n"
+      << "  \"summary\": {\n"
+      << "    \"frames\": " << s.frames << ",\n"
+      << "    \"accuracy\": " << s.accuracy << ",\n"
+      << "    \"critical_accuracy\": " << s.critical_accuracy << ",\n"
+      << "    \"missed_critical_rate\": " << s.missed_critical_rate << ",\n"
+      << "    \"deadline_miss_rate\": " << s.deadline_miss_rate << ",\n"
+      << "    \"total_energy_mj\": " << s.total_energy_mj << ",\n"
+      << "    \"mean_level\": " << s.mean_level << ",\n"
+      << "    \"level_switches\": " << s.level_switches << ",\n"
+      << "    \"mean_switch_us\": " << s.mean_switch_us << ",\n"
+      << "    \"vetoes\": " << s.vetoes << ",\n"
+      << "    \"violations_sensed_basis\": " << s.safety_violations << ",\n"
+      << "    \"violations_true_basis\": " << s.true_safety_violations
+      << "\n  },\n"
+      << "  \"assurance_log\": [\n";
+  for (std::size_t i = 0; i < report.log.size(); ++i) {
+    const AssuranceRecord& r = report.log[i];
+    out << "    {\"frame\": " << r.frame << ", \"criticality\": \""
+        << criticality_name(r.criticality) << "\", \"requested_level\": "
+        << r.requested_level << ", \"enforced_level\": " << r.enforced_level
+        << ", \"veto\": " << (r.veto ? "true" : "false")
+        << ", \"violation\": " << (r.violation ? "true" : "false") << "}"
+        << (i + 1 < report.log.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+std::string assurance_json(const AssuranceReport& report) {
+  std::ostringstream os;
+  write_assurance_json(report, os);
+  return os.str();
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,34 @@
+// assurance_export.h — machine-readable safety-case evidence.
+//
+// A certification workflow wants the run's safety evidence as a structured
+// artifact, not a console table: the certified ladder, the run summary
+// (both sensed- and true-basis violation counts), and the full assurance
+// log of vetoes/violations.  Exported as JSON (self-contained writer — no
+// external dependency), stable key order for diffable evidence files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/safety_monitor.h"
+#include "core/telemetry.h"
+
+namespace rrp::core {
+
+/// Everything a safety case cites about one closed-loop run.
+struct AssuranceReport {
+  std::string scenario;
+  std::string provider;
+  std::string policy;
+  SafetyConfig certified;
+  RunSummary summary;
+  std::vector<AssuranceRecord> log;
+};
+
+/// Writes the report as pretty-printed JSON.
+void write_assurance_json(const AssuranceReport& report, std::ostream& out);
+
+/// Convenience: serialize to a string (used by tests and the CLI).
+std::string assurance_json(const AssuranceReport& report);
+
+}  // namespace rrp::core

@@ -1,0 +1,78 @@
+#include "core/bn_calibration.h"
+
+#include <algorithm>
+
+#include "core/weight_store.h"
+#include "util/checks.h"
+
+namespace rrp::core {
+
+std::int64_t BnState::total_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& [name, mv] : stats)
+    n += (mv.first.numel() + mv.second.numel()) *
+         static_cast<std::int64_t>(sizeof(float));
+  return n;
+}
+
+BnState capture_bn_state(nn::Network& net) {
+  BnState state;
+  for (nn::Layer* l : net.leaf_layers())
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(l))
+      state.stats.emplace(bn->name(),
+                          std::make_pair(bn->running_mean(), bn->running_var()));
+  return state;
+}
+
+void apply_bn_state(nn::Network& net, const BnState& state) {
+  for (const auto& [name, mv] : state.stats) {
+    nn::Layer* l = net.find(name);
+    RRP_CHECK_MSG(l != nullptr, "BnState names unknown layer '" << name << "'");
+    auto* bn = dynamic_cast<nn::BatchNorm*>(l);
+    RRP_CHECK_MSG(bn != nullptr, "'" << name << "' is not a BatchNorm");
+    RRP_CHECK_MSG(mv.first.shape() == bn->running_mean().shape(),
+                  "BN state width mismatch on '" << name << "'");
+    bn->running_mean() = mv.first;
+    bn->running_var() = mv.second;
+  }
+}
+
+std::vector<BnState> calibrate_bn_per_level(
+    nn::Network& net, const prune::PruneLevelLibrary& levels,
+    const nn::Dataset& calib_data, const BnCalibrationConfig& config,
+    Rng& rng) {
+  RRP_CHECK(config.batches >= 1 && config.batch_size >= 2);
+  RRP_CHECK(calib_data.size() >= static_cast<std::size_t>(config.batch_size));
+
+  const WeightStore golden = WeightStore::snapshot(net);
+  const BnState level0 = capture_bn_state(net);
+
+  std::vector<BnState> out;
+  out.reserve(static_cast<std::size_t>(levels.level_count()));
+  std::vector<int> labels;
+
+  for (int k = 0; k < levels.level_count(); ++k) {
+    if (k == 0) {
+      out.push_back(level0);  // dense stats are already converged
+      continue;
+    }
+    // Start from the dense statistics, then adapt under the level's mask.
+    apply_bn_state(net, level0);
+    golden.apply_mask(net, levels.mask(k));
+    for (int b = 0; b < config.batches; ++b) {
+      std::vector<std::size_t> pick(static_cast<std::size_t>(config.batch_size));
+      for (auto& i : pick) i = rng.uniform_u64(calib_data.size());
+      const nn::Tensor x = calib_data.batch(
+          pick, 0, static_cast<std::size_t>(config.batch_size), &labels);
+      (void)net.forward(x, /*training=*/true);  // only BN stats move
+    }
+    out.push_back(capture_bn_state(net));
+  }
+
+  // Leave the network exactly as found: dense weights, dense statistics.
+  golden.restore_all(net);
+  apply_bn_state(net, level0);
+  return out;
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,44 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "util/checks.h"
+
+namespace rrp::core {
+
+RuntimeController::RuntimeController(Policy& policy,
+                                     InferenceProvider& provider,
+                                     SafetyMonitor* monitor)
+    : policy_(&policy), provider_(&provider), monitor_(monitor) {}
+
+ControlDecision RuntimeController::step(const ControlInput& input) {
+  ControlDecision d;
+  const int current = provider_->current_level();
+  const int max_level = provider_->level_count() - 1;
+
+  d.requested_level =
+      std::clamp(policy_->decide(input, current), 0, max_level);
+  d.enforced_level = d.requested_level;
+  if (monitor_ != nullptr) {
+    d.enforced_level =
+        monitor_->screen(input.frame, input.criticality, d.requested_level);
+    d.veto = d.enforced_level != d.requested_level;
+  }
+
+  d.transition = provider_->set_level(d.enforced_level);
+  if (d.transition.from_level != d.transition.to_level) ++switch_count_;
+
+  // Audit what actually executes (baselines may ignore the request).
+  if (monitor_ != nullptr)
+    monitor_->audit(input.frame, input.criticality,
+                    provider_->current_level());
+  return d;
+}
+
+void RuntimeController::reset() {
+  policy_->reset();
+  switch_count_ = 0;
+  if (monitor_ != nullptr) monitor_->clear();
+}
+
+}  // namespace rrp::core

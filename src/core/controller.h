@@ -1,0 +1,54 @@
+// controller.h — the MAPE-K runtime controller.
+//
+// Monitor: the caller feeds a ControlInput per frame (criticality from the
+//          perception context, deadline slack, energy budget state).
+// Analyze/Plan: the Policy proposes a pruning level.
+// Execute: the decision — after SafetyMonitor screening — is applied to the
+//          InferenceProvider, and the transition cost is surfaced.
+// Knowledge: the nested level ladder, the level profile, and the certified
+//            safety ladder are the shared models the loop reasons over.
+#pragma once
+
+#include "core/policies.h"
+#include "core/reversible_pruner.h"
+
+namespace rrp::core {
+
+/// Outcome of one control step.
+struct ControlDecision {
+  int requested_level = 0;   ///< what the policy wanted
+  int enforced_level = 0;    ///< after safety screening
+  bool veto = false;         ///< safety monitor overrode the policy
+  TransitionStats transition;  ///< cost of applying the level change
+};
+
+struct ControllerConfig {
+  SafetyConfig safety;
+};
+
+class RuntimeController {
+ public:
+  /// The controller does not own the policy or the provider; both must
+  /// outlive it. Pass monitor=nullptr to run without safety screening
+  /// (used by the unsupervised-ablation arm).
+  RuntimeController(Policy& policy, InferenceProvider& provider,
+                    SafetyMonitor* monitor);
+
+  /// Executes one Monitor→Analyze→Plan→Execute cycle.
+  ControlDecision step(const ControlInput& input);
+
+  Policy& policy() { return *policy_; }
+  InferenceProvider& provider() { return *provider_; }
+  SafetyMonitor* monitor() { return monitor_; }
+
+  std::int64_t switch_count() const { return switch_count_; }
+  void reset();
+
+ private:
+  Policy* policy_;
+  InferenceProvider* provider_;
+  SafetyMonitor* monitor_;
+  std::int64_t switch_count_ = 0;
+};
+
+}  // namespace rrp::core

@@ -1,0 +1,140 @@
+#include "core/level_train.h"
+
+#include <algorithm>
+
+#include "util/checks.h"
+#include "util/log.h"
+
+namespace rrp::core {
+
+namespace {
+
+/// Stash/unstash of the parameters any level masks (the deepest level's
+/// mask is the superset, thanks to nesting).
+class ParamStash {
+ public:
+  ParamStash(nn::Network& net, const prune::NetworkMask& superset) {
+    auto params = net.params();
+    for (const auto& [name, keep] : superset.entries()) {
+      for (auto& p : params)
+        if (p.name == name) {
+          slots_.push_back({p.value, nn::Tensor()});
+          break;
+        }
+    }
+  }
+
+  void stash() {
+    for (auto& s : slots_) s.copy = *s.live;
+  }
+  void unstash() {
+    for (auto& s : slots_) *s.live = std::move(s.copy);
+  }
+
+ private:
+  struct Slot {
+    nn::Tensor* live;
+    nn::Tensor copy;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Batches run at a masked level must not pollute the SHARED BatchNorm
+/// running statistics with zeroed-channel activations: stats updates are
+/// kept only for level-0 batches, and rolled back otherwise.
+class BnStatsStash {
+ public:
+  explicit BnStatsStash(nn::Network& net) {
+    for (nn::Layer* l : net.leaf_layers())
+      if (auto* bn = dynamic_cast<nn::BatchNorm*>(l))
+        slots_.push_back({bn, nn::Tensor(), nn::Tensor()});
+  }
+
+  void stash() {
+    for (auto& s : slots_) {
+      s.mean = s.bn->running_mean();
+      s.var = s.bn->running_var();
+    }
+  }
+  void unstash() {
+    for (auto& s : slots_) {
+      s.bn->running_mean() = std::move(s.mean);
+      s.bn->running_var() = std::move(s.var);
+    }
+  }
+
+ private:
+  struct Slot {
+    nn::BatchNorm* bn;
+    nn::Tensor mean, var;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+CoTrainStats co_train_levels(nn::Network& net,
+                             const prune::PruneLevelLibrary& levels,
+                             const nn::Dataset& train_data,
+                             const nn::Dataset& eval_data,
+                             const CoTrainConfig& config, Rng& rng) {
+  RRP_CHECK(levels.level_count() >= 1);
+  RRP_CHECK(config.epochs >= 0);
+  RRP_CHECK(config.level0_weight >= 0.0 && config.level0_weight <= 1.0);
+  RRP_CHECK(train_data.size() > 0);
+
+  const int level_count = levels.level_count();
+  ParamStash stash(net, levels.mask(level_count - 1));
+  BnStatsStash bn_stats(net);
+
+  nn::SgdConfig sgd = config.sgd;
+  nn::SgdOptimizer opt(net, sgd);
+  std::vector<int> batch_labels;
+
+  // Level sampling distribution: level0_weight on 0, uniform on the rest.
+  std::vector<double> level_weights(static_cast<std::size_t>(level_count),
+                                    level_count > 1
+                                        ? (1.0 - config.level0_weight) /
+                                              (level_count - 1)
+                                        : 0.0);
+  level_weights[0] = level_count > 1 ? config.level0_weight : 1.0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(train_data.size());
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(sgd.batch_size)) {
+      const std::size_t count = std::min(
+          static_cast<std::size_t>(sgd.batch_size), order.size() - first);
+      const nn::Tensor x = train_data.batch(order, first, count, &batch_labels);
+
+      const int k = static_cast<int>(rng.categorical(level_weights));
+
+      net.zero_grad();
+      stash.stash();
+      if (k > 0) bn_stats.stash();
+      levels.mask(k).apply(net);
+      const nn::Tensor logits = net.forward(x, /*training=*/true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch_labels);
+      net.backward(lr.grad);
+      stash.unstash();   // masked weights come back before the dense update
+      if (k > 0) bn_stats.unstash();  // masked batches don't move BN stats
+      opt.step();
+    }
+    opt.set_lr(opt.lr() * config.lr_decay_per_epoch);
+    RRP_LOG_DEBUG << "co-train epoch " << epoch << " done";
+  }
+
+  CoTrainStats stats;
+  if (eval_data.size() > 0) {
+    for (int k = 0; k < level_count; ++k) {
+      stash.stash();
+      levels.mask(k).apply(net);
+      stats.final_level_accuracy.push_back(
+          nn::evaluate_accuracy(net, eval_data));
+      stash.unstash();
+    }
+  }
+  return stats;
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,212 @@
+#include "core/reversible_pruner.h"
+
+#include "util/checks.h"
+#include "util/timer.h"
+
+namespace rrp::core {
+
+ReversiblePruner::ReversiblePruner(nn::Network& net,
+                                   prune::PruneLevelLibrary levels)
+    : net_(&net), store_(WeightStore::snapshot(net)), levels_(std::move(levels)) {
+  RRP_CHECK_MSG(levels_.level_count() >= 1, "empty level library");
+  RRP_CHECK_MSG(levels_.ratio(0) == 0.0, "level 0 must be the full network");
+  RRP_CHECK_MSG(levels_.verify_nested(),
+                "level library violates the nesting invariant");
+  build_deltas();
+  // Level 0 == golden weights; nothing to apply.
+}
+
+ReversiblePruner::~ReversiblePruner() {
+  if (net_ == nullptr) return;  // moved-from shell
+  // Restore golden weights and dense BN statistics without going through
+  // set_level (history/time accounting is irrelevant during teardown).
+  if (current_level_ != 0) store_.apply_mask(*net_, levels_.mask(0));
+  if (!bn_states_.empty()) apply_bn_state(*net_, bn_states_[0]);
+}
+
+ReversiblePruner::ReversiblePruner(ReversiblePruner&& other) noexcept
+    : name_(std::move(other.name_)),
+      net_(other.net_),
+      store_(std::move(other.store_)),
+      levels_(std::move(other.levels_)),
+      bn_states_(std::move(other.bn_states_)),
+      current_level_(other.current_level_),
+      history_(std::move(other.history_)) {
+  other.net_ = nullptr;  // disarm the moved-from destructor
+  // Delta lists hold raw pointers into net_ (unchanged) and into our own
+  // store_, whose map nodes are stable under move — but rebuild defensively
+  // so golden pointers are guaranteed to target THIS store.
+  build_deltas();
+}
+
+void ReversiblePruner::build_deltas() {
+  deltas_.assign(static_cast<std::size_t>(levels_.level_count()), {});
+  auto params = net_->params();
+  for (int k = 1; k < levels_.level_count(); ++k) {
+    const prune::NetworkMask& prev = levels_.mask(k - 1);
+    const prune::NetworkMask& cur = levels_.mask(k);
+    for (const auto& [pname, keep] : cur.entries()) {
+      const auto* prev_keep = prev.find(pname);
+      ParamDelta delta;
+      for (auto& p : params)
+        if (p.name == pname) {
+          delta.value = p.value;
+          break;
+        }
+      RRP_CHECK_MSG(delta.value != nullptr,
+                    "mask names unknown param '" << pname << "'");
+      delta.golden = &store_.get(pname);
+      RRP_CHECK(static_cast<std::int64_t>(keep.size()) ==
+                delta.golden->numel());
+      for (std::uint32_t i = 0; i < keep.size(); ++i) {
+        const bool was = prev_keep == nullptr || (*prev_keep)[i] != 0;
+        const bool now = keep[i] != 0;
+        if (was && !now) delta.indices.push_back(i);
+      }
+      if (!delta.indices.empty())
+        deltas_[static_cast<std::size_t>(k)].push_back(std::move(delta));
+    }
+  }
+}
+
+std::int64_t ReversiblePruner::delta_index_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& level : deltas_)
+    for (const auto& d : level)
+      n += static_cast<std::int64_t>(d.indices.size() * sizeof(std::uint32_t));
+  return n;
+}
+
+nn::Tensor ReversiblePruner::infer(const nn::Tensor& x) {
+  return net_->forward(x, /*training=*/false);
+}
+
+TransitionStats ReversiblePruner::set_level(int level) {
+  RRP_CHECK_MSG(level >= 0 && level < level_count(),
+                "level " << level << " outside [0, " << level_count() << ")");
+  TransitionStats stats;
+  stats.from_level = current_level_;
+  stats.to_level = level;
+  stats.is_restore = level < current_level_;
+  if (level == current_level_) return stats;
+
+  Timer timer;
+  // Nested masks make any transition a walk over adjacent-level deltas:
+  // pruning applies deltas (current, level] as zeros; restoring copies
+  // deltas (level, current] back from the golden store. Each touched
+  // element is visited exactly once — O(Δ), not O(model).
+  if (level > current_level_) {
+    for (int k = current_level_ + 1; k <= level; ++k) {
+      for (const ParamDelta& d : deltas_[static_cast<std::size_t>(k)]) {
+        float* dst = d.value->raw();
+        for (std::uint32_t i : d.indices) dst[i] = 0.0f;
+        stats.elements_changed +=
+            static_cast<std::int64_t>(d.indices.size());
+      }
+    }
+  } else {
+    for (int k = current_level_; k > level; --k) {
+      for (const ParamDelta& d : deltas_[static_cast<std::size_t>(k)]) {
+        float* dst = d.value->raw();
+        const float* src = d.golden->raw();
+        for (std::uint32_t i : d.indices) dst[i] = src[i];
+        stats.elements_changed +=
+            static_cast<std::int64_t>(d.indices.size());
+      }
+    }
+  }
+  stats.bytes_written =
+      stats.elements_changed * static_cast<std::int64_t>(sizeof(float));
+
+  // Switchable BN: swap in this level's calibrated statistics.
+  if (!bn_states_.empty()) {
+    const BnState& s = bn_states_[static_cast<std::size_t>(level)];
+    apply_bn_state(*net_, s);
+    stats.bytes_written += s.total_bytes();
+  }
+
+  stats.wall_us = timer.elapsed_us();
+  current_level_ = level;
+  history_.push_back(stats);
+  return stats;
+}
+
+void ReversiblePruner::set_bn_states(std::vector<BnState> states) {
+  RRP_CHECK_MSG(static_cast<int>(states.size()) == level_count(),
+                "need exactly one BnState per level");
+  bn_states_ = std::move(states);
+  apply_bn_state(*net_, bn_states_[static_cast<std::size_t>(current_level_)]);
+}
+
+std::int64_t ReversiblePruner::active_macs(const nn::Shape& input_shape) {
+  return net_->effective_macs(input_shape);
+}
+
+std::int64_t ReversiblePruner::resident_weight_bytes() {
+  // Resident cost = live network + golden store + masks + delta indices.
+  std::int64_t live = net_->param_count() * static_cast<std::int64_t>(sizeof(float));
+  return live + store_.total_bytes() + levels_.storage_bytes() +
+         delta_index_bytes();
+}
+
+CompactedLevelCache::CompactedLevelCache(const nn::Network& net,
+                                         const prune::PruneLevelLibrary& levels,
+                                         const nn::Shape& input_shape,
+                                         const std::vector<BnState>& bn_states) {
+  RRP_CHECK_MSG(levels.structured(),
+                "compact mode requires a structured level library");
+  RRP_CHECK_MSG(levels.verify_nested(),
+                "level library violates the nesting invariant");
+  RRP_CHECK_MSG(bn_states.empty() ||
+                    static_cast<int>(bn_states.size()) == levels.level_count(),
+                "need exactly one BnState per level");
+  nets_.reserve(static_cast<std::size_t>(levels.level_count()));
+  for (int k = 0; k < levels.level_count(); ++k) {
+    if (bn_states.empty()) {
+      nets_.push_back(
+          prune::compact_network(net, levels.channel_masks(k), input_shape));
+      continue;
+    }
+    // Bake the level's calibrated statistics in BEFORE compaction so the
+    // channel gather keeps the right per-channel entries.
+    nn::Network staged = net.clone();
+    apply_bn_state(staged, bn_states[static_cast<std::size_t>(k)]);
+    nets_.push_back(
+        prune::compact_network(staged, levels.channel_masks(k), input_shape));
+  }
+}
+
+nn::Tensor CompactedLevelCache::infer(const nn::Tensor& x) {
+  return nets_[static_cast<std::size_t>(current_level_)].forward(x, false);
+}
+
+TransitionStats CompactedLevelCache::set_level(int level) {
+  RRP_CHECK_MSG(level >= 0 && level < level_count(),
+                "level " << level << " outside [0, " << level_count() << ")");
+  Timer timer;
+  TransitionStats stats;
+  stats.from_level = current_level_;
+  stats.to_level = level;
+  stats.is_restore = level < current_level_;
+  current_level_ = level;  // pointer swap — no weight traffic at all
+  stats.wall_us = timer.elapsed_us();
+  return stats;
+}
+
+std::int64_t CompactedLevelCache::active_macs(const nn::Shape& input_shape) {
+  return nets_[static_cast<std::size_t>(current_level_)].macs(input_shape);
+}
+
+std::int64_t CompactedLevelCache::resident_weight_bytes() {
+  std::int64_t total = 0;
+  for (auto& n : nets_)
+    total += n.param_count() * static_cast<std::int64_t>(sizeof(float));
+  return total;
+}
+
+nn::Network& CompactedLevelCache::network_at(int level) {
+  RRP_CHECK(level >= 0 && level < level_count());
+  return nets_[static_cast<std::size_t>(level)];
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,142 @@
+// reversible_pruner.h — the paper's primary contribution.
+//
+// Two reversible execution providers over one nested level ladder:
+//
+//  * ReversiblePruner (masked mode) — one resident network; switching level
+//    k→k′ touches exactly the elements whose keep flag differs between the
+//    two nested masks: zero them (prune) or copy them back from the
+//    WeightStore (restore).  Restore is "back to the future": O(Δ) memcpy,
+//    no disk, no retraining, bit-exact.
+//
+//  * CompactedLevelCache (compact mode) — pre-built physically-shrunk
+//    networks per level; switching is a pointer swap (O(1)) and inference
+//    actually gets faster, at the memory cost of caching every level.
+//
+// Both implement InferenceProvider so the runtime controller, baselines and
+// the scenario runner are interchangeable over them.
+#pragma once
+
+#include "core/bn_calibration.h"
+#include "core/weight_store.h"
+#include "prune/compact.h"
+#include "prune/levels.h"
+
+namespace rrp::core {
+
+/// Cost accounting for one level transition.
+struct TransitionStats {
+  int from_level = 0;
+  int to_level = 0;
+  bool is_restore = false;          ///< true when moving to a lower level
+  std::int64_t elements_changed = 0;
+  std::int64_t bytes_written = 0;
+  double wall_us = 0.0;
+};
+
+/// Uniform interface over every way of executing the network at a level.
+class InferenceProvider {
+ public:
+  virtual ~InferenceProvider() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual nn::Tensor infer(const nn::Tensor& x) = 0;
+  virtual TransitionStats set_level(int level) = 0;
+  virtual int current_level() const = 0;
+  virtual int level_count() const = 0;
+  /// MACs one inference at the CURRENT level executes for a batch-1 input.
+  virtual std::int64_t active_macs(const nn::Shape& input_shape) = 0;
+  /// Resident weight memory in bytes (for the overhead experiment).
+  virtual std::int64_t resident_weight_bytes() = 0;
+};
+
+/// Masked-mode reversible pruning over a single resident network.
+class ReversiblePruner : public InferenceProvider {
+ public:
+  /// Snapshots `net`'s weights as golden and starts at level 0.
+  /// The library must have been built for this network.
+  ReversiblePruner(nn::Network& net, prune::PruneLevelLibrary levels);
+
+  /// Leaves the network exactly as found: restores level 0 (golden
+  /// weights and, when installed, the dense BatchNorm statistics), so a
+  /// later provider built from the same network sees clean weights.
+  ~ReversiblePruner() override;
+
+  ReversiblePruner(ReversiblePruner&& other) noexcept;
+  ReversiblePruner& operator=(ReversiblePruner&&) = delete;
+
+  const std::string& name() const override { return name_; }
+  nn::Tensor infer(const nn::Tensor& x) override;
+  TransitionStats set_level(int level) override;
+  int current_level() const override { return current_level_; }
+  int level_count() const override { return levels_.level_count(); }
+  std::int64_t active_macs(const nn::Shape& input_shape) override;
+  std::int64_t resident_weight_bytes() override;
+
+  /// Convenience: full restore ("back to the future").
+  TransitionStats restore_full() { return set_level(0); }
+
+  /// Installs per-level BatchNorm statistics (switchable BN). Must contain
+  /// exactly level_count() states; entry k is applied whenever level k is
+  /// entered (including retroactively for the current level).
+  void set_bn_states(std::vector<BnState> states);
+  bool has_bn_states() const { return !bn_states_.empty(); }
+
+  nn::Network& network() { return *net_; }
+  const WeightStore& store() const { return store_; }
+  const prune::PruneLevelLibrary& levels() const { return levels_; }
+  const std::vector<TransitionStats>& history() const { return history_; }
+
+  /// Bytes spent on the precomputed delta index lists (overhead report).
+  std::int64_t delta_index_bytes() const;
+
+ private:
+  /// Elements newly pruned at level k (vs k-1) of one parameter: the unit
+  /// of O(Δ) switching. Nesting guarantees these deltas partition the
+  /// ever-pruned set, so any k->k' walk applies each element once.
+  struct ParamDelta {
+    nn::Tensor* value = nullptr;
+    const nn::Tensor* golden = nullptr;
+    std::vector<std::uint32_t> indices;
+  };
+
+  void build_deltas();
+
+  std::string name_ = "reversible-masked";
+  nn::Network* net_;
+  WeightStore store_;
+  prune::PruneLevelLibrary levels_;
+  std::vector<std::vector<ParamDelta>> deltas_;  // [level] -> param deltas
+  std::vector<BnState> bn_states_;
+  int current_level_ = 0;
+  std::vector<TransitionStats> history_;
+};
+
+/// Compact-mode reversible pruning: every level pre-compacted and resident.
+/// Only valid for structured level libraries.
+class CompactedLevelCache : public InferenceProvider {
+ public:
+  /// `bn_states` is optional switchable-BN data (one state per level,
+  /// captured on the MASKED network); each level's compacted network bakes
+  /// in its own calibrated statistics.
+  CompactedLevelCache(const nn::Network& net,
+                      const prune::PruneLevelLibrary& levels,
+                      const nn::Shape& input_shape,
+                      const std::vector<BnState>& bn_states = {});
+
+  const std::string& name() const override { return name_; }
+  nn::Tensor infer(const nn::Tensor& x) override;
+  TransitionStats set_level(int level) override;
+  int current_level() const override { return current_level_; }
+  int level_count() const override { return static_cast<int>(nets_.size()); }
+  std::int64_t active_macs(const nn::Shape& input_shape) override;
+  std::int64_t resident_weight_bytes() override;
+
+  nn::Network& network_at(int level);
+
+ private:
+  std::string name_ = "reversible-compact";
+  std::vector<nn::Network> nets_;
+  int current_level_ = 0;
+};
+
+}  // namespace rrp::core

@@ -1,0 +1,71 @@
+#include "core/safety_monitor.h"
+
+#include "util/checks.h"
+
+namespace rrp::core {
+
+const char* criticality_name(CriticalityClass c) {
+  switch (c) {
+    case CriticalityClass::Low: return "Low";
+    case CriticalityClass::Medium: return "Medium";
+    case CriticalityClass::High: return "High";
+    case CriticalityClass::Critical: return "Critical";
+  }
+  return "?";
+}
+
+SafetyMonitor::SafetyMonitor(SafetyConfig config) : config_(config) {
+  // The certified ladder must be monotone: higher criticality never allows
+  // MORE pruning than lower criticality.
+  for (int c = 1; c < kCriticalityClasses; ++c)
+    RRP_CHECK_MSG(
+        config_.max_level_for[static_cast<std::size_t>(c)] <=
+            config_.max_level_for[static_cast<std::size_t>(c - 1)],
+        "certified max level must be non-increasing in criticality");
+  for (int c = 0; c < kCriticalityClasses; ++c)
+    RRP_CHECK(config_.max_level_for[static_cast<std::size_t>(c)] >= 0);
+}
+
+int SafetyMonitor::certified_max(CriticalityClass c) const {
+  return config_.max_level_for[static_cast<std::size_t>(static_cast<int>(c))];
+}
+
+int SafetyMonitor::screen(std::int64_t frame, CriticalityClass c,
+                          int requested_level) {
+  const int cap = certified_max(c);
+  const int enforced = requested_level > cap ? cap : requested_level;
+  AssuranceRecord rec;
+  rec.frame = frame;
+  rec.criticality = c;
+  rec.requested_level = requested_level;
+  rec.enforced_level = enforced;
+  rec.veto = enforced != requested_level;
+  if (rec.veto) {
+    ++veto_count_;
+    log_.push_back(rec);  // only interventions are logged at screen time
+  }
+  return enforced;
+}
+
+bool SafetyMonitor::audit(std::int64_t frame, CriticalityClass c,
+                          int executed_level) {
+  ++audited_frames_;
+  const int cap = certified_max(c);
+  if (executed_level <= cap) return true;
+  ++violation_count_;
+  AssuranceRecord rec;
+  rec.frame = frame;
+  rec.criticality = c;
+  rec.requested_level = executed_level;
+  rec.enforced_level = executed_level;
+  rec.violation = true;
+  log_.push_back(rec);
+  return false;
+}
+
+void SafetyMonitor::clear() {
+  log_.clear();
+  veto_count_ = violation_count_ = audited_frames_ = 0;
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,82 @@
+// safety_monitor.h — runtime safety supervision of the pruning level.
+//
+// Certification model: for each criticality class the system integrator
+// certifies a maximum admissible pruning level (from offline accuracy-vs-
+// level validation, cf. experiments R-F1/R-F5).  The monitor sits between
+// the controller and the execution provider:
+//   * it VETOES any decision that would exceed the certified level for the
+//     current criticality, substituting the certified maximum, and
+//   * it flags a SAFETY VIOLATION whenever a frame executes above the
+//     certified level anyway (possible with non-reversible baselines whose
+//     recovery lags the criticality change).
+// Every intervention is recorded in an assurance log suitable for a safety
+// case ("at frame t, criticality rose to C, level forced from k to k′").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rrp::core {
+
+/// Scene criticality, ordered from benign to imminent hazard.
+enum class CriticalityClass : int { Low = 0, Medium = 1, High = 2, Critical = 3 };
+
+constexpr int kCriticalityClasses = 4;
+
+const char* criticality_name(CriticalityClass c);
+
+/// Per-class certified maximum pruning level.
+struct SafetyConfig {
+  /// max_level_for[c] = highest admissible level at criticality c.
+  /// Defaults certify full accuracy (level 0) in Critical scenes and relax
+  /// progressively for calmer traffic.
+  std::array<int, kCriticalityClasses> max_level_for = {4, 3, 1, 0};
+};
+
+/// One assurance-log entry.
+struct AssuranceRecord {
+  std::int64_t frame = 0;
+  CriticalityClass criticality = CriticalityClass::Low;
+  int requested_level = 0;
+  int enforced_level = 0;
+  bool veto = false;       ///< monitor overrode the controller's request
+  bool violation = false;  ///< the executed level exceeded the certified max
+};
+
+class SafetyMonitor {
+ public:
+  explicit SafetyMonitor(SafetyConfig config = {});
+
+  const SafetyConfig& config() const { return config_; }
+
+  /// Certified maximum level for a criticality class.
+  int certified_max(CriticalityClass c) const;
+
+  /// Screens a controller decision BEFORE execution; returns the level that
+  /// may actually be applied (vetoes excess pruning). Logs the decision.
+  int screen(std::int64_t frame, CriticalityClass c, int requested_level);
+
+  /// Audits the level that actually EXECUTED a frame (after the provider
+  /// attempted the switch; baselines may not honor it). Records violations.
+  /// Returns true if the frame was safe.
+  bool audit(std::int64_t frame, CriticalityClass c, int executed_level);
+
+  std::int64_t veto_count() const { return veto_count_; }
+  std::int64_t violation_count() const { return violation_count_; }
+  std::int64_t audited_frames() const { return audited_frames_; }
+
+  const std::vector<AssuranceRecord>& log() const { return log_; }
+  void clear();
+
+ private:
+  SafetyConfig config_;
+  std::vector<AssuranceRecord> log_;
+  std::int64_t veto_count_ = 0;
+  std::int64_t violation_count_ = 0;
+  std::int64_t audited_frames_ = 0;
+};
+
+}  // namespace rrp::core

@@ -1,0 +1,66 @@
+#include "core/weight_store.h"
+
+#include "util/checks.h"
+
+namespace rrp::core {
+
+WeightStore WeightStore::snapshot(nn::Network& net) {
+  WeightStore store;
+  for (const auto& p : net.params()) {
+    RRP_CHECK_MSG(store.golden_.find(p.name) == store.golden_.end(),
+                  "duplicate parameter name '" << p.name << "'");
+    store.golden_.emplace(p.name, *p.value);
+  }
+  return store;
+}
+
+bool WeightStore::has(const std::string& param_name) const {
+  return golden_.find(param_name) != golden_.end();
+}
+
+const nn::Tensor& WeightStore::get(const std::string& param_name) const {
+  auto it = golden_.find(param_name);
+  RRP_CHECK_MSG(it != golden_.end(),
+                "no golden weights for '" << param_name << "'");
+  return it->second;
+}
+
+std::int64_t WeightStore::total_elements() const {
+  std::int64_t n = 0;
+  for (const auto& [name, t] : golden_) n += t.numel();
+  return n;
+}
+
+std::int64_t WeightStore::total_bytes() const {
+  return total_elements() * static_cast<std::int64_t>(sizeof(float));
+}
+
+void WeightStore::restore_all(nn::Network& net) const {
+  for (auto& p : net.params()) {
+    const nn::Tensor& gold = get(p.name);
+    RRP_CHECK_MSG(gold.shape() == p.value->shape(),
+                  "shape drift on '" << p.name << "'");
+    *p.value = gold;
+  }
+}
+
+void WeightStore::apply_mask(nn::Network& net,
+                             const prune::NetworkMask& mask) const {
+  for (auto& p : net.params()) {
+    const nn::Tensor& gold = get(p.name);
+    RRP_CHECK_MSG(gold.shape() == p.value->shape(),
+                  "shape drift on '" << p.name << "'");
+    const auto* keep = mask.find(p.name);
+    if (keep == nullptr) {
+      *p.value = gold;
+      continue;
+    }
+    RRP_CHECK(static_cast<std::int64_t>(keep->size()) == gold.numel());
+    auto dst = p.value->data();
+    auto src = gold.data();
+    for (std::size_t i = 0; i < keep->size(); ++i)
+      dst[i] = (*keep)[i] ? src[i] : 0.0f;
+  }
+}
+
+}  // namespace rrp::core

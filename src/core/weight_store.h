@@ -1,0 +1,43 @@
+// weight_store.h — the resident "golden" weight snapshot.
+//
+// The defining property of *reversible* runtime pruning is that the full
+// trained weights never leave memory: pruning only zeroes (or physically
+// skips) elements, and restoring copies the original values back from this
+// store.  The store is immutable after snapshot; every restore is therefore
+// bit-exact regardless of how many prune/restore cycles have happened.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/network.h"
+#include "prune/mask.h"
+
+namespace rrp::core {
+
+class WeightStore {
+ public:
+  /// Captures all parameters of `net` (by hierarchical name) by value.
+  static WeightStore snapshot(nn::Network& net);
+
+  bool has(const std::string& param_name) const;
+  const nn::Tensor& get(const std::string& param_name) const;
+
+  std::size_t param_count() const { return golden_.size(); }
+  std::int64_t total_elements() const;
+  /// Bytes of float storage held by the store (reversibility memory cost).
+  std::int64_t total_bytes() const;
+
+  /// Overwrites every parameter of `net` with its golden value.
+  void restore_all(nn::Network& net) const;
+
+  /// Sets every parameter element of `net` to golden (keep) or zero
+  /// (pruned) according to `mask`; parameters absent from the mask are
+  /// restored in full.  This is the "apply level from scratch" operation.
+  void apply_mask(nn::Network& net, const prune::NetworkMask& mask) const;
+
+ private:
+  std::map<std::string, nn::Tensor> golden_;
+};
+
+}  // namespace rrp::core

@@ -1,0 +1,150 @@
+#include "models/trained_cache.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/level_train.h"
+#include "core/reversible_pruner.h"
+#include "nn/serialize.h"
+#include "util/log.h"
+
+namespace rrp::models {
+
+namespace {
+std::string cache_path(ModelKind kind, const TrainRecipe& recipe,
+                       const std::string& cache_dir) {
+  return cache_dir + "/cache_" + model_kind_name(kind) + "_v" +
+         std::to_string(recipe.version) + "_e" +
+         std::to_string(recipe.epochs) + "_n" +
+         std::to_string(recipe.train_samples) + ".rrpn";
+}
+
+std::string co_cache_path(ModelKind kind, const TrainRecipe& train_recipe,
+                          const LevelRecipe& level_recipe,
+                          const std::string& cache_dir) {
+  std::ostringstream os;
+  os << cache_dir << "/cache_" << model_kind_name(kind) << "_co_v"
+     << level_recipe.version << "_e" << level_recipe.co_train_epochs << "_"
+     << (level_recipe.structured ? "s" : "u");
+  for (double r : level_recipe.ratios)
+    os << "_" << static_cast<int>(r * 1000);
+  os << "_base_v" << train_recipe.version << "_e" << train_recipe.epochs
+     << ".rrpn";
+  return os.str();
+}
+}  // namespace
+
+void make_datasets(const TrainRecipe& recipe, nn::Dataset& train,
+                   nn::Dataset& eval) {
+  sim::VisionTaskConfig task;
+  Rng train_rng(recipe.data_seed);
+  Rng eval_rng(recipe.data_seed ^ 0x5EEDBEEFull);
+  train = sim::make_dataset(recipe.train_samples, task, train_rng);
+  eval = sim::make_dataset(recipe.eval_samples, task, eval_rng);
+}
+
+TrainedModel get_trained(ModelKind kind, const TrainRecipe& recipe,
+                         const std::string& cache_dir) {
+  TrainedModel out;
+  make_datasets(recipe, out.train_data, out.eval_data);
+
+  const std::string path = cache_path(kind, recipe, cache_dir);
+  if (std::filesystem::exists(path)) {
+    out.net = nn::load_network(path);
+    out.eval_accuracy = nn::evaluate_accuracy(out.net, out.eval_data);
+    RRP_LOG_INFO << "loaded trained " << model_kind_name(kind) << " from "
+                 << path << " (eval acc " << out.eval_accuracy << ")";
+    return out;
+  }
+
+  RRP_LOG_INFO << "training " << model_kind_name(kind) << " ("
+               << recipe.epochs << " epochs, " << recipe.train_samples
+               << " samples)";
+  Rng init_rng(recipe.init_seed);
+  out.net = build_model(kind, init_rng);
+
+  nn::SgdConfig sgd;
+  sgd.epochs = recipe.epochs;
+  sgd.lr = recipe.lr;
+  sgd.batch_size = recipe.batch_size;
+  Rng train_rng(recipe.data_seed + 1);
+  nn::train_sgd(out.net, out.train_data, sgd, train_rng);
+
+  out.eval_accuracy = nn::evaluate_accuracy(out.net, out.eval_data);
+  RRP_LOG_INFO << "trained " << model_kind_name(kind) << " eval acc "
+               << out.eval_accuracy;
+  nn::save_network(out.net, path);
+  return out;
+}
+
+ProvisionedModel get_provisioned(ModelKind kind,
+                                 const TrainRecipe& train_recipe,
+                                 const LevelRecipe& level_recipe,
+                                 const std::string& cache_dir) {
+  TrainedModel dense = get_trained(kind, train_recipe, cache_dir);
+
+  ProvisionedModel out;
+  out.train_data = std::move(dense.train_data);
+  out.eval_data = std::move(dense.eval_data);
+
+  // The ladder is always derived from the dense-phase weights so that a
+  // cache reload reproduces the exact same masks.
+  const nn::Shape in_shape = zoo_input_shape();
+  out.levels =
+      level_recipe.structured
+          ? prune::PruneLevelLibrary::build_structured(
+                dense.net, level_recipe.ratios, in_shape,
+                prune::ImportanceMetric::L1, /*min_channels=*/2)
+          : prune::PruneLevelLibrary::build_unstructured(dense.net,
+                                                         level_recipe.ratios);
+
+  const std::string path =
+      co_cache_path(kind, train_recipe, level_recipe, cache_dir);
+  if (std::filesystem::exists(path)) {
+    out.net = nn::load_network(path);
+    RRP_LOG_INFO << "loaded co-trained " << model_kind_name(kind) << " from "
+                 << path;
+  } else {
+    RRP_LOG_INFO << "co-training " << model_kind_name(kind) << " over "
+                 << out.levels.level_count() << " levels ("
+                 << level_recipe.co_train_epochs << " epochs)";
+    out.net = std::move(dense.net);
+    core::CoTrainConfig cfg;
+    cfg.epochs = level_recipe.co_train_epochs;
+    Rng rng(train_recipe.data_seed + 99);
+    core::co_train_levels(out.net, out.levels, out.train_data, nn::Dataset{},
+                          cfg, rng);
+    nn::save_network(out.net, path);
+  }
+
+  // Switchable BN: calibrate per-level statistics (deterministic, so it is
+  // cheaper to recompute on load than to widen the cache format).
+  const bool has_bn = !core::capture_bn_state(out.net).empty();
+  if (has_bn) {
+    Rng calib_rng(train_recipe.data_seed + 7);
+    out.bn_states = core::calibrate_bn_per_level(
+        out.net, out.levels, out.train_data, core::BnCalibrationConfig{},
+        calib_rng);
+  }
+
+  // Per-level eval accuracy on the co-trained shared weights.
+  {
+    core::ReversiblePruner probe(out.net, out.levels);
+    if (!out.bn_states.empty()) probe.set_bn_states(out.bn_states);
+    for (int k = 0; k < out.levels.level_count(); ++k) {
+      probe.set_level(k);
+      out.level_accuracy.push_back(
+          nn::evaluate_accuracy(out.net, out.eval_data));
+    }
+    probe.set_level(0);
+  }
+  return out;
+}
+
+core::ReversiblePruner ProvisionedModel::make_pruner() {
+  core::ReversiblePruner pruner(net, levels);
+  if (!bn_states.empty()) pruner.set_bn_states(bn_states);
+  return pruner;
+}
+
+}  // namespace rrp::models

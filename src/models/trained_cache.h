@@ -1,0 +1,73 @@
+// trained_cache.h — train-once model provisioning for tests and benches.
+//
+// Every experiment binary needs *trained* weights; retraining in each
+// process would dominate runtime, so trained networks are cached on disk
+// (serialized via nn/serialize) keyed by model name + training recipe
+// version.  Datasets are regenerated deterministically from fixed seeds —
+// only weights need persistence.  Delete cache_*.rrpn to force retraining.
+#pragma once
+
+#include "core/reversible_pruner.h"
+#include "models/zoo.h"
+#include "prune/levels.h"
+
+namespace rrp::models {
+
+struct TrainRecipe {
+  std::size_t train_samples = 4000;
+  std::size_t eval_samples = 1000;
+  int epochs = 10;
+  float lr = 0.05f;
+  int batch_size = 32;
+  std::uint64_t data_seed = 20240325;   ///< DATE'24 ASD day one
+  std::uint64_t init_seed = 77;
+  /// Bump to invalidate existing caches when the recipe changes.
+  int version = 4;
+};
+
+struct TrainedModel {
+  nn::Network net;
+  nn::Dataset train_data;
+  nn::Dataset eval_data;
+  double eval_accuracy = 0.0;
+};
+
+/// Deterministically regenerates the task datasets of the recipe.
+void make_datasets(const TrainRecipe& recipe, nn::Dataset& train,
+                   nn::Dataset& eval);
+
+/// Returns a trained model, loading from `cache_dir` when possible and
+/// training + caching otherwise. Thread-compatible (not thread-safe).
+TrainedModel get_trained(ModelKind kind, const TrainRecipe& recipe = {},
+                         const std::string& cache_dir = ".");
+
+/// How the nested pruning-level ladder is built and co-trained.
+struct LevelRecipe {
+  std::vector<double> ratios = {0.0, 0.3, 0.5, 0.7, 0.85};
+  bool structured = true;
+  int co_train_epochs = 5;
+  int version = 4;  ///< bump to invalidate co-trained caches
+};
+
+/// A deployment-ready model: co-trained shared weights plus the nested
+/// level library (built from the dense-phase weights, so it is identical
+/// on every load) and per-level eval accuracy.
+struct ProvisionedModel {
+  nn::Network net;                    ///< co-trained shared weights
+  prune::PruneLevelLibrary levels;
+  std::vector<core::BnState> bn_states;  ///< switchable BN (empty if no BN)
+  nn::Dataset train_data;
+  nn::Dataset eval_data;
+  std::vector<double> level_accuracy; ///< eval accuracy at each level
+
+  /// Builds a masked-mode provider with switchable BN installed.
+  core::ReversiblePruner make_pruner();
+};
+
+/// Dense-train (cached) → build nested levels → co-train (cached).
+ProvisionedModel get_provisioned(ModelKind kind,
+                                 const TrainRecipe& train_recipe = {},
+                                 const LevelRecipe& level_recipe = {},
+                                 const std::string& cache_dir = ".");
+
+}  // namespace rrp::models

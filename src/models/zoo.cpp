@@ -1,0 +1,173 @@
+#include "models/zoo.h"
+
+#include "util/checks.h"
+
+namespace rrp::models {
+
+using nn::BatchNorm;
+using nn::Conv2D;
+using nn::DepthwiseConv2D;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool;
+using nn::Network;
+using nn::ReLU;
+using nn::Residual;
+
+namespace {
+constexpr int kH = 16;
+constexpr int kW = 16;
+constexpr int kClasses = sim::kNumClasses;
+
+Network build_mlp() {
+  Network net("mlp");
+  net.emplace<Flatten>("flatten");
+  net.emplace<Linear>("fc1", kH * kW, 96);
+  net.emplace<ReLU>("relu1");
+  net.emplace<Linear>("fc2", 96, 48);
+  net.emplace<ReLU>("relu2");
+  auto& head = net.emplace<Linear>("head", 48, kClasses);
+  head.set_out_prunable(false);  // class count pinned
+  return net;
+}
+
+Network build_lenet() {
+  Network net("lenet");
+  net.emplace<Conv2D>("conv1", 1, 8, 3, 1, 1);
+  net.emplace<ReLU>("relu1");
+  net.emplace<MaxPool>("pool1", 2, 2);
+  net.emplace<Conv2D>("conv2", 8, 16, 3, 1, 1);
+  net.emplace<ReLU>("relu2");
+  net.emplace<MaxPool>("pool2", 2, 2);
+  net.emplace<Flatten>("flatten");
+  net.emplace<Linear>("fc1", 16 * 4 * 4, 48);
+  net.emplace<ReLU>("relu3");
+  auto& head = net.emplace<Linear>("head", 48, kClasses);
+  head.set_out_prunable(false);
+  return net;
+}
+
+std::unique_ptr<Residual> residual_block(const std::string& name,
+                                         int channels) {
+  Network body(name + ".body");
+  body.emplace<Conv2D>(name + ".conv1", channels, channels, 3, 1, 1);
+  body.emplace<BatchNorm>(name + ".bn1", channels);
+  body.emplace<ReLU>(name + ".relu1");
+  auto& conv2 =
+      body.emplace<Conv2D>(name + ".conv2", channels, channels, 3, 1, 1);
+  conv2.set_out_prunable(false);  // feeds the identity add
+  body.emplace<BatchNorm>(name + ".bn2", channels);
+  return std::make_unique<Residual>(name, std::move(body));
+}
+
+Network build_resnet_lite() {
+  Network net("resnetlite");
+  auto& stem = net.emplace<Conv2D>("stem", 1, 16, 3, 1, 1);
+  stem.set_out_prunable(false);  // feeds the first residual add
+  net.emplace<BatchNorm>("stem.bn", 16);
+  net.emplace<ReLU>("stem.relu");
+  net.add(residual_block("block1", 16));
+  net.emplace<ReLU>("block1.out_relu");
+  net.emplace<MaxPool>("pool1", 2, 2);
+  net.add(residual_block("block2", 16));
+  net.emplace<ReLU>("block2.out_relu");
+  net.emplace<GlobalAvgPool>("gap");
+  auto& head = net.emplace<Linear>("head", 16, kClasses);
+  head.set_out_prunable(false);
+  return net;
+}
+
+Network build_detnet() {
+  Network net("detnet");
+  net.emplace<Conv2D>("conv1", 1, 16, 3, 1, 1);
+  net.emplace<BatchNorm>("bn1", 16);
+  net.emplace<ReLU>("relu1");
+  net.emplace<Conv2D>("conv2", 16, 32, 3, 1, 1);
+  net.emplace<BatchNorm>("bn2", 32);
+  net.emplace<ReLU>("relu2");
+  net.emplace<MaxPool>("pool1", 2, 2);
+  net.emplace<Conv2D>("conv3", 32, 32, 3, 1, 1);
+  net.emplace<BatchNorm>("bn3", 32);
+  net.emplace<ReLU>("relu3");
+  net.emplace<Conv2D>("conv4", 32, 64, 3, 1, 1);
+  net.emplace<BatchNorm>("bn4", 64);
+  net.emplace<ReLU>("relu4");
+  net.emplace<MaxPool>("pool2", 2, 2);
+  net.emplace<GlobalAvgPool>("gap");
+  net.emplace<Linear>("fc1", 64, 32);
+  net.emplace<ReLU>("relu5");
+  auto& head = net.emplace<Linear>("head", 32, kClasses);
+  head.set_out_prunable(false);
+  return net;
+}
+
+Network build_mobilenet_lite() {
+  Network net("mobilenetlite");
+  net.emplace<Conv2D>("stem", 1, 16, 3, 1, 1);
+  net.emplace<BatchNorm>("stem.bn", 16);
+  net.emplace<ReLU>("stem.relu");
+
+  // Depthwise-separable block 1. The depthwise layer's channels are pinned
+  // to its producer (pruning happens through stem/pw liveness).
+  auto& dw1 = net.emplace<DepthwiseConv2D>("dw1", 16, 3, 1, 1);
+  dw1.set_out_prunable(false);
+  net.emplace<BatchNorm>("dw1.bn", 16);
+  net.emplace<ReLU>("dw1.relu");
+  net.emplace<Conv2D>("pw1", 16, 32, 1, 1, 0);
+  net.emplace<BatchNorm>("pw1.bn", 32);
+  net.emplace<ReLU>("pw1.relu");
+  net.emplace<MaxPool>("pool1", 2, 2);
+
+  // Depthwise-separable block 2.
+  auto& dw2 = net.emplace<DepthwiseConv2D>("dw2", 32, 3, 1, 1);
+  dw2.set_out_prunable(false);
+  net.emplace<BatchNorm>("dw2.bn", 32);
+  net.emplace<ReLU>("dw2.relu");
+  net.emplace<Conv2D>("pw2", 32, 48, 1, 1, 0);
+  net.emplace<BatchNorm>("pw2.bn", 48);
+  net.emplace<ReLU>("pw2.relu");
+  net.emplace<MaxPool>("pool2", 2, 2);
+
+  net.emplace<GlobalAvgPool>("gap");
+  auto& head = net.emplace<Linear>("head", 48, kClasses);
+  head.set_out_prunable(false);
+  return net;
+}
+
+}  // namespace
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Mlp: return "mlp";
+    case ModelKind::LeNet: return "lenet";
+    case ModelKind::ResNetLite: return "resnetlite";
+    case ModelKind::DetNet: return "detnet";
+    case ModelKind::MobileNetLite: return "mobilenetlite";
+  }
+  return "?";
+}
+
+std::vector<ModelKind> all_model_kinds() {
+  return {ModelKind::Mlp, ModelKind::LeNet, ModelKind::ResNetLite,
+          ModelKind::DetNet, ModelKind::MobileNetLite};
+}
+
+nn::Shape zoo_input_shape() { return {1, 1, kH, kW}; }
+
+int zoo_num_classes() { return kClasses; }
+
+nn::Network build_model(ModelKind kind, Rng& rng) {
+  Network net;
+  switch (kind) {
+    case ModelKind::Mlp: net = build_mlp(); break;
+    case ModelKind::LeNet: net = build_lenet(); break;
+    case ModelKind::ResNetLite: net = build_resnet_lite(); break;
+    case ModelKind::DetNet: net = build_detnet(); break;
+    case ModelKind::MobileNetLite: net = build_mobilenet_lite(); break;
+  }
+  nn::init_network(net, rng);
+  return net;
+}
+
+}  // namespace rrp::models

@@ -1,0 +1,38 @@
+// zoo.h — perception model zoo for the evaluation.
+//
+// Four architectures spanning the design space the evaluation sweeps:
+//   mlp        — Flatten + 3 dense layers (unstructured-pruning showcase)
+//   lenet      — classic conv-pool-conv-pool-dense
+//   resnetlite — residual blocks (exercises topology-pinned channel widths)
+//   detnet     — wider conv backbone + dense head (largest model; the
+//                "detection-grade" workload of the scenario loop)
+//   mobilenetlite — depthwise-separable backbone (embedded inference idiom;
+//                depthwise channels are pruned via their preceding
+//                pointwise producer, the standard MobileNet scheme)
+//
+// All models consume the sim vision task ([1, 16, 16] frames, 5 classes).
+// Layers whose output width is pinned by topology (residual-adjacent convs,
+// classifier heads) are marked out_prunable == false at build time.
+#pragma once
+
+#include "nn/init.h"
+#include "nn/network.h"
+#include "sim/vision_task.h"
+
+namespace rrp::models {
+
+enum class ModelKind { Mlp, LeNet, ResNetLite, DetNet, MobileNetLite };
+
+const char* model_kind_name(ModelKind kind);
+std::vector<ModelKind> all_model_kinds();
+
+/// Builds and He-initializes the architecture (untrained).
+nn::Network build_model(ModelKind kind, Rng& rng);
+
+/// The batch-1 input shape every zoo model consumes.
+nn::Shape zoo_input_shape();
+
+/// Number of classes every zoo model predicts.
+int zoo_num_classes();
+
+}  // namespace rrp::models

@@ -1,0 +1,84 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+
+namespace rrp::nn {
+
+namespace {
+// Cache-blocking tile sizes; modest because models here are small.
+constexpr std::int64_t kTileM = 64;
+constexpr std::int64_t kTileN = 64;
+constexpr std::int64_t kTileK = 64;
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float beta, float* c, std::int64_t ldc) {
+  // Scale C by beta first so the accumulation loop is pure FMA.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
+    else if (beta != 1.0f)
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  }
+  for (std::int64_t i0 = 0; i0 < m; i0 += kTileM) {
+    const std::int64_t imax = std::min(i0 + kTileM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::int64_t kmax = std::min(k0 + kTileK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const std::int64_t jmax = std::min(j0 + kTileN, n);
+        for (std::int64_t i = i0; i < imax; ++i) {
+          const float* arow = a + i * lda;
+          float* crow = c + i * ldc;
+          for (std::int64_t kk = k0; kk < kmax; ++kk) {
+            const float av = alpha * arow[kk];
+            if (av == 0.0f) continue;  // pruned weights short-circuit
+            const float* brow = b + kk * ldb;
+            for (std::int64_t j = j0; j < jmax; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
+    else if (beta != 1.0f)
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  }
+  // A is [K, M]; traverse K-major so both A and B rows stream.
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * lda;
+    const float* brow = b + kk * ldb;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * ldb;  // B is [N, K]
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = alpha * static_cast<float>(acc) +
+                (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+}  // namespace rrp::nn

@@ -1,0 +1,27 @@
+// gemm.h — single-precision matrix multiply kernels.
+//
+// All heavy layers (Conv2D via im2col, Linear) lower to these two routines,
+// so the engine's latency-vs-pruning behaviour is concentrated in one place
+// that the platform model can reason about (cost ∝ M·N·K).
+#pragma once
+
+#include <cstdint>
+
+namespace rrp::nn {
+
+/// C[M,N] = alpha * A[M,K] * B[K,N] + beta * C[M,N]   (row-major, no trans)
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float beta, float* c, std::int64_t ldc);
+
+/// C[M,N] = alpha * A^T (A is [K,M]) * B[K,N] + beta * C  (row-major)
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+/// C[M,N] = alpha * A[M,K] * B^T (B is [N,K]) + beta * C  (row-major)
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+}  // namespace rrp::nn

@@ -1,0 +1,200 @@
+#include <cstring>
+
+#include "nn/gemm.h"
+#include "nn/layers.h"
+#include "util/checks.h"
+
+namespace rrp::nn {
+
+Conv2D::Conv2D(std::string name, int in_ch, int out_ch, int kernel, int stride,
+               int padding, bool with_bias)
+    : Layer(std::move(name)),
+      in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      with_bias_(with_bias),
+      weight_({out_ch, in_ch, kernel, kernel}),
+      bias_(with_bias ? Tensor({out_ch}) : Tensor()),
+      weight_grad_({out_ch, in_ch, kernel, kernel}),
+      bias_grad_(with_bias ? Tensor({out_ch}) : Tensor()) {
+  RRP_CHECK(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0 &&
+            padding >= 0);
+}
+
+std::pair<int, int> Conv2D::out_hw(int h, int w) const {
+  const int oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const int ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  RRP_CHECK_MSG(oh > 0 && ow > 0, "Conv2D '" << name() << "' input " << h
+                                             << "x" << w << " too small");
+  return {oh, ow};
+}
+
+// Unrolls one sample's input [in_ch, h, w] into col [in_ch*k*k, oh*ow].
+void Conv2D::im2col(const float* src, int h, int w, float* col) const {
+  const auto [oh, ow] = out_hw(h, w);
+  const int k = kernel_;
+  std::int64_t row = 0;
+  for (int c = 0; c < in_ch_; ++c) {
+    const float* plane = src + static_cast<std::int64_t>(c) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj, ++row) {
+        float* out = col + row * static_cast<std::int64_t>(oh) * ow;
+        for (int oi = 0; oi < oh; ++oi) {
+          const int ii = oi * stride_ - padding_ + ki;
+          if (ii < 0 || ii >= h) {
+            std::memset(out + static_cast<std::int64_t>(oi) * ow, 0,
+                        sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          const float* srow = plane + static_cast<std::int64_t>(ii) * w;
+          float* orow = out + static_cast<std::int64_t>(oi) * ow;
+          for (int oj = 0; oj < ow; ++oj) {
+            const int jj = oj * stride_ - padding_ + kj;
+            orow[oj] = (jj >= 0 && jj < w) ? srow[jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatters col gradients [in_ch*k*k, oh*ow] back into [in_ch, h, w].
+void Conv2D::col2im(const float* col, int h, int w, float* dst) const {
+  const auto [oh, ow] = out_hw(h, w);
+  const int k = kernel_;
+  std::int64_t row = 0;
+  for (int c = 0; c < in_ch_; ++c) {
+    float* plane = dst + static_cast<std::int64_t>(c) * h * w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj, ++row) {
+        const float* in = col + row * static_cast<std::int64_t>(oh) * ow;
+        for (int oi = 0; oi < oh; ++oi) {
+          const int ii = oi * stride_ - padding_ + ki;
+          if (ii < 0 || ii >= h) continue;
+          float* drow = plane + static_cast<std::int64_t>(ii) * w;
+          const float* irow = in + static_cast<std::int64_t>(oi) * ow;
+          for (int oj = 0; oj < ow; ++oj) {
+            const int jj = oj * stride_ - padding_ + kj;
+            if (jj >= 0 && jj < w) drow[jj] += irow[oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool training) {
+  RRP_CHECK_MSG(x.dim() == 4 && x.size(1) == in_ch_,
+                "Conv2D '" << name() << "' expects [N, " << in_ch_
+                           << ", H, W], got " << shape_str(x.shape()));
+  const int n = x.size(0), h = x.size(2), w = x.size(3);
+  const auto [oh, ow] = out_hw(h, w);
+  const std::int64_t col_rows = static_cast<std::int64_t>(in_ch_) * kernel_ *
+                                kernel_;
+  const std::int64_t col_cols = static_cast<std::int64_t>(oh) * ow;
+
+  Tensor y({n, out_ch_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  for (int s = 0; s < n; ++s) {
+    const float* src = x.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
+    im2col(src, h, w, col.data());
+    float* out = y.raw() + static_cast<std::int64_t>(s) * out_ch_ * col_cols;
+    // y[out_ch, oh*ow] = W[out_ch, col_rows] * col[col_rows, oh*ow]
+    gemm(out_ch_, col_cols, col_rows, 1.0f, weight_.raw(), col_rows,
+         col.data(), col_cols, 0.0f, out, col_cols);
+    if (with_bias_) {
+      for (int c = 0; c < out_ch_; ++c) {
+        float* plane = out + static_cast<std::int64_t>(c) * col_cols;
+        const float b = bias_[c];
+        for (std::int64_t i = 0; i < col_cols; ++i) plane[i] += b;
+      }
+    }
+  }
+  if (training) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  RRP_CHECK_MSG(!cached_input_.empty(),
+                "Conv2D '" << name() << "' backward without forward(train)");
+  const Tensor& x = cached_input_;
+  const int n = x.size(0), h = x.size(2), w = x.size(3);
+  const auto [oh, ow] = out_hw(h, w);
+  RRP_CHECK(grad_out.dim() == 4 && grad_out.size(0) == n &&
+            grad_out.size(1) == out_ch_ && grad_out.size(2) == oh &&
+            grad_out.size(3) == ow);
+
+  const std::int64_t col_rows = static_cast<std::int64_t>(in_ch_) * kernel_ *
+                                kernel_;
+  const std::int64_t col_cols = static_cast<std::int64_t>(oh) * ow;
+
+  Tensor grad_in(x.shape());
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> col_grad(static_cast<std::size_t>(col_rows * col_cols));
+
+  for (int s = 0; s < n; ++s) {
+    const float* src = x.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
+    const float* gout =
+        grad_out.raw() + static_cast<std::int64_t>(s) * out_ch_ * col_cols;
+
+    // dW[out_ch, col_rows] += gout[out_ch, col_cols] * col^T
+    im2col(src, h, w, col.data());
+    gemm_bt(out_ch_, col_rows, col_cols, 1.0f, gout, col_cols, col.data(),
+            col_cols, 1.0f, weight_grad_.raw(), col_rows);
+
+    if (with_bias_) {
+      for (int c = 0; c < out_ch_; ++c) {
+        const float* plane = gout + static_cast<std::int64_t>(c) * col_cols;
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < col_cols; ++i) acc += plane[i];
+        bias_grad_[c] += static_cast<float>(acc);
+      }
+    }
+
+    // dcol[col_rows, col_cols] = W^T[col_rows, out_ch] * gout
+    gemm_at(col_rows, col_cols, out_ch_, 1.0f, weight_.raw(), col_rows, gout,
+            col_cols, 0.0f, col_grad.data(), col_cols);
+    float* gin = grad_in.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
+    col2im(col_grad.data(), h, w, gin);
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv2D::params() {
+  std::vector<ParamRef> p;
+  p.push_back({name() + ".weight", &weight_, &weight_grad_});
+  if (with_bias_) p.push_back({name() + ".bias", &bias_, &bias_grad_});
+  return p;
+}
+
+Shape Conv2D::output_shape(const Shape& in) const {
+  RRP_CHECK(in.size() == 4 && in[1] == in_ch_);
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  return {in[0], out_ch_, oh, ow};
+}
+
+std::int64_t Conv2D::macs(const Shape& in) const {
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  return static_cast<std::int64_t>(out_ch_) * in_ch_ * kernel_ * kernel_ * oh *
+         ow;
+}
+
+std::int64_t Conv2D::effective_macs(const Shape& in) const {
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  std::int64_t nnz = 0;
+  for (float v : weight_.data()) nnz += (v != 0.0f);
+  return nnz * static_cast<std::int64_t>(oh) * ow;
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto c = std::make_unique<Conv2D>(name(), in_ch_, out_ch_, kernel_, stride_,
+                                    padding_, with_bias_);
+  c->weight_ = weight_;
+  if (with_bias_) c->bias_ = bias_;
+  c->out_prunable_ = out_prunable_;
+  return c;
+}
+
+}  // namespace rrp::nn

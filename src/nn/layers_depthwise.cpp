@@ -1,0 +1,160 @@
+#include "nn/layers.h"
+#include "util/checks.h"
+
+namespace rrp::nn {
+
+DepthwiseConv2D::DepthwiseConv2D(std::string name, int channels, int kernel,
+                                 int stride, int padding, bool with_bias)
+    : Layer(std::move(name)),
+      channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      with_bias_(with_bias),
+      weight_({channels, 1, kernel, kernel}),
+      bias_(with_bias ? Tensor({channels}) : Tensor()),
+      weight_grad_({channels, 1, kernel, kernel}),
+      bias_grad_(with_bias ? Tensor({channels}) : Tensor()) {
+  RRP_CHECK(channels > 0 && kernel > 0 && stride > 0 && padding >= 0);
+}
+
+std::pair<int, int> DepthwiseConv2D::out_hw(int h, int w) const {
+  const int oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const int ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  RRP_CHECK_MSG(oh > 0 && ow > 0, "DepthwiseConv2D '" << name() << "' input "
+                                                      << h << "x" << w
+                                                      << " too small");
+  return {oh, ow};
+}
+
+Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
+  RRP_CHECK_MSG(x.dim() == 4 && x.size(1) == channels_,
+                "DepthwiseConv2D '" << name() << "' expects [N, " << channels_
+                                    << ", H, W], got "
+                                    << shape_str(x.shape()));
+  const int n = x.size(0), h = x.size(2), w = x.size(3);
+  const auto [oh, ow] = out_hw(h, w);
+  Tensor y({n, channels_, oh, ow});
+  const int kk = kernel_;
+
+  for (int s = 0; s < n; ++s) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* plane =
+          x.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
+      const float* filter =
+          weight_.raw() + static_cast<std::int64_t>(c) * kk * kk;
+      float* out =
+          y.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * oh * ow;
+      const float b = with_bias_ ? bias_[c] : 0.0f;
+      for (int oi = 0; oi < oh; ++oi) {
+        for (int oj = 0; oj < ow; ++oj) {
+          double acc = b;
+          for (int ki = 0; ki < kk; ++ki) {
+            const int ii = oi * stride_ - padding_ + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int kj = 0; kj < kk; ++kj) {
+              const int jj = oj * stride_ - padding_ + kj;
+              if (jj < 0 || jj >= w) continue;
+              acc += static_cast<double>(filter[ki * kk + kj]) *
+                     plane[static_cast<std::int64_t>(ii) * w + jj];
+            }
+          }
+          out[static_cast<std::int64_t>(oi) * ow + oj] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  if (training) cached_input_ = x;
+  return y;
+}
+
+Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
+  RRP_CHECK_MSG(!cached_input_.empty(), "DepthwiseConv2D '"
+                                            << name()
+                                            << "' backward without "
+                                               "forward(train)");
+  const Tensor& x = cached_input_;
+  const int n = x.size(0), h = x.size(2), w = x.size(3);
+  const auto [oh, ow] = out_hw(h, w);
+  RRP_CHECK(grad_out.dim() == 4 && grad_out.size(0) == n &&
+            grad_out.size(1) == channels_ && grad_out.size(2) == oh &&
+            grad_out.size(3) == ow);
+
+  Tensor grad_in(x.shape());
+  const int kk = kernel_;
+  for (int s = 0; s < n; ++s) {
+    for (int c = 0; c < channels_; ++c) {
+      const float* plane =
+          x.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
+      const float* gout =
+          grad_out.raw() +
+          (static_cast<std::int64_t>(s) * channels_ + c) * oh * ow;
+      const float* filter =
+          weight_.raw() + static_cast<std::int64_t>(c) * kk * kk;
+      float* wgrad =
+          weight_grad_.raw() + static_cast<std::int64_t>(c) * kk * kk;
+      float* gin =
+          grad_in.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
+
+      double bias_acc = 0.0;
+      for (int oi = 0; oi < oh; ++oi) {
+        for (int oj = 0; oj < ow; ++oj) {
+          const float g = gout[static_cast<std::int64_t>(oi) * ow + oj];
+          if (g == 0.0f) continue;
+          bias_acc += g;
+          for (int ki = 0; ki < kk; ++ki) {
+            const int ii = oi * stride_ - padding_ + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int kj = 0; kj < kk; ++kj) {
+              const int jj = oj * stride_ - padding_ + kj;
+              if (jj < 0 || jj >= w) continue;
+              wgrad[ki * kk + kj] +=
+                  g * plane[static_cast<std::int64_t>(ii) * w + jj];
+              gin[static_cast<std::int64_t>(ii) * w + jj] +=
+                  g * filter[ki * kk + kj];
+            }
+          }
+        }
+      }
+      if (with_bias_) bias_grad_[c] += static_cast<float>(bias_acc);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> DepthwiseConv2D::params() {
+  std::vector<ParamRef> p;
+  p.push_back({name() + ".weight", &weight_, &weight_grad_});
+  if (with_bias_) p.push_back({name() + ".bias", &bias_, &bias_grad_});
+  return p;
+}
+
+Shape DepthwiseConv2D::output_shape(const Shape& in) const {
+  RRP_CHECK(in.size() == 4 && in[1] == channels_);
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  return {in[0], channels_, oh, ow};
+}
+
+std::int64_t DepthwiseConv2D::macs(const Shape& in) const {
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  return static_cast<std::int64_t>(channels_) * kernel_ * kernel_ * oh * ow;
+}
+
+std::int64_t DepthwiseConv2D::effective_macs(const Shape& in) const {
+  const auto [oh, ow] = out_hw(in[2], in[3]);
+  std::int64_t nnz = 0;
+  for (float v : weight_.data()) nnz += (v != 0.0f);
+  return nnz * static_cast<std::int64_t>(oh) * ow;
+}
+
+std::unique_ptr<Layer> DepthwiseConv2D::clone() const {
+  auto c = std::make_unique<DepthwiseConv2D>(name(), channels_, kernel_,
+                                             stride_, padding_, with_bias_);
+  c->weight_ = weight_;
+  if (with_bias_) c->bias_ = bias_;
+  c->out_prunable_ = out_prunable_;
+  return c;
+}
+
+}  // namespace rrp::nn

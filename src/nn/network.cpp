@@ -1,0 +1,160 @@
+#include "nn/network.h"
+
+#include "util/checks.h"
+
+namespace rrp::nn {
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  RRP_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Layer& Network::layer(std::size_t i) {
+  RRP_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  RRP_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+Tensor Network::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Tensor Network::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> out;
+  for (Layer* l : all_layers())
+    for (auto& p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Layer*> Network::all_layers() {
+  std::vector<Layer*> out;
+  std::function<void(Layer*)> visit = [&](Layer* l) {
+    out.push_back(l);
+    for (Layer* c : l->children()) visit(c);
+  };
+  for (auto& l : layers_) visit(l.get());
+  return out;
+}
+
+std::vector<Layer*> Network::leaf_layers() {
+  std::vector<Layer*> out;
+  for (Layer* l : all_layers())
+    if (l->kind() != LayerKind::Residual) out.push_back(l);
+  return out;
+}
+
+Layer* Network::find(const std::string& name) {
+  for (Layer* l : all_layers())
+    if (l->name() == name) return l;
+  return nullptr;
+}
+
+Shape Network::output_shape(const Shape& in) const {
+  Shape cur = in;
+  for (const auto& l : layers_) cur = l->output_shape(cur);
+  return cur;
+}
+
+std::int64_t Network::macs(const Shape& in) const {
+  Shape cur = in;
+  std::int64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l->macs(cur);
+    cur = l->output_shape(cur);
+  }
+  return total;
+}
+
+std::int64_t Network::effective_macs(const Shape& in) const {
+  Shape cur = in;
+  std::int64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l->effective_macs(cur);
+    cur = l->output_shape(cur);
+  }
+  return total;
+}
+
+std::int64_t Network::param_count() {
+  std::int64_t n = 0;
+  for (auto& p : params()) n += p.value->numel();
+  return n;
+}
+
+std::int64_t Network::param_nonzero() {
+  std::int64_t n = 0;
+  for (auto& p : params())
+    for (float v : p.value->data()) n += (v != 0.0f);
+  return n;
+}
+
+void Network::zero_grad() {
+  for (auto& p : params())
+    if (p.grad != nullptr && !p.grad->empty()) p.grad->fill(0.0f);
+}
+
+Network Network::clone() const {
+  Network c(name_);
+  for (const auto& l : layers_) c.add(l->clone());
+  return c;
+}
+
+Residual::Residual(std::string name, Network body)
+    : Layer(std::move(name)), body_(std::move(body)) {
+  RRP_CHECK_MSG(body_.layer_count() > 0, "Residual body must be non-empty");
+}
+
+Tensor Residual::forward(const Tensor& x, bool training) {
+  Tensor y = body_.forward(x, training);
+  RRP_CHECK_MSG(y.shape() == x.shape(),
+                "Residual '" << name() << "' body changed shape "
+                             << shape_str(x.shape()) << " -> "
+                             << shape_str(y.shape()));
+  y.add_(x);
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = body_.backward(grad_out);
+  g.add_(grad_out);  // identity shortcut path
+  return g;
+}
+
+std::vector<Layer*> Residual::children() {
+  std::vector<Layer*> out;
+  for (const auto& l : body_.layers()) out.push_back(l.get());
+  return out;
+}
+
+Shape Residual::output_shape(const Shape& in) const {
+  const Shape body_out = body_.output_shape(in);
+  RRP_CHECK_MSG(body_out == in, "Residual '" << name()
+                                             << "' body is not shape-preserving");
+  return in;
+}
+
+std::int64_t Residual::macs(const Shape& in) const { return body_.macs(in); }
+
+std::int64_t Residual::effective_macs(const Shape& in) const {
+  return body_.effective_macs(in);
+}
+
+std::unique_ptr<Layer> Residual::clone() const {
+  return std::make_unique<Residual>(name(), body_.clone());
+}
+
+}  // namespace rrp::nn

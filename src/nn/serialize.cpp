@@ -1,0 +1,350 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/checks.h"
+
+namespace rrp::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'R', 'P', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---- writer -------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void tensor(const Tensor& t) {
+    u32(static_cast<std::uint32_t>(t.dim()));
+    for (int d = 0; d < t.dim(); ++d) i32(t.size(d));
+    raw(t.raw(), sizeof(float) * static_cast<std::size_t>(t.numel()));
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+// ---- reader -------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(&bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>((*bytes_)[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  float f32() {
+    float v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s = bytes_->substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  Tensor tensor() {
+    const std::uint32_t rank = u32();
+    if (rank > 8) throw SerializationError("implausible tensor rank");
+    Shape shape;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      const std::int32_t e = i32();
+      if (e <= 0) throw SerializationError("non-positive tensor extent");
+      shape.push_back(e);
+    }
+    const std::int64_t n = shape_numel(shape);
+    std::vector<float> data(static_cast<std::size_t>(n));
+    raw(data.data(), sizeof(float) * data.size());
+    return Tensor(std::move(shape), std::move(data));
+  }
+  bool done() const { return pos_ == bytes_->size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_->size())
+      throw SerializationError("truncated network blob");
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, bytes_->data() + pos_, n);
+    pos_ += n;
+  }
+  const std::string* bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- per-layer ----------------------------------------------------------
+
+void write_layer(Writer& w, const Layer& layer);
+
+void write_body(Writer& w, const Network& body) {
+  w.u32(static_cast<std::uint32_t>(body.layer_count()));
+  for (const auto& l : body.layers()) write_layer(w, *l);
+}
+
+void write_layer(Writer& w, const Layer& layer) {
+  w.u8(static_cast<std::uint8_t>(layer.kind()));
+  w.str(layer.name());
+  switch (layer.kind()) {
+    case LayerKind::Linear: {
+      const auto& l = static_cast<const Linear&>(layer);
+      w.i32(l.in_features());
+      w.i32(l.out_features());
+      w.u8(l.with_bias() ? 1 : 0);
+      w.u8(l.out_prunable() ? 1 : 0);
+      w.tensor(l.weight());
+      if (l.with_bias()) w.tensor(l.bias());
+      break;
+    }
+    case LayerKind::Conv2D: {
+      const auto& c = static_cast<const Conv2D&>(layer);
+      w.i32(c.in_channels());
+      w.i32(c.out_channels());
+      w.i32(c.kernel());
+      w.i32(c.stride());
+      w.i32(c.padding());
+      w.u8(c.with_bias() ? 1 : 0);
+      w.u8(c.out_prunable() ? 1 : 0);
+      w.tensor(c.weight());
+      if (c.with_bias()) w.tensor(c.bias());
+      break;
+    }
+    case LayerKind::DepthwiseConv2D: {
+      const auto& c = static_cast<const DepthwiseConv2D&>(layer);
+      w.i32(c.channels());
+      w.i32(c.kernel());
+      w.i32(c.stride());
+      w.i32(c.padding());
+      w.u8(c.with_bias() ? 1 : 0);
+      w.u8(c.out_prunable() ? 1 : 0);
+      w.tensor(c.weight());
+      if (c.with_bias()) w.tensor(c.bias());
+      break;
+    }
+    case LayerKind::MaxPool: {
+      const auto& p = static_cast<const MaxPool&>(layer);
+      w.i32(p.kernel());
+      w.i32(p.stride());
+      break;
+    }
+    case LayerKind::AvgPool: {
+      const auto& p = static_cast<const AvgPool&>(layer);
+      w.i32(p.kernel());
+      w.i32(p.stride());
+      break;
+    }
+    case LayerKind::BatchNorm: {
+      const auto& b = static_cast<const BatchNorm&>(layer);
+      w.i32(b.channels());
+      w.f32(b.momentum());
+      w.f32(b.eps());
+      w.tensor(b.gamma());
+      w.tensor(b.beta());
+      w.tensor(b.running_mean());
+      w.tensor(b.running_var());
+      break;
+    }
+    case LayerKind::Residual: {
+      const auto& r = static_cast<const Residual&>(layer);
+      write_body(w, r.body());
+      break;
+    }
+    case LayerKind::ReLU:
+    case LayerKind::Softmax:
+    case LayerKind::Flatten:
+    case LayerKind::GlobalAvgPool:
+      break;  // no config, no params
+  }
+}
+
+std::unique_ptr<Layer> read_layer(Reader& r);
+
+Network read_body(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 100000) throw SerializationError("implausible layer count");
+  Network body;
+  for (std::uint32_t i = 0; i < n; ++i) body.add(read_layer(r));
+  return body;
+}
+
+std::unique_ptr<Layer> read_layer(Reader& r) {
+  const auto kind = static_cast<LayerKind>(r.u8());
+  const std::string name = r.str();
+  switch (kind) {
+    case LayerKind::Linear: {
+      const int in = r.i32(), out = r.i32();
+      const bool bias = r.u8() != 0;
+      const bool prunable = r.u8() != 0;
+      if (in <= 0 || out <= 0)
+        throw SerializationError("bad Linear geometry");
+      auto l = std::make_unique<Linear>(name, in, out, bias);
+      l->set_out_prunable(prunable);
+      Tensor wt = r.tensor();
+      if (wt.shape() != Shape{out, in})
+        throw SerializationError("Linear weight shape mismatch");
+      l->weight() = std::move(wt);
+      if (bias) {
+        Tensor bt = r.tensor();
+        if (bt.shape() != Shape{out})
+          throw SerializationError("Linear bias shape mismatch");
+        l->bias() = std::move(bt);
+      }
+      return l;
+    }
+    case LayerKind::Conv2D: {
+      const int in = r.i32(), out = r.i32(), k = r.i32(), s = r.i32(),
+                p = r.i32();
+      const bool bias = r.u8() != 0;
+      const bool prunable = r.u8() != 0;
+      if (in <= 0 || out <= 0 || k <= 0 || s <= 0 || p < 0)
+        throw SerializationError("bad Conv2D geometry");
+      auto c = std::make_unique<Conv2D>(name, in, out, k, s, p, bias);
+      c->set_out_prunable(prunable);
+      Tensor wt = r.tensor();
+      if (wt.shape() != Shape{out, in, k, k})
+        throw SerializationError("Conv2D weight shape mismatch");
+      c->weight() = std::move(wt);
+      if (bias) {
+        Tensor bt = r.tensor();
+        if (bt.shape() != Shape{out})
+          throw SerializationError("Conv2D bias shape mismatch");
+        c->bias() = std::move(bt);
+      }
+      return c;
+    }
+    case LayerKind::DepthwiseConv2D: {
+      const int ch = r.i32(), k = r.i32(), s = r.i32(), p = r.i32();
+      const bool bias = r.u8() != 0;
+      const bool prunable = r.u8() != 0;
+      if (ch <= 0 || k <= 0 || s <= 0 || p < 0)
+        throw SerializationError("bad DepthwiseConv2D geometry");
+      auto c = std::make_unique<DepthwiseConv2D>(name, ch, k, s, p, bias);
+      c->set_out_prunable(prunable);
+      Tensor wt = r.tensor();
+      if (wt.shape() != Shape{ch, 1, k, k})
+        throw SerializationError("DepthwiseConv2D weight shape mismatch");
+      c->weight() = std::move(wt);
+      if (bias) {
+        Tensor bt = r.tensor();
+        if (bt.shape() != Shape{ch})
+          throw SerializationError("DepthwiseConv2D bias shape mismatch");
+        c->bias() = std::move(bt);
+      }
+      return c;
+    }
+    case LayerKind::MaxPool: {
+      const int k = r.i32(), s = r.i32();
+      if (k <= 0 || s <= 0) throw SerializationError("bad MaxPool geometry");
+      return std::make_unique<MaxPool>(name, k, s);
+    }
+    case LayerKind::AvgPool: {
+      const int k = r.i32(), s = r.i32();
+      if (k <= 0 || s <= 0) throw SerializationError("bad AvgPool geometry");
+      return std::make_unique<AvgPool>(name, k, s);
+    }
+    case LayerKind::BatchNorm: {
+      const int ch = r.i32();
+      const float momentum = r.f32(), eps = r.f32();
+      if (ch <= 0) throw SerializationError("bad BatchNorm geometry");
+      auto b = std::make_unique<BatchNorm>(name, ch, momentum, eps);
+      Tensor gamma = r.tensor(), beta = r.tensor(), mean = r.tensor(),
+             var = r.tensor();
+      const Shape want{ch};
+      if (gamma.shape() != want || beta.shape() != want ||
+          mean.shape() != want || var.shape() != want)
+        throw SerializationError("BatchNorm tensor shape mismatch");
+      b->gamma() = std::move(gamma);
+      b->beta() = std::move(beta);
+      b->running_mean() = std::move(mean);
+      b->running_var() = std::move(var);
+      return b;
+    }
+    case LayerKind::Residual:
+      return std::make_unique<Residual>(name, read_body(r));
+    case LayerKind::ReLU:
+      return std::make_unique<ReLU>(name);
+    case LayerKind::Softmax:
+      return std::make_unique<Softmax>(name);
+    case LayerKind::Flatten:
+      return std::make_unique<Flatten>(name);
+    case LayerKind::GlobalAvgPool:
+      return std::make_unique<GlobalAvgPool>(name);
+  }
+  throw SerializationError("unknown layer kind byte");
+}
+
+}  // namespace
+
+std::string serialize_network(const Network& net) {
+  Writer w;
+  w.u8(kMagic[0]);
+  w.u8(kMagic[1]);
+  w.u8(kMagic[2]);
+  w.u8(kMagic[3]);
+  w.u32(kVersion);
+  w.str(net.name());
+  write_body(w, net);
+  return w.take();
+}
+
+Network deserialize_network(const std::string& bytes) {
+  Reader r(bytes);
+  char magic[4];
+  for (char& m : magic) m = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw SerializationError("bad magic — not an RRPN blob");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw SerializationError("unsupported RRPN version " +
+                             std::to_string(version));
+  const std::string name = r.str();
+  Network net = read_body(r);
+  net.set_name(name);
+  if (!r.done()) throw SerializationError("trailing bytes after network");
+  return net;
+}
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw SerializationError("cannot open '" + path + "' for writing");
+  const std::string bytes = serialize_network(net);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw SerializationError("write failed for '" + path + "'");
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw SerializationError("cannot open '" + path + "' for reading");
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return deserialize_network(bytes);
+}
+
+}  // namespace rrp::nn

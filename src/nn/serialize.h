@@ -1,0 +1,33 @@
+// serialize.h — binary (de)serialization of whole networks.
+//
+// Purpose in this project: the *non-reversible* baseline recovers full
+// accuracy after pruning by re-deserializing the original model (from RAM
+// or disk), exactly like a deployed system that re-loads its .onnx/.pt
+// artifact.  The recovery-latency experiment (R-T1) compares that against
+// the reversible restore path, so this format is a first-class citizen.
+//
+// Format (little-endian):
+//   magic "RRPN" | u32 version | string name | u32 nlayers | layer...
+//   layer := u8 kind | string name | kind-specific config | param tensors
+//   tensor := u32 rank | i32 dims[rank] | f32 data[numel]
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/network.h"
+
+namespace rrp::nn {
+
+/// Serializes a network (architecture + parameters + BN running stats).
+std::string serialize_network(const Network& net);
+
+/// Reconstructs a network from serialize_network() output.
+/// Throws rrp::SerializationError on malformed input.
+Network deserialize_network(const std::string& bytes);
+
+/// Convenience file round-trip.
+void save_network(const Network& net, const std::string& path);
+Network load_network(const std::string& path);
+
+}  // namespace rrp::nn

@@ -1,0 +1,266 @@
+#include "prune/compact.h"
+
+#include <algorithm>
+
+#include "util/checks.h"
+
+namespace rrp::prune {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Network;
+using nn::Shape;
+using nn::Tensor;
+
+namespace {
+
+// Walk state: indices (in ORIGINAL numbering) of the surviving channels of
+// the current activation, plus the original network's activation shape.
+struct Walk {
+  std::vector<int> live;  // surviving original channel / feature indices
+  Shape shape;            // activation shape of the ORIGINAL network
+};
+
+std::vector<int> kept_indices(const std::vector<std::uint8_t>& keep) {
+  std::vector<int> idx;
+  for (std::size_t i = 0; i < keep.size(); ++i)
+    if (keep[i]) idx.push_back(static_cast<int>(i));
+  return idx;
+}
+
+bool is_full(const std::vector<int>& live, int width) {
+  if (static_cast<int>(live.size()) != width) return false;
+  for (int i = 0; i < width; ++i) if (live[static_cast<std::size_t>(i)] != i) return false;
+  return true;
+}
+
+Network compact_body(const Network& body,
+                     const std::vector<ChannelMask>& cms, Walk& w);
+
+std::unique_ptr<Layer> compact_conv(const nn::Conv2D& conv,
+                                    const std::vector<ChannelMask>& cms,
+                                    Walk& w) {
+  RRP_CHECK_MSG(w.shape.size() == 4 && w.shape[1] == conv.in_channels(),
+                "compaction shape drift at conv '" << conv.name() << "'");
+  const ChannelMask* cm = find_channel_mask(cms, conv.name());
+  std::vector<int> out_idx;
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(conv.out_prunable(),
+                  "channel mask on non-prunable conv '" << conv.name() << "'");
+    RRP_CHECK_MSG(static_cast<int>(cm->keep.size()) == conv.out_channels(),
+                  "channel mask width mismatch on '" << conv.name() << "'");
+    out_idx = kept_indices(cm->keep);
+    RRP_CHECK_MSG(!out_idx.empty(),
+                  "cannot prune every channel of '" << conv.name() << "'");
+  } else {
+    out_idx.resize(static_cast<std::size_t>(conv.out_channels()));
+    for (int i = 0; i < conv.out_channels(); ++i)
+      out_idx[static_cast<std::size_t>(i)] = i;
+  }
+
+  const int new_in = static_cast<int>(w.live.size());
+  const int new_out = static_cast<int>(out_idx.size());
+  const int k = conv.kernel();
+  auto out = std::make_unique<nn::Conv2D>(conv.name(), new_in, new_out, k,
+                                          conv.stride(), conv.padding(),
+                                          conv.with_bias());
+  out->set_out_prunable(conv.out_prunable());
+
+  // Gather weight[new_out, new_in, k, k] from weight[out, in, k, k].
+  const Tensor& src = conv.weight();
+  Tensor& dst = out->weight();
+  const int kk = k * k;
+  for (int o = 0; o < new_out; ++o) {
+    const int so = out_idx[static_cast<std::size_t>(o)];
+    for (int i = 0; i < new_in; ++i) {
+      const int si = w.live[static_cast<std::size_t>(i)];
+      const float* s =
+          src.raw() +
+          (static_cast<std::int64_t>(so) * conv.in_channels() + si) * kk;
+      float* d =
+          dst.raw() + (static_cast<std::int64_t>(o) * new_in + i) * kk;
+      std::copy(s, s + kk, d);
+    }
+  }
+  if (conv.with_bias())
+    for (int o = 0; o < new_out; ++o)
+      out->bias()[o] = conv.bias()[out_idx[static_cast<std::size_t>(o)]];
+
+  w.live = std::move(out_idx);
+  return out;
+}
+
+std::unique_ptr<Layer> compact_linear(const nn::Linear& lin,
+                                      const std::vector<ChannelMask>& cms,
+                                      Walk& w) {
+  const ChannelMask* cm = find_channel_mask(cms, lin.name());
+  std::vector<int> out_idx;
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(lin.out_prunable(),
+                  "channel mask on non-prunable linear '" << lin.name() << "'");
+    RRP_CHECK_MSG(static_cast<int>(cm->keep.size()) == lin.out_features(),
+                  "channel mask width mismatch on '" << lin.name() << "'");
+    out_idx = kept_indices(cm->keep);
+    RRP_CHECK_MSG(!out_idx.empty(),
+                  "cannot prune every row of '" << lin.name() << "'");
+  } else {
+    out_idx.resize(static_cast<std::size_t>(lin.out_features()));
+    for (int i = 0; i < lin.out_features(); ++i)
+      out_idx[static_cast<std::size_t>(i)] = i;
+  }
+
+  const int new_in = static_cast<int>(w.live.size());
+  const int new_out = static_cast<int>(out_idx.size());
+  auto out =
+      std::make_unique<nn::Linear>(lin.name(), new_in, new_out, lin.with_bias());
+  out->set_out_prunable(lin.out_prunable());
+
+  const Tensor& src = lin.weight();
+  Tensor& dst = out->weight();
+  for (int o = 0; o < new_out; ++o) {
+    const int so = out_idx[static_cast<std::size_t>(o)];
+    for (int i = 0; i < new_in; ++i)
+      dst.at(o, i) = src.at(so, w.live[static_cast<std::size_t>(i)]);
+  }
+  if (lin.with_bias())
+    for (int o = 0; o < new_out; ++o)
+      out->bias()[o] = lin.bias()[out_idx[static_cast<std::size_t>(o)]];
+
+  w.live = std::move(out_idx);
+  return out;
+}
+
+std::unique_ptr<Layer> compact_depthwise(const nn::DepthwiseConv2D& dw,
+                                         const std::vector<ChannelMask>& cms,
+                                         Walk& w) {
+  RRP_CHECK_MSG(w.shape.size() == 4 && w.shape[1] == dw.channels(),
+                "compaction shape drift at depthwise '" << dw.name() << "'");
+  const ChannelMask* cm = find_channel_mask(cms, dw.name());
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(dw.out_prunable(), "channel mask on non-prunable depthwise '"
+                                         << dw.name() << "'");
+    RRP_CHECK_MSG(static_cast<int>(cm->keep.size()) == dw.channels(),
+                  "channel mask width mismatch on '" << dw.name() << "'");
+    // Intersect upstream-surviving channels with this layer's keep set.
+    std::vector<int> survivors;
+    for (int c : w.live)
+      if (cm->keep[static_cast<std::size_t>(c)]) survivors.push_back(c);
+    RRP_CHECK_MSG(!survivors.empty(),
+                  "cannot prune every channel of '" << dw.name() << "'");
+    w.live = std::move(survivors);
+  }
+
+  const int new_c = static_cast<int>(w.live.size());
+  const int k = dw.kernel();
+  auto out = std::make_unique<nn::DepthwiseConv2D>(
+      dw.name(), new_c, k, dw.stride(), dw.padding(), dw.with_bias());
+  out->set_out_prunable(dw.out_prunable());
+  const int kk = k * k;
+  for (int c = 0; c < new_c; ++c) {
+    const int sc = w.live[static_cast<std::size_t>(c)];
+    const float* s = dw.weight().raw() + static_cast<std::int64_t>(sc) * kk;
+    float* d = out->weight().raw() + static_cast<std::int64_t>(c) * kk;
+    std::copy(s, s + kk, d);
+    if (dw.with_bias()) out->bias()[c] = dw.bias()[sc];
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> compact_batchnorm(const nn::BatchNorm& bn, Walk& w) {
+  RRP_CHECK_MSG(static_cast<int>(w.live.size()) <= bn.channels(),
+                "compaction width drift at BN '" << bn.name() << "'");
+  const int new_c = static_cast<int>(w.live.size());
+  auto out = std::make_unique<nn::BatchNorm>(bn.name(), new_c, bn.momentum(),
+                                             bn.eps());
+  for (int c = 0; c < new_c; ++c) {
+    const int sc = w.live[static_cast<std::size_t>(c)];
+    out->gamma()[c] = bn.gamma()[sc];
+    out->beta()[c] = bn.beta()[sc];
+    out->running_mean()[c] = bn.running_mean()[sc];
+    out->running_var()[c] = bn.running_var()[sc];
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> compact_one(const Layer& layer,
+                                   const std::vector<ChannelMask>& cms,
+                                   Walk& w) {
+  std::unique_ptr<Layer> out;
+  switch (layer.kind()) {
+    case LayerKind::Conv2D:
+      out = compact_conv(static_cast<const nn::Conv2D&>(layer), cms, w);
+      break;
+    case LayerKind::Linear:
+      out = compact_linear(static_cast<const nn::Linear&>(layer), cms, w);
+      break;
+    case LayerKind::DepthwiseConv2D:
+      out = compact_depthwise(static_cast<const nn::DepthwiseConv2D&>(layer),
+                              cms, w);
+      break;
+    case LayerKind::BatchNorm:
+      out = compact_batchnorm(static_cast<const nn::BatchNorm&>(layer), w);
+      break;
+    case LayerKind::Flatten: {
+      RRP_CHECK_MSG(w.shape.size() == 4,
+                    "Flatten compaction needs a 4-D activation shape");
+      const int hw = w.shape[2] * w.shape[3];
+      std::vector<int> feat;
+      feat.reserve(w.live.size() * static_cast<std::size_t>(hw));
+      for (int c : w.live)
+        for (int p = 0; p < hw; ++p) feat.push_back(c * hw + p);
+      w.live = std::move(feat);
+      out = layer.clone();
+      break;
+    }
+    case LayerKind::Residual: {
+      const auto& res = static_cast<const nn::Residual&>(layer);
+      RRP_CHECK_MSG(
+          is_full(w.live, w.shape[1]),
+          "activation entering residual block '"
+              << res.name()
+              << "' is pruned; mark the producing layer out_prunable=false");
+      Walk body_walk = w;
+      Network body = compact_body(res.body(), cms, body_walk);
+      RRP_CHECK_MSG(is_full(body_walk.live, w.shape[1]),
+                    "residual body '" << res.name()
+                                      << "' must not prune its final output");
+      out = std::make_unique<nn::Residual>(res.name(), std::move(body));
+      break;
+    }
+    case LayerKind::ReLU:
+    case LayerKind::Softmax:
+    case LayerKind::MaxPool:
+    case LayerKind::AvgPool:
+    case LayerKind::GlobalAvgPool:
+      out = layer.clone();
+      break;
+  }
+  w.shape = layer.output_shape(w.shape);
+  return out;
+}
+
+Network compact_body(const Network& body,
+                     const std::vector<ChannelMask>& cms, Walk& w) {
+  Network out(body.name());
+  for (const auto& l : body.layers()) out.add(compact_one(*l, cms, w));
+  return out;
+}
+
+}  // namespace
+
+Network compact_network(const Network& net,
+                        const std::vector<ChannelMask>& channel_masks,
+                        const Shape& input_shape) {
+  RRP_CHECK_MSG(input_shape.size() >= 2 && input_shape[0] == 1,
+                "input_shape must be a batch-1 sample shape");
+  Walk w;
+  w.shape = input_shape;
+  w.live.resize(static_cast<std::size_t>(input_shape[1]));
+  for (int i = 0; i < input_shape[1]; ++i)
+    w.live[static_cast<std::size_t>(i)] = i;
+  Network out = compact_body(net, channel_masks, w);
+  out.set_name(net.name());
+  return out;
+}
+
+}  // namespace rrp::prune

@@ -1,0 +1,26 @@
+// compact.h — physical structured compaction.
+//
+// Masked execution zeroes weights but still pays the dense GEMM cost;
+// compaction rebuilds the network with the pruned channels physically
+// removed, so wall-clock latency actually drops.  The compacted network is
+// numerically equivalent to the masked one (property-tested): a masked-out
+// channel is exactly zero everywhere, so deleting it cannot change any
+// kept activation.
+//
+// Topology constraints (checked): the activation entering a Residual block
+// must be un-pruned (model builders mark convs feeding residual adds as
+// out_prunable == false), because the identity shortcut pins those widths.
+#pragma once
+
+#include "prune/mask.h"
+
+namespace rrp::prune {
+
+/// Builds a physically smaller clone of `net` with the channels dropped by
+/// `channel_masks` removed.  `input_shape` is a batch-1 sample shape.
+/// The input width (input_shape[1]) is never pruned.
+nn::Network compact_network(const nn::Network& net,
+                            const std::vector<ChannelMask>& channel_masks,
+                            const nn::Shape& input_shape);
+
+}  // namespace rrp::prune

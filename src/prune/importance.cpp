@@ -1,0 +1,168 @@
+#include "prune/importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/checks.h"
+
+namespace rrp::prune {
+
+const char* importance_metric_name(ImportanceMetric m) {
+  switch (m) {
+    case ImportanceMetric::L1: return "L1";
+    case ImportanceMetric::L2: return "L2";
+  }
+  return "?";
+}
+
+std::vector<float> element_scores(const nn::Tensor& weight,
+                                  ImportanceMetric metric) {
+  std::vector<float> scores;
+  scores.reserve(static_cast<std::size_t>(weight.numel()));
+  for (float w : weight.data()) {
+    switch (metric) {
+      case ImportanceMetric::L1: scores.push_back(std::fabs(w)); break;
+      case ImportanceMetric::L2: scores.push_back(w * w); break;
+    }
+  }
+  return scores;
+}
+
+namespace {
+std::vector<float> row_scores(const nn::Tensor& weight, int rows,
+                              ImportanceMetric metric) {
+  RRP_CHECK(rows > 0 && weight.numel() % rows == 0);
+  const std::int64_t per_row = weight.numel() / rows;
+  std::vector<float> scores(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const float* row = weight.raw() + static_cast<std::int64_t>(r) * per_row;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < per_row; ++i) {
+      switch (metric) {
+        case ImportanceMetric::L1: acc += std::fabs(row[i]); break;
+        case ImportanceMetric::L2:
+          acc += static_cast<double>(row[i]) * row[i];
+          break;
+      }
+    }
+    acc /= static_cast<double>(per_row);
+    if (metric == ImportanceMetric::L2) acc = std::sqrt(acc);
+    scores[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+  }
+  return scores;
+}
+}  // namespace
+
+std::vector<float> conv_channel_scores(const nn::Conv2D& conv,
+                                       ImportanceMetric metric) {
+  return row_scores(conv.weight(), conv.out_channels(), metric);
+}
+
+std::vector<float> linear_row_scores(const nn::Linear& linear,
+                                     ImportanceMetric metric) {
+  return row_scores(linear.weight(), linear.out_features(), metric);
+}
+
+std::vector<float> channel_scores(const nn::Layer& layer,
+                                  ImportanceMetric metric) {
+  if (const auto* conv = dynamic_cast<const nn::Conv2D*>(&layer))
+    return conv_channel_scores(*conv, metric);
+  if (const auto* lin = dynamic_cast<const nn::Linear*>(&layer))
+    return linear_row_scores(*lin, metric);
+  if (const auto* dw = dynamic_cast<const nn::DepthwiseConv2D*>(&layer))
+    return row_scores(dw->weight(), dw->channels(), metric);
+  throw Error("layer '" + layer.name() + "' has no prunable output channels");
+}
+
+TaylorScores taylor_scores(nn::Network& net, const nn::Dataset& data,
+                           int batches, int batch_size, Rng& rng) {
+  RRP_CHECK(batches >= 1 && batch_size >= 1);
+  RRP_CHECK(data.size() >= static_cast<std::size_t>(batch_size));
+
+  // Training-mode forwards move BatchNorm running statistics; scoring must
+  // not change observable behaviour, so stash and restore them.
+  std::vector<std::pair<nn::BatchNorm*, std::pair<nn::Tensor, nn::Tensor>>>
+      bn_stash;
+  for (nn::Layer* l : net.leaf_layers())
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(l))
+      bn_stash.emplace_back(
+          bn, std::make_pair(bn->running_mean(), bn->running_var()));
+
+  // Accumulate |w * g| per weight element across calibration batches.
+  TaylorScores out;
+  std::vector<int> labels;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<std::size_t> pick(static_cast<std::size_t>(batch_size));
+    for (auto& i : pick) i = rng.uniform_u64(data.size());
+    const nn::Tensor x =
+        data.batch(pick, 0, static_cast<std::size_t>(batch_size), &labels);
+    net.zero_grad();
+    const nn::Tensor logits = net.forward(x, /*training=*/true);
+    const nn::LossResult lr = nn::softmax_cross_entropy(logits, labels);
+    net.backward(lr.grad);
+    for (auto& p : net.params()) {
+      auto& acc = out.element[p.name];
+      if (acc.empty()) acc.assign(static_cast<std::size_t>(p.value->numel()),
+                                  0.0f);
+      auto w = p.value->data();
+      auto g = p.grad->data();
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] += std::fabs(w[i] * g[i]);
+    }
+  }
+  net.zero_grad();
+  for (auto& [bn, stats] : bn_stash) {
+    bn->running_mean() = std::move(stats.first);
+    bn->running_var() = std::move(stats.second);
+  }
+
+  // Aggregate channel scores for prunable layers (mean over the channel's
+  // weight elements).
+  for (nn::Layer* l : net.leaf_layers()) {
+    int rows = 0;
+    std::string pname;
+    if (auto* lin = dynamic_cast<nn::Linear*>(l)) {
+      if (!lin->out_prunable()) continue;
+      rows = lin->out_features();
+      pname = lin->name() + ".weight";
+    } else if (auto* conv = dynamic_cast<nn::Conv2D*>(l)) {
+      if (!conv->out_prunable()) continue;
+      rows = conv->out_channels();
+      pname = conv->name() + ".weight";
+    } else if (auto* dw = dynamic_cast<nn::DepthwiseConv2D*>(l)) {
+      if (!dw->out_prunable()) continue;
+      rows = dw->channels();
+      pname = dw->name() + ".weight";
+    } else {
+      continue;
+    }
+    const auto it = out.element.find(pname);
+    RRP_CHECK(it != out.element.end());
+    const auto& elems = it->second;
+    RRP_CHECK(elems.size() % static_cast<std::size_t>(rows) == 0);
+    const std::size_t per_row = elems.size() / static_cast<std::size_t>(rows);
+    std::vector<float> ch(static_cast<std::size_t>(rows), 0.0f);
+    for (int r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < per_row; ++i)
+        acc += elems[static_cast<std::size_t>(r) * per_row + i];
+      ch[static_cast<std::size_t>(r)] =
+          static_cast<float>(acc / static_cast<double>(per_row));
+    }
+    out.channel.emplace(l->name(), std::move(ch));
+  }
+  return out;
+}
+
+std::vector<std::size_t> ascending_order(const std::vector<float>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] < scores[b];
+                   });
+  return order;
+}
+
+}  // namespace rrp::prune

@@ -1,0 +1,64 @@
+// importance.h — weight-importance scoring for pruning decisions.
+//
+// Scores are computed once on the trained ("golden") weights and reused for
+// every pruning level; deriving all levels from one fixed ranking is what
+// guarantees the nesting invariant the reversible runtime relies on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/train.h"
+#include "util/rng.h"
+
+namespace rrp::prune {
+
+/// How to score an element / channel.
+enum class ImportanceMetric {
+  L1,  ///< |w|  (per element) or mean |w| (per channel)
+  L2,  ///< w^2 (per element) or RMS (per channel)
+};
+
+const char* importance_metric_name(ImportanceMetric m);
+
+/// Per-element importance of one weight tensor (same flat order).
+std::vector<float> element_scores(const nn::Tensor& weight,
+                                  ImportanceMetric metric);
+
+/// Per-output-channel importance of a Conv2D (mean over filter) — higher
+/// means more important.
+std::vector<float> conv_channel_scores(const nn::Conv2D& conv,
+                                       ImportanceMetric metric);
+
+/// Per-output-row importance of a Linear layer.
+std::vector<float> linear_row_scores(const nn::Linear& linear,
+                                     ImportanceMetric metric);
+
+/// Generic dispatch for a leaf layer; throws for layers without prunable
+/// output channels.
+std::vector<float> channel_scores(const nn::Layer& layer,
+                                  ImportanceMetric metric);
+
+/// Stable ranking of indices by ascending score (least important first).
+std::vector<std::size_t> ascending_order(const std::vector<float>& scores);
+
+/// Data-driven first-order (Taylor) importance: |w · ∂L/∂w| accumulated
+/// over calibration batches — the magnitude of the loss change a first-
+/// order expansion predicts for removing the weight.  Channel scores are
+/// the mean element score over the channel's weights.
+struct TaylorScores {
+  /// Per parameter name: one score per element (flat order).
+  std::map<std::string, std::vector<float>> element;
+  /// Per prunable layer name: one score per output channel.
+  std::map<std::string, std::vector<float>> channel;
+};
+
+/// Runs `batches` forward/backward passes (training mode, no optimizer
+/// step) and accumulates |w·g|.  The network's weights are unchanged;
+/// gradients are clobbered.  Deterministic in `rng`.
+TaylorScores taylor_scores(nn::Network& net, const nn::Dataset& data,
+                           int batches, int batch_size, Rng& rng);
+
+}  // namespace rrp::prune

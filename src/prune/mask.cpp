@@ -1,0 +1,354 @@
+#include "prune/mask.h"
+
+#include <algorithm>
+
+#include "util/checks.h"
+
+namespace rrp::prune {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Network;
+using nn::Shape;
+using nn::Tensor;
+
+std::size_t ChannelMask::kept_count() const {
+  std::size_t n = 0;
+  for (auto k : keep) n += (k != 0);
+  return n;
+}
+
+void NetworkMask::set(const std::string& param_name,
+                      std::vector<std::uint8_t> keep) {
+  RRP_CHECK_MSG(!keep.empty(), "empty mask for '" << param_name << "'");
+  masks_[param_name] = std::move(keep);
+}
+
+const std::vector<std::uint8_t>* NetworkMask::find(
+    const std::string& param_name) const {
+  auto it = masks_.find(param_name);
+  return it == masks_.end() ? nullptr : &it->second;
+}
+
+void NetworkMask::apply(Network& net) const {
+  auto params = net.params();
+  for (const auto& [name, keep] : masks_) {
+    Tensor* value = nullptr;
+    for (auto& p : params)
+      if (p.name == name) {
+        value = p.value;
+        break;
+      }
+    RRP_CHECK_MSG(value != nullptr, "mask refers to unknown param '" << name
+                                                                     << "'");
+    RRP_CHECK_MSG(
+        static_cast<std::int64_t>(keep.size()) == value->numel(),
+        "mask size " << keep.size() << " != param numel " << value->numel()
+                     << " for '" << name << "'");
+    auto data = value->data();
+    for (std::size_t i = 0; i < keep.size(); ++i)
+      if (keep[i] == 0) data[i] = 0.0f;
+  }
+}
+
+std::int64_t NetworkMask::pruned_count() const {
+  std::int64_t n = 0;
+  for (const auto& [name, keep] : masks_)
+    for (auto k : keep) n += (k == 0);
+  return n;
+}
+
+double NetworkMask::sparsity(Network& net) const {
+  const std::int64_t total = net.param_count();
+  if (total == 0) return 0.0;
+  return static_cast<double>(pruned_count()) / static_cast<double>(total);
+}
+
+bool NetworkMask::nested_within(const NetworkMask& finer) const {
+  for (const auto& [name, keep] : masks_) {
+    const auto* other = finer.find(name);
+    if (other == nullptr) {
+      // `finer` keeps this param fully — every pruned element here violates.
+      if (std::any_of(keep.begin(), keep.end(),
+                      [](std::uint8_t k) { return k == 0; }))
+        return false;
+      continue;
+    }
+    if (other->size() != keep.size()) return false;
+    for (std::size_t i = 0; i < keep.size(); ++i)
+      if (keep[i] == 0 && (*other)[i] != 0) return false;
+  }
+  return true;
+}
+
+std::int64_t NetworkMask::diff_count(const NetworkMask& other) const {
+  std::int64_t n = 0;
+  // Elements pruned here but not there (or param absent there).
+  auto one_sided = [&n](const NetworkMask& a, const NetworkMask& b) {
+    for (const auto& [name, keep] : a.masks_) {
+      const auto* bk = b.find(name);
+      for (std::size_t i = 0; i < keep.size(); ++i) {
+        const bool pruned_a = keep[i] == 0;
+        const bool pruned_b =
+            bk != nullptr && i < bk->size() && (*bk)[i] == 0;
+        if (pruned_a && !pruned_b) ++n;
+      }
+    }
+  };
+  one_sided(*this, other);
+  one_sided(other, *this);
+  return n;
+}
+
+std::int64_t NetworkMask::storage_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& [name, keep] : masks_)
+    n += static_cast<std::int64_t>(name.size() + keep.size());
+  return n;
+}
+
+const ChannelMask* find_channel_mask(const std::vector<ChannelMask>& masks,
+                                     const std::string& layer_name) {
+  for (const auto& m : masks)
+    if (m.layer_name == layer_name) return &m;
+  return nullptr;
+}
+
+namespace {
+
+// Walk state: per-channel (or per-feature after Flatten/GAP) liveness and
+// the activation shape of the *unpruned* network for a single sample.
+struct Walk {
+  std::vector<std::uint8_t> live;  // 1 = may carry nonzero data
+  Shape shape;                     // batched single-sample shape, batch == 1
+};
+
+void walk_layers(const std::vector<std::unique_ptr<Layer>>& layers,
+                 const std::vector<ChannelMask>& cms, NetworkMask& out,
+                 Walk& w);
+
+void mask_conv(nn::Conv2D& conv, const std::vector<ChannelMask>& cms,
+               NetworkMask& out, Walk& w) {
+  RRP_CHECK_MSG(static_cast<int>(w.live.size()) == conv.in_channels(),
+                "liveness width " << w.live.size() << " != in_channels of '"
+                                  << conv.name() << "'");
+  const ChannelMask* cm = find_channel_mask(cms, conv.name());
+  std::vector<std::uint8_t> out_keep(
+      static_cast<std::size_t>(conv.out_channels()), 1);
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(conv.out_prunable(), "channel mask on non-prunable conv '"
+                                           << conv.name() << "'");
+    RRP_CHECK_MSG(cm->keep.size() == out_keep.size(),
+                  "channel mask width mismatch on '" << conv.name() << "'");
+    RRP_CHECK_MSG(cm->kept_count() >= 1,
+                  "cannot prune every channel of '" << conv.name() << "'");
+    out_keep = cm->keep;
+  }
+
+  const bool any_dead_in = std::any_of(w.live.begin(), w.live.end(),
+                                       [](std::uint8_t l) { return l == 0; });
+  const bool any_dead_out = cm != nullptr && cm->pruned_count() > 0;
+  if (any_dead_in || any_dead_out) {
+    const int oc = conv.out_channels(), ic = conv.in_channels(),
+              kk = conv.kernel() * conv.kernel();
+    std::vector<std::uint8_t> wkeep(
+        static_cast<std::size_t>(conv.weight().numel()), 1);
+    for (int o = 0; o < oc; ++o)
+      for (int i = 0; i < ic; ++i) {
+        const std::uint8_t k = out_keep[static_cast<std::size_t>(o)] &&
+                               w.live[static_cast<std::size_t>(i)];
+        if (k) continue;
+        const std::size_t base =
+            (static_cast<std::size_t>(o) * ic + static_cast<std::size_t>(i)) *
+            static_cast<std::size_t>(kk);
+        std::fill_n(wkeep.begin() + static_cast<std::ptrdiff_t>(base),
+                    static_cast<std::size_t>(kk), std::uint8_t{0});
+      }
+    out.set(conv.name() + ".weight", std::move(wkeep));
+    if (conv.with_bias() && any_dead_out) {
+      std::vector<std::uint8_t> bkeep(out_keep.begin(), out_keep.end());
+      out.set(conv.name() + ".bias", std::move(bkeep));
+    }
+  }
+  w.live = std::move(out_keep);
+}
+
+void mask_linear(nn::Linear& lin, const std::vector<ChannelMask>& cms,
+                 NetworkMask& out, Walk& w) {
+  RRP_CHECK_MSG(static_cast<int>(w.live.size()) == lin.in_features(),
+                "liveness width " << w.live.size() << " != in_features of '"
+                                  << lin.name() << "'");
+  const ChannelMask* cm = find_channel_mask(cms, lin.name());
+  std::vector<std::uint8_t> out_keep(
+      static_cast<std::size_t>(lin.out_features()), 1);
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(lin.out_prunable(), "channel mask on non-prunable linear '"
+                                          << lin.name() << "'");
+    RRP_CHECK_MSG(cm->keep.size() == out_keep.size(),
+                  "channel mask width mismatch on '" << lin.name() << "'");
+    RRP_CHECK_MSG(cm->kept_count() >= 1,
+                  "cannot prune every row of '" << lin.name() << "'");
+    out_keep = cm->keep;
+  }
+
+  const bool any_dead_in = std::any_of(w.live.begin(), w.live.end(),
+                                       [](std::uint8_t l) { return l == 0; });
+  const bool any_dead_out = cm != nullptr && cm->pruned_count() > 0;
+  if (any_dead_in || any_dead_out) {
+    const int of = lin.out_features(), inf = lin.in_features();
+    std::vector<std::uint8_t> wkeep(
+        static_cast<std::size_t>(lin.weight().numel()), 1);
+    for (int o = 0; o < of; ++o)
+      for (int i = 0; i < inf; ++i)
+        wkeep[static_cast<std::size_t>(o) * inf + i] =
+            out_keep[static_cast<std::size_t>(o)] &&
+            w.live[static_cast<std::size_t>(i)];
+    out.set(lin.name() + ".weight", std::move(wkeep));
+    if (lin.with_bias() && any_dead_out) {
+      std::vector<std::uint8_t> bkeep(out_keep.begin(), out_keep.end());
+      out.set(lin.name() + ".bias", std::move(bkeep));
+    }
+  }
+  w.live = std::move(out_keep);
+}
+
+void mask_depthwise(nn::DepthwiseConv2D& dw, const std::vector<ChannelMask>& cms,
+                    NetworkMask& out, Walk& w) {
+  RRP_CHECK_MSG(static_cast<int>(w.live.size()) == dw.channels(),
+                "liveness width " << w.live.size() << " != channels of '"
+                                  << dw.name() << "'");
+  const ChannelMask* cm = find_channel_mask(cms, dw.name());
+  std::vector<std::uint8_t> out_keep(w.live.begin(), w.live.end());
+  if (cm != nullptr) {
+    RRP_CHECK_MSG(dw.out_prunable(), "channel mask on non-prunable depthwise '"
+                                         << dw.name() << "'");
+    RRP_CHECK_MSG(static_cast<int>(cm->keep.size()) == dw.channels(),
+                  "channel mask width mismatch on '" << dw.name() << "'");
+    RRP_CHECK_MSG(cm->kept_count() >= 1,
+                  "cannot prune every channel of '" << dw.name() << "'");
+    // Depthwise couples input and output channel c: the surviving set is
+    // the intersection of upstream liveness and this layer's keep set.
+    for (std::size_t c = 0; c < out_keep.size(); ++c)
+      out_keep[c] = out_keep[c] && cm->keep[c];
+    RRP_CHECK_MSG(std::any_of(out_keep.begin(), out_keep.end(),
+                              [](std::uint8_t k) { return k != 0; }),
+                  "all channels of '" << dw.name()
+                                      << "' dead after intersection");
+  }
+  const bool any_dead = std::any_of(out_keep.begin(), out_keep.end(),
+                                    [](std::uint8_t k) { return k == 0; });
+  if (any_dead) {
+    const int kk = dw.kernel() * dw.kernel();
+    std::vector<std::uint8_t> wkeep(
+        static_cast<std::size_t>(dw.weight().numel()), 1);
+    for (std::size_t c = 0; c < out_keep.size(); ++c) {
+      if (out_keep[c]) continue;
+      std::fill_n(wkeep.begin() + static_cast<std::ptrdiff_t>(c) * kk, kk,
+                  std::uint8_t{0});
+    }
+    out.set(dw.name() + ".weight", std::move(wkeep));
+    if (dw.with_bias()) {
+      // A dead channel's bias must be zero too (conv of a zero input
+      // would otherwise emit the bias).
+      std::vector<std::uint8_t> bkeep(out_keep.begin(), out_keep.end());
+      out.set(dw.name() + ".bias", std::move(bkeep));
+    }
+  }
+  w.live = std::move(out_keep);
+}
+
+void mask_batchnorm(nn::BatchNorm& bn, NetworkMask& out, const Walk& w) {
+  RRP_CHECK_MSG(static_cast<int>(w.live.size()) == bn.channels(),
+                "liveness width " << w.live.size() << " != channels of '"
+                                  << bn.name() << "'");
+  if (std::all_of(w.live.begin(), w.live.end(),
+                  [](std::uint8_t l) { return l != 0; }))
+    return;
+  // Gamma AND beta must be zeroed so a dead channel stays exactly zero.
+  std::vector<std::uint8_t> keep(w.live.begin(), w.live.end());
+  out.set(bn.name() + ".gamma", keep);
+  out.set(bn.name() + ".beta", std::move(keep));
+}
+
+void walk_one(Layer& layer, const std::vector<ChannelMask>& cms,
+              NetworkMask& out, Walk& w) {
+  switch (layer.kind()) {
+    case LayerKind::Conv2D:
+      mask_conv(static_cast<nn::Conv2D&>(layer), cms, out, w);
+      break;
+    case LayerKind::Linear:
+      mask_linear(static_cast<nn::Linear&>(layer), cms, out, w);
+      break;
+    case LayerKind::DepthwiseConv2D:
+      mask_depthwise(static_cast<nn::DepthwiseConv2D&>(layer), cms, out, w);
+      break;
+    case LayerKind::BatchNorm:
+      mask_batchnorm(static_cast<nn::BatchNorm&>(layer), out, w);
+      break;
+    case LayerKind::Flatten: {
+      // Channel c fans out to features [c*H*W, (c+1)*H*W).
+      RRP_CHECK_MSG(w.shape.size() == 4,
+                    "Flatten lowering needs a 4-D activation shape");
+      const int hw = w.shape[2] * w.shape[3];
+      std::vector<std::uint8_t> feat;
+      feat.reserve(w.live.size() * static_cast<std::size_t>(hw));
+      for (std::uint8_t l : w.live)
+        feat.insert(feat.end(), static_cast<std::size_t>(hw), l);
+      w.live = std::move(feat);
+      break;
+    }
+    case LayerKind::Residual: {
+      // Identity shortcut may revive channels the body zeroes and vice
+      // versa: out_live = in_live OR body_live.
+      auto& res = static_cast<nn::Residual&>(layer);
+      Walk body = w;
+      walk_layers(res.body().layers(), cms, out, body);
+      RRP_CHECK_MSG(body.live.size() == w.live.size(),
+                    "Residual body changed channel width");
+      for (std::size_t i = 0; i < w.live.size(); ++i)
+        w.live[i] = w.live[i] || body.live[i];
+      break;
+    }
+    case LayerKind::ReLU:
+    case LayerKind::Softmax:
+    case LayerKind::MaxPool:
+    case LayerKind::AvgPool:
+    case LayerKind::GlobalAvgPool:
+      break;  // channel-preserving, zero-preserving
+  }
+  w.shape = layer.output_shape(w.shape);
+}
+
+void walk_layers(const std::vector<std::unique_ptr<Layer>>& layers,
+                 const std::vector<ChannelMask>& cms, NetworkMask& out,
+                 Walk& w) {
+  for (const auto& l : layers) walk_one(*l, cms, out, w);
+}
+
+}  // namespace
+
+NetworkMask lower_channel_masks(Network& net,
+                                const std::vector<ChannelMask>& channel_masks,
+                                const Shape& input_shape) {
+  RRP_CHECK_MSG(input_shape.size() >= 2 && input_shape[0] == 1,
+                "input_shape must be a batch-1 sample shape");
+  // Every channel mask must name an existing Conv2D/Linear layer.
+  for (const auto& cm : channel_masks) {
+    Layer* l = net.find(cm.layer_name);
+    RRP_CHECK_MSG(l != nullptr,
+                  "channel mask names unknown layer '" << cm.layer_name << "'");
+    RRP_CHECK_MSG(l->kind() == LayerKind::Conv2D ||
+                      l->kind() == LayerKind::Linear ||
+                      l->kind() == LayerKind::DepthwiseConv2D,
+                  "channel mask on non-parameterized layer '" << cm.layer_name
+                                                              << "'");
+  }
+  NetworkMask out;
+  Walk w;
+  w.shape = input_shape;
+  w.live.assign(static_cast<std::size_t>(input_shape[1]), 1);
+  walk_layers(net.layers(), channel_masks, out, w);
+  return out;
+}
+
+}  // namespace rrp::prune

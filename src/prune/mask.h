@@ -1,0 +1,90 @@
+// mask.h — element- and channel-level pruning masks.
+//
+// A NetworkMask is the ground-truth description of "what is pruned": one
+// keep/drop byte per parameter element, keyed by the hierarchical parameter
+// name (e.g. "block1.conv2.weight").  Structured (channel) pruning is
+// expressed as ChannelMasks on producer layers and then *lowered* to an
+// element mask that also covers the downstream consumers of each pruned
+// channel (next conv's input slice, the following BatchNorm's gamma/beta,
+// the classifier columns behind a Flatten/GlobalAvgPool) so that masked
+// execution is numerically identical to physically removing the channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace rrp::prune {
+
+/// Keep/drop flags for the output channels of one Conv2D or Linear layer.
+struct ChannelMask {
+  std::string layer_name;
+  std::vector<std::uint8_t> keep;  ///< one byte per output channel/row
+
+  std::size_t kept_count() const;
+  std::size_t pruned_count() const { return keep.size() - kept_count(); }
+};
+
+/// Element-level mask over a network's parameters. 1 = keep, 0 = pruned.
+/// Parameters without an entry are implicitly fully kept.
+class NetworkMask {
+ public:
+  NetworkMask() = default;
+
+  /// Registers (or replaces) the mask for one parameter.
+  void set(const std::string& param_name, std::vector<std::uint8_t> keep);
+
+  /// Returns the mask bytes for a parameter, or nullptr if fully kept.
+  const std::vector<std::uint8_t>* find(const std::string& param_name) const;
+
+  const std::map<std::string, std::vector<std::uint8_t>>& entries() const {
+    return masks_;
+  }
+
+  /// Zeroes every masked-out element of the network's parameters.
+  /// Throws if a masked parameter is missing or has a different size.
+  void apply(nn::Network& net) const;
+
+  /// Total number of elements marked pruned.
+  std::int64_t pruned_count() const;
+
+  /// Fraction of elements pruned among *masked* parameters of `net`
+  /// (parameters without an entry count as fully kept).
+  double sparsity(nn::Network& net) const;
+
+  /// True if every element pruned by *this* is also pruned by `finer`
+  /// (i.e. `finer` is an equal-or-more-aggressive level; nesting invariant).
+  bool nested_within(const NetworkMask& finer) const;
+
+  /// Number of elements whose keep flag differs between the two masks.
+  std::int64_t diff_count(const NetworkMask& other) const;
+
+  /// In-memory footprint of the mask itself (bytes), for overhead reports.
+  std::int64_t storage_bytes() const;
+
+ private:
+  std::map<std::string, std::vector<std::uint8_t>> masks_;
+};
+
+/// Lowers channel masks to a full element mask, propagating each pruned
+/// output channel to:
+///   * the producer's weight rows / filters and bias entries,
+///   * any BatchNorm directly normalizing that channel (gamma & beta),
+///   * the next parameterized consumer's input slice (Conv2D input channel,
+///     Linear columns behind Flatten or GlobalAvgPool).
+/// Residual bodies are handled recursively; a ChannelMask on a layer whose
+/// `out_prunable()` flag is false is rejected (topology-pinned widths).
+/// `input_shape` is a single-sample batched shape (e.g. [1, C, H, W]) used
+/// to resolve channel→feature fan-out at Flatten.
+NetworkMask lower_channel_masks(nn::Network& net,
+                                const std::vector<ChannelMask>& channel_masks,
+                                const nn::Shape& input_shape);
+
+/// Looks up the channel mask for a layer, or nullptr.
+const ChannelMask* find_channel_mask(
+    const std::vector<ChannelMask>& masks, const std::string& layer_name);
+
+}  // namespace rrp::prune

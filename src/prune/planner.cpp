@@ -1,0 +1,239 @@
+#include "prune/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "nn/network.h"
+#include "util/checks.h"
+
+namespace rrp::prune {
+
+using nn::Layer;
+using nn::LayerKind;
+using nn::Network;
+
+namespace {
+
+/// Weight parameters eligible for unstructured pruning, with their layers.
+struct WeightParam {
+  std::string name;
+  nn::Tensor* tensor;
+};
+
+std::vector<WeightParam> weight_params(Network& net) {
+  std::vector<WeightParam> out;
+  for (Layer* l : net.leaf_layers()) {
+    if (auto* lin = dynamic_cast<nn::Linear*>(l))
+      out.push_back({lin->name() + ".weight", &lin->weight()});
+    else if (auto* conv = dynamic_cast<nn::Conv2D*>(l))
+      out.push_back({conv->name() + ".weight", &conv->weight()});
+    else if (auto* dw = dynamic_cast<nn::DepthwiseConv2D*>(l))
+      out.push_back({dw->name() + ".weight", &dw->weight()});
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> keep_lowest_pruned(
+    const std::vector<float>& scores, std::size_t prune_count,
+    std::size_t min_keep) {
+  std::vector<std::uint8_t> keep(scores.size(), 1);
+  if (scores.size() <= min_keep) return keep;
+  prune_count = std::min(prune_count, scores.size() - min_keep);
+  const auto order = ascending_order(scores);
+  for (std::size_t i = 0; i < prune_count; ++i) keep[order[i]] = 0;
+  return keep;
+}
+
+}  // namespace
+
+NetworkMask plan_unstructured(Network& net, double ratio,
+                              const UnstructuredOptions& options) {
+  RRP_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
+                "unstructured ratio " << ratio << " outside [0, 1)");
+  NetworkMask mask;
+  auto params = weight_params(net);
+  if (ratio == 0.0 || params.empty()) return mask;
+
+  if (options.global_threshold) {
+    // Rank every weight element across the whole network together.
+    std::vector<float> all;
+    for (const auto& p : params) {
+      auto s = element_scores(*p.tensor, options.metric);
+      all.insert(all.end(), s.begin(), s.end());
+    }
+    const std::size_t prune_count =
+        static_cast<std::size_t>(ratio * static_cast<double>(all.size()));
+    if (prune_count == 0) return mask;
+    std::vector<float> sorted = all;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(prune_count - 1),
+                     sorted.end());
+    const float threshold = sorted[prune_count - 1];
+
+    for (const auto& p : params) {
+      const auto s = element_scores(*p.tensor, options.metric);
+      std::vector<std::uint8_t> keep(s.size(), 1);
+      std::size_t kept = s.size();
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] <= threshold && kept > 1) {
+          keep[i] = 0;
+          --kept;
+        }
+      }
+      mask.set(p.name, std::move(keep));
+    }
+  } else {
+    for (const auto& p : params) {
+      const auto s = element_scores(*p.tensor, options.metric);
+      const std::size_t prune_count =
+          static_cast<std::size_t>(ratio * static_cast<double>(s.size()));
+      mask.set(p.name, keep_lowest_pruned(s, prune_count, 1));
+    }
+  }
+  return mask;
+}
+
+std::vector<Layer*> prunable_layers(Network& net) {
+  std::vector<Layer*> out;
+  for (Layer* l : net.leaf_layers()) {
+    if (auto* lin = dynamic_cast<nn::Linear*>(l)) {
+      if (lin->out_prunable()) out.push_back(l);
+    } else if (auto* conv = dynamic_cast<nn::Conv2D*>(l)) {
+      if (conv->out_prunable()) out.push_back(l);
+    } else if (auto* dw = dynamic_cast<nn::DepthwiseConv2D*>(l)) {
+      if (dw->out_prunable()) out.push_back(l);
+    }
+  }
+  return out;
+}
+
+std::vector<ChannelMask> plan_structured(Network& net, double ratio,
+                                         const StructuredOptions& options) {
+  RRP_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
+                "structured ratio " << ratio << " outside [0, 1)");
+  RRP_CHECK(options.min_channels >= 1);
+  std::vector<ChannelMask> out;
+  if (ratio == 0.0) return out;
+  for (Layer* l : prunable_layers(net)) {
+    const auto scores = channel_scores(*l, options.metric);
+    const std::size_t prune_count =
+        static_cast<std::size_t>(ratio * static_cast<double>(scores.size()));
+    if (prune_count == 0) continue;
+    ChannelMask cm;
+    cm.layer_name = l->name();
+    cm.keep = keep_lowest_pruned(
+        scores, prune_count, static_cast<std::size_t>(options.min_channels));
+    if (cm.pruned_count() > 0) out.push_back(std::move(cm));
+  }
+  return out;
+}
+
+namespace {
+
+/// Leaf layers paired with their (single-sample) input shapes, walking
+/// through Residual bodies.
+void collect_with_shapes(
+    const std::vector<std::unique_ptr<Layer>>& layers, nn::Shape shape,
+    std::vector<std::pair<Layer*, nn::Shape>>& out) {
+  for (const auto& l : layers) {
+    if (l->kind() == LayerKind::Residual) {
+      auto* res = static_cast<nn::Residual*>(l.get());
+      collect_with_shapes(res->body().layers(), shape, out);
+    } else {
+      out.push_back({l.get(), shape});
+    }
+    shape = l->output_shape(shape);
+  }
+}
+
+}  // namespace
+
+std::vector<ChannelMask> plan_structured_for_macs(
+    Network& net, double target_macs_fraction, const nn::Shape& input_shape,
+    const StructuredOptions& options) {
+  RRP_CHECK_MSG(target_macs_fraction > 0.0 && target_macs_fraction <= 1.0,
+                "target MAC fraction " << target_macs_fraction
+                                       << " outside (0, 1]");
+  RRP_CHECK(options.min_channels >= 1);
+
+  std::vector<std::pair<Layer*, nn::Shape>> located;
+  collect_with_shapes(net.layers(), input_shape, located);
+
+  // Candidate channels across all prunable layers with importance and an
+  // (approximate, producer-side) MAC cost per channel.
+  struct Candidate {
+    Layer* layer;
+    std::size_t channel;
+    double score;
+    double mac_cost;
+  };
+  std::vector<Candidate> candidates;
+  std::map<Layer*, std::size_t> kept;
+  const auto prunable = prunable_layers(net);
+  for (std::size_t li = 0; li < located.size(); ++li) {
+    Layer* layer = located[li].first;
+    const nn::Shape& shape = located[li].second;
+    if (std::find(prunable.begin(), prunable.end(), layer) == prunable.end())
+      continue;
+    const auto scores = channel_scores(*layer, options.metric);
+    // Producer-side cost per channel, plus the next parameterized
+    // consumer's share: consumer MACs are exactly linear in the producer's
+    // width (input channels / features), so each producer channel carries
+    // consumer_macs / width of them.
+    double per_channel_macs =
+        static_cast<double>(layer->macs(shape)) / scores.size();
+    for (std::size_t lj = li + 1; lj < located.size(); ++lj) {
+      Layer* next = located[lj].first;
+      const LayerKind k = next->kind();
+      if (k == LayerKind::Conv2D || k == LayerKind::Linear ||
+          k == LayerKind::DepthwiseConv2D) {
+        per_channel_macs +=
+            static_cast<double>(next->macs(located[lj].second)) /
+            scores.size();
+        break;
+      }
+    }
+    for (std::size_t c = 0; c < scores.size(); ++c)
+      candidates.push_back({layer, c, scores[c], per_channel_macs});
+    kept[layer] = scores.size();
+  }
+
+  // Lowest importance-per-MAC first (a cheap unimportant channel is less
+  // attractive than an expensive unimportant one at equal score).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score / std::max(a.mac_cost, 1e-12) <
+                            b.score / std::max(b.mac_cost, 1e-12);
+                   });
+
+  const double total_macs = static_cast<double>(net.macs(input_shape));
+  double remaining = total_macs;
+  const double target = total_macs * target_macs_fraction;
+
+  std::map<Layer*, std::vector<std::uint8_t>> keeps;
+  for (const auto& [layer, width] : kept)
+    keeps[layer].assign(width, 1);
+
+  for (const Candidate& cand : candidates) {
+    if (remaining <= target) break;
+    auto& k = kept[cand.layer];
+    if (k <= static_cast<std::size_t>(options.min_channels)) continue;
+    keeps[cand.layer][cand.channel] = 0;
+    --k;
+    remaining -= cand.mac_cost;
+  }
+
+  std::vector<ChannelMask> out;
+  for (const auto& [layer, shape] : located) {
+    const auto it = keeps.find(layer);
+    if (it == keeps.end()) continue;
+    const auto& keep = it->second;
+    if (std::all_of(keep.begin(), keep.end(),
+                    [](std::uint8_t v) { return v != 0; }))
+      continue;
+    out.push_back({layer->name(), keep});
+  }
+  return out;
+}
+
+}  // namespace rrp::prune

@@ -1,0 +1,51 @@
+// planner.h — turns a target sparsity ratio into concrete masks.
+//
+// Unstructured plans rank individual weight elements (globally across the
+// network or per layer); structured plans rank whole output channels of
+// prunable Conv2D/Linear layers.  Both always keep at least one element /
+// channel per layer so no layer degenerates to a zero operator.
+#pragma once
+
+#include "prune/importance.h"
+#include "prune/mask.h"
+
+namespace rrp::prune {
+
+struct UnstructuredOptions {
+  ImportanceMetric metric = ImportanceMetric::L1;
+  /// Global: one magnitude threshold across all weight tensors.
+  /// Per-layer: prune `ratio` of each weight tensor independently.
+  bool global_threshold = true;
+};
+
+/// Element mask pruning ~`ratio` of all Linear/Conv2D *weight* elements
+/// (biases and BatchNorm parameters are never unstructured-pruned).
+/// Precondition: 0 <= ratio < 1.
+NetworkMask plan_unstructured(nn::Network& net, double ratio,
+                              const UnstructuredOptions& options = {});
+
+struct StructuredOptions {
+  ImportanceMetric metric = ImportanceMetric::L1;
+  int min_channels = 1;  ///< never shrink a layer below this width
+};
+
+/// Channel masks pruning ~`ratio` of each prunable layer's output channels.
+/// Layers with `out_prunable() == false` are skipped entirely.
+std::vector<ChannelMask> plan_structured(nn::Network& net, double ratio,
+                                         const StructuredOptions& options = {});
+
+/// The set of layers `plan_structured` would consider (leaf Conv2D/Linear/
+/// DepthwiseConv2D with out_prunable() == true), in execution order.
+std::vector<nn::Layer*> prunable_layers(nn::Network& net);
+
+/// MAC-budgeted global structured planning: greedily removes the channel
+/// with the lowest importance-per-MAC across ALL prunable layers until the
+/// network's dense MACs drop to `target_macs_fraction` of the original
+/// (producer-layer MACs only; downstream savings make the achieved count
+/// strictly better than the estimate).  `input_shape` is a batch-1 sample
+/// shape.  Precondition: 0 < target_macs_fraction <= 1.
+std::vector<ChannelMask> plan_structured_for_macs(
+    nn::Network& net, double target_macs_fraction,
+    const nn::Shape& input_shape, const StructuredOptions& options = {});
+
+}  // namespace rrp::prune

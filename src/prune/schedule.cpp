@@ -1,0 +1,54 @@
+#include "prune/schedule.h"
+
+#include <cmath>
+
+#include "util/checks.h"
+#include "util/log.h"
+
+namespace rrp::prune {
+
+std::vector<IterativeStepStats> iterative_magnitude_prune(
+    nn::Network& net, const nn::Dataset& train_data,
+    const nn::Dataset& eval_data, const IterativeScheduleConfig& config,
+    Rng& rng) {
+  RRP_CHECK(config.target_ratio > 0.0 && config.target_ratio < 1.0);
+  RRP_CHECK(config.steps >= 1);
+  RRP_CHECK(config.finetune_epochs >= 0);
+  RRP_CHECK(train_data.size() > 0);
+
+  std::vector<IterativeStepStats> history;
+  nn::SgdConfig sgd = config.sgd;
+  sgd.freeze_zeros = true;  // pruned weights must never regrow
+  sgd.epochs = config.finetune_epochs;
+
+  for (int step = 1; step <= config.steps; ++step) {
+    // Cubic sparsity schedule: s_t = s_f * (1 - (1 - t/T)^3).
+    const double t = static_cast<double>(step) / config.steps;
+    const double ratio = config.target_ratio * (1.0 - std::pow(1.0 - t, 3.0));
+
+    // Plan on the CURRENT weights: already-zero weights rank lowest, so
+    // each round's mask extends the previous one (magnitude nesting).
+    const NetworkMask mask = plan_unstructured(net, ratio, config.plan);
+    mask.apply(net);
+
+    if (config.finetune_epochs > 0) {
+      Rng step_rng = rng.fork();
+      nn::train_sgd(net, train_data, sgd, step_rng);
+    }
+
+    IterativeStepStats s;
+    s.step = step;
+    s.ratio = ratio;
+    s.sparsity =
+        1.0 - static_cast<double>(net.param_nonzero()) / net.param_count();
+    s.accuracy = eval_data.size() > 0
+                     ? nn::evaluate_accuracy(net, eval_data)
+                     : 0.0;
+    RRP_LOG_DEBUG << "IMP step " << step << ": sparsity " << s.sparsity
+                  << " accuracy " << s.accuracy;
+    history.push_back(s);
+  }
+  return history;
+}
+
+}  // namespace rrp::prune

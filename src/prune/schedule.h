@@ -1,0 +1,46 @@
+// schedule.h — iterative magnitude pruning (IMP) with fine-tuning.
+//
+// The classical DESIGN-TIME pipeline the reversible runtime is compared
+// against: alternate (prune a slice of the remaining weights) → (fine-tune
+// with the zeros frozen) until the target sparsity is reached.  Produces a
+// single static artifact; recovery from it at runtime is exactly the slow
+// path measured in R-T1.  Provided both as a fair "best static baseline"
+// and because one-shot vs iterative is a standard ablation (R-F7 text).
+#pragma once
+
+#include "nn/train.h"
+#include "prune/planner.h"
+
+namespace rrp::prune {
+
+struct IterativeScheduleConfig {
+  double target_ratio = 0.8;   ///< final fraction of weights pruned
+  int steps = 4;               ///< prune/fine-tune rounds
+  int finetune_epochs = 1;     ///< per round
+  nn::SgdConfig sgd = {.lr = 0.01f,
+                       .momentum = 0.9f,
+                       .weight_decay = 1e-4f,
+                       .batch_size = 32,
+                       .epochs = 1,
+                       .lr_decay = 1.0f,
+                       .freeze_zeros = true};
+  UnstructuredOptions plan;    ///< how each round's mask is chosen
+};
+
+struct IterativeStepStats {
+  int step = 0;
+  double ratio = 0.0;      ///< cumulative target ratio after this step
+  double sparsity = 0.0;   ///< achieved network sparsity
+  double accuracy = 0.0;   ///< eval accuracy after fine-tuning
+};
+
+/// Runs the schedule IN PLACE on `net` (this is a one-way, design-time
+/// operation — the whole point of the contrast with ReversiblePruner).
+/// Ratios follow the cubic sparsity schedule of Zhu & Gupta: gentle first
+/// cuts, aggressive last ones.
+std::vector<IterativeStepStats> iterative_magnitude_prune(
+    nn::Network& net, const nn::Dataset& train_data,
+    const nn::Dataset& eval_data, const IterativeScheduleConfig& config,
+    Rng& rng);
+
+}  // namespace rrp::prune

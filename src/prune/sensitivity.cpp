@@ -1,0 +1,110 @@
+#include "prune/sensitivity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/checks.h"
+
+namespace rrp::prune {
+
+std::vector<SensitivityPoint> layer_sensitivity(
+    nn::Network& net, const nn::Dataset& eval_data,
+    const nn::Shape& input_shape, const SensitivityOptions& options) {
+  RRP_CHECK(eval_data.size() > 0);
+  std::vector<SensitivityPoint> out;
+
+  for (nn::Layer* target : prunable_layers(net)) {
+    for (double ratio : options.ratios) {
+      nn::Network probe = net.clone();
+      NetworkMask mask;
+      if (ratio > 0.0) {
+        if (options.structured) {
+          // Channel mask for the target layer only, lowered on the probe.
+          const auto scores = channel_scores(*target, options.metric);
+          const std::size_t width = scores.size();
+          std::size_t prune_count = static_cast<std::size_t>(
+              ratio * static_cast<double>(width));
+          prune_count = std::min(prune_count, width > 1 ? width - 1 : 0);
+          if (prune_count > 0) {
+            ChannelMask cm;
+            cm.layer_name = target->name();
+            cm.keep.assign(width, 1);
+            const auto order = ascending_order(scores);
+            for (std::size_t i = 0; i < prune_count; ++i)
+              cm.keep[order[i]] = 0;
+            mask = lower_channel_masks(probe, {cm}, input_shape);
+          }
+        } else {
+          // Element mask for the target layer's weight only.
+          nn::Layer* probe_target = probe.find(target->name());
+          RRP_CHECK(probe_target != nullptr);
+          nn::Tensor* w = nullptr;
+          std::string pname;
+          if (auto* lin = dynamic_cast<nn::Linear*>(probe_target)) {
+            w = &lin->weight();
+            pname = lin->name() + ".weight";
+          } else if (auto* conv = dynamic_cast<nn::Conv2D*>(probe_target)) {
+            w = &conv->weight();
+            pname = conv->name() + ".weight";
+          }
+          RRP_CHECK(w != nullptr);
+          const auto scores = element_scores(*w, options.metric);
+          std::size_t prune_count = static_cast<std::size_t>(
+              ratio * static_cast<double>(scores.size()));
+          prune_count =
+              std::min(prune_count, scores.size() > 1 ? scores.size() - 1 : 0);
+          if (prune_count > 0) {
+            std::vector<std::uint8_t> keep(scores.size(), 1);
+            const auto order = ascending_order(scores);
+            for (std::size_t i = 0; i < prune_count; ++i) keep[order[i]] = 0;
+            mask.set(pname, std::move(keep));
+          }
+        }
+        mask.apply(probe);
+      }
+      SensitivityPoint p;
+      p.layer = target->name();
+      p.ratio = ratio;
+      p.sparsity = mask.sparsity(probe);
+      p.accuracy =
+          nn::evaluate_accuracy(probe, eval_data, options.eval_batch);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> sensitivity_scales(
+    const std::vector<SensitivityPoint>& points, double max_accuracy_drop,
+    double min_scale) {
+  RRP_CHECK(max_accuracy_drop >= 0.0);
+  RRP_CHECK(min_scale > 0.0 && min_scale <= 1.0);
+
+  // Baseline (ratio 0) accuracy per layer, then the largest tolerated ratio.
+  std::map<std::string, double> base;
+  for (const auto& p : points)
+    if (p.ratio == 0.0) base[p.layer] = p.accuracy;
+
+  std::map<std::string, double> tolerance;
+  for (const auto& p : points) {
+    const auto it = base.find(p.layer);
+    RRP_CHECK_MSG(it != base.end(),
+                  "sensitivity sweep lacks ratio-0 point for '" << p.layer
+                                                                << "'");
+    if (p.accuracy + 1e-12 >= it->second - max_accuracy_drop)
+      tolerance[p.layer] = std::max(tolerance[p.layer], p.ratio);
+    else
+      tolerance.try_emplace(p.layer, 0.0);
+  }
+
+  double max_tol = 0.0;
+  for (const auto& [layer, tol] : tolerance) max_tol = std::max(max_tol, tol);
+
+  std::map<std::string, double> scales;
+  for (const auto& [layer, tol] : tolerance)
+    scales[layer] =
+        max_tol > 0.0 ? std::max(min_scale, tol / max_tol) : min_scale;
+  return scales;
+}
+
+}  // namespace rrp::prune

@@ -1,0 +1,46 @@
+// sensitivity.h — per-layer pruning sensitivity analysis.
+//
+// For each prunable layer, prunes ONLY that layer at each ratio in a grid
+// and measures validation accuracy.  The resulting profile is what a
+// deployment engineer uses to pick non-uniform per-layer ratios, and it is
+// the series behind experiment R-F6.
+#pragma once
+
+#include "nn/train.h"
+#include "prune/levels.h"
+
+namespace rrp::prune {
+
+struct SensitivityPoint {
+  std::string layer;
+  double ratio = 0.0;
+  double accuracy = 0.0;      ///< accuracy with only this layer pruned
+  double sparsity = 0.0;      ///< achieved whole-network element sparsity
+};
+
+struct SensitivityOptions {
+  std::vector<double> ratios = {0.0, 0.25, 0.5, 0.75, 0.9};
+  bool structured = true;
+  ImportanceMetric metric = ImportanceMetric::L1;
+  int eval_batch = 64;
+};
+
+/// Runs the sweep on a clone of `net` per point; `net` itself is untouched.
+/// `input_shape` is a batch-1 sample shape (needed for structured lowering).
+std::vector<SensitivityPoint> layer_sensitivity(
+    nn::Network& net, const nn::Dataset& eval_data,
+    const nn::Shape& input_shape, const SensitivityOptions& options = {});
+
+/// Turns a sensitivity sweep into per-layer ratio scales for
+/// PruneLevelLibrary::build_structured_nonuniform: a layer's *tolerance*
+/// is the largest tested ratio whose accuracy stays within
+/// `max_accuracy_drop` of its ratio-0 accuracy; the scale is the tolerance
+/// normalized by the largest tolerance among layers (so the most robust
+/// layer is pruned at the full level ratio and fragile layers are
+/// throttled proportionally).  Layers whose tolerance is 0 get `min_scale`
+/// so the ladder still reaches deep overall sparsity.
+std::map<std::string, double> sensitivity_scales(
+    const std::vector<SensitivityPoint>& points, double max_accuracy_drop,
+    double min_scale = 0.25);
+
+}  // namespace rrp::prune

@@ -1,0 +1,35 @@
+// criticality.h — time-to-collision based criticality signal.
+//
+// The runtime controller's "Monitor" input: the minimum time-to-collision
+// (TTC) over in-path actors, bucketed into four criticality classes.  The
+// thresholds follow common AEB staging (comfort braking ~6 s, emergency
+// ~3 s, imminent ~1.5 s).
+#pragma once
+
+#include "core/safety_monitor.h"
+#include "sim/scenario.h"
+
+namespace rrp::sim {
+
+struct CriticalityConfig {
+  double ttc_critical_s = 1.5;
+  double ttc_high_s = 3.0;
+  double ttc_medium_s = 6.0;
+  /// A stationary in-path actor closer than this is High even with TTC=inf
+  /// (the ego may accelerate; proximity alone is hazardous).
+  double proximity_high_m = 8.0;
+  double proximity_medium_m = 20.0;
+};
+
+/// Minimum TTC over in-path actors; +inf when nothing is closing.
+double scene_min_ttc_s(const Scene& scene);
+
+/// Classifies a scene into the four-level criticality ladder.
+core::CriticalityClass classify_scene(const Scene& scene,
+                                      const CriticalityConfig& config = {});
+
+/// Precomputes the criticality trace of a whole scenario (oracle input).
+std::vector<core::CriticalityClass> criticality_trace(
+    const Scenario& scenario, const CriticalityConfig& config = {});
+
+}  // namespace rrp::sim

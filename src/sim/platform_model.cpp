@@ -1,0 +1,39 @@
+#include "sim/platform_model.h"
+
+#include "util/checks.h"
+
+namespace rrp::sim {
+
+PlatformModel::PlatformModel(PlatformConfig config) : config_(config) {
+  RRP_CHECK(config_.macs_per_us > 0.0);
+  RRP_CHECK(config_.infer_overhead_us >= 0.0);
+  RRP_CHECK(config_.energy_per_mac_nj >= 0.0);
+  RRP_CHECK(config_.static_power_mw >= 0.0);
+  RRP_CHECK(config_.mem_bw_bytes_per_us > 0.0);
+}
+
+double PlatformModel::latency_ms(std::int64_t macs) const {
+  RRP_CHECK(macs >= 0);
+  const double us =
+      config_.infer_overhead_us + static_cast<double>(macs) / config_.macs_per_us;
+  return us * 1e-3;
+}
+
+double PlatformModel::energy_mj(std::int64_t macs) const {
+  const double dynamic_mj =
+      static_cast<double>(macs) * config_.energy_per_mac_nj * 1e-6;
+  const double static_mj = config_.static_power_mw * latency_ms(macs) * 1e-3;
+  return dynamic_mj + static_mj;
+}
+
+double PlatformModel::switch_latency_us(std::int64_t bytes) const {
+  RRP_CHECK(bytes >= 0);
+  return config_.switch_overhead_us +
+         static_cast<double>(bytes) / config_.mem_bw_bytes_per_us;
+}
+
+double PlatformModel::switch_energy_mj(std::int64_t bytes) const {
+  return config_.static_power_mw * switch_latency_us(bytes) * 1e-6;
+}
+
+}  // namespace rrp::sim

@@ -1,0 +1,48 @@
+// platform_model.h — analytic embedded-platform latency/energy model.
+//
+// Substitution note (see DESIGN.md): stands in for Jetson-class hardware.
+// Latency and energy are affine in executed MACs (plus weight-write
+// traffic for level switches), which preserves the *shape* of every
+// latency/energy-vs-pruning curve: structured pruning removes MACs
+// identically on real silicon.  Defaults approximate a ~0.3 GMAC/s
+// embedded CPU lane with DRAM at a few GB/s.
+#pragma once
+
+#include <cstdint>
+
+namespace rrp::sim {
+
+struct PlatformConfig {
+  double macs_per_us = 300.0;        ///< effective MAC throughput
+  double infer_overhead_us = 80.0;   ///< fixed per-inference cost
+  double energy_per_mac_nj = 0.004;  ///< dynamic energy per MAC
+  double static_power_mw = 350.0;    ///< platform power while busy
+  double mem_bw_bytes_per_us = 3000.0;  ///< weight-write bandwidth
+  double switch_overhead_us = 20.0;     ///< fixed cost of any level switch
+};
+
+class PlatformModel {
+ public:
+  explicit PlatformModel(PlatformConfig config = {});
+
+  const PlatformConfig& config() const { return config_; }
+
+  /// Batch-1 inference latency for the given executed MAC count.
+  double latency_ms(std::int64_t macs) const;
+
+  /// Batch-1 inference energy (dynamic + static over the latency).
+  double energy_mj(std::int64_t macs) const;
+
+  /// Latency of a level switch that rewrites `bytes` of weights
+  /// (0 bytes — e.g. a compact-mode pointer swap — still pays the fixed
+  /// switch overhead when a switch actually happens).
+  double switch_latency_us(std::int64_t bytes) const;
+
+  /// Energy of that switch (memory traffic at static power).
+  double switch_energy_mj(std::int64_t bytes) const;
+
+ private:
+  PlatformConfig config_;
+};
+
+}  // namespace rrp::sim

@@ -1,0 +1,147 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "util/checks.h"
+
+namespace rrp::sim {
+
+double provider_accuracy(core::InferenceProvider& provider,
+                         const nn::Dataset& data, int batch) {
+  if (data.size() == 0) return 0.0;
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<int> labels;
+  std::size_t correct = 0;
+  for (std::size_t first = 0; first < order.size();
+       first += static_cast<std::size_t>(batch)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch), order.size() - first);
+    const nn::Tensor x = data.batch(order, first, count, &labels);
+    const nn::Tensor logits = provider.infer(x);
+    const auto preds = nn::argmax_rows(logits);
+    for (std::size_t i = 0; i < count; ++i) correct += (preds[i] == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+core::LevelProfile profile_levels(core::InferenceProvider& provider,
+                                  const PlatformModel& platform,
+                                  const nn::Dataset& eval,
+                                  const nn::Shape& input_shape,
+                                  int eval_batch) {
+  core::LevelProfile profile;
+  for (int k = 0; k < provider.level_count(); ++k) {
+    provider.set_level(k);
+    const std::int64_t macs = provider.active_macs(input_shape);
+    profile.latency_ms.push_back(platform.latency_ms(macs));
+    profile.energy_mj.push_back(platform.energy_mj(macs));
+    profile.accuracy.push_back(provider_accuracy(provider, eval, eval_batch));
+  }
+  provider.set_level(0);
+  return profile;
+}
+
+RunResult run_scenario(const Scenario& scenario,
+                       core::RuntimeController& controller,
+                       const RunConfig& config) {
+  RRP_CHECK_MSG(!scenario.scenes.empty(), "scenario has no frames");
+  RunResult result;
+  result.scenario = scenario.name;
+  result.provider = controller.provider().name();
+  result.policy = controller.policy().name();
+
+  const PlatformModel platform(config.platform);
+  const nn::Shape in_shape = input_shape(config.vision);
+  Rng noise(config.noise_seed);
+  double energy_left = config.energy_budget_mj;
+  PerceptionCriticality estimator(config.perception_criticality);
+  core::CriticalityClass perceived = core::CriticalityClass::Low;
+
+  RRP_CHECK(config.sensing_delay_frames >= 0);
+  RRP_CHECK(config.sensor_blackout_prob >= 0.0 &&
+            config.sensor_blackout_prob <= 1.0);
+  for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
+    const Scene& scene = scenario.scenes[f];
+    // The controller and monitor see the criticality the perception stack
+    // has already published — `sensing_delay_frames` behind the world.
+    const std::size_t sensed_frame =
+        f >= static_cast<std::size_t>(config.sensing_delay_frames)
+            ? f - static_cast<std::size_t>(config.sensing_delay_frames)
+            : 0;
+    const Scene& sensed_scene = scenario.scenes[sensed_frame];
+
+    // Monitor: perception context (criticality) and platform state.
+    core::ControlInput input;
+    input.frame = static_cast<std::int64_t>(f);
+    switch (config.criticality_source) {
+      case CriticalitySource::GroundTruthTtc:
+        input.criticality = classify_scene(sensed_scene, config.criticality);
+        break;
+      case CriticalitySource::Perception:
+        input.criticality = perceived;  // last frame's own assessment
+        break;
+      case CriticalitySource::PerceptionFloor:
+        input.criticality =
+            std::max(perceived, core::CriticalityClass::Medium);
+        break;
+    }
+    input.deadline_ms = config.deadline_ms;
+    input.energy_budget_frac =
+        config.energy_budget_mj > 0.0
+            ? std::clamp(energy_left / config.energy_budget_mj, 0.0, 1.0)
+            : 1.0;
+
+    // Analyze/Plan/Execute: the controller applies a (screened) level.
+    const core::ControlDecision d = controller.step(input);
+
+    // Perceive: render the sensor frame (maybe lost) and run inference.
+    const bool blackout = config.sensor_blackout_prob > 0.0 &&
+                          noise.bernoulli(config.sensor_blackout_prob);
+    Scene sensed_view = scene;
+    if (blackout) sensed_view.actors.clear();  // empty road, noise only
+    const nn::Tensor frame = render_scene(sensed_view, config.vision, noise);
+    nn::Shape batched = frame.shape();
+    batched.insert(batched.begin(), 1);
+    const nn::Tensor logits =
+        controller.provider().infer(frame.reshape(batched));
+    const int pred = nn::argmax_rows(logits)[0];
+    const int label = scene_label(scene);
+    perceived = estimator.update(pred, logits.reshape({logits.size(-1)}));
+
+    // Account: platform-model latency/energy for this frame.
+    const std::int64_t macs = controller.provider().active_macs(in_shape);
+    const bool switched = d.transition.from_level != d.transition.to_level;
+    const double switch_us =
+        switched ? platform.switch_latency_us(d.transition.bytes_written) : 0.0;
+    const double switch_energy =
+        switched ? platform.switch_energy_mj(d.transition.bytes_written) : 0.0;
+
+    core::FrameRecord rec;
+    rec.frame = input.frame;
+    rec.criticality = classify_scene(scene, config.criticality);
+    rec.requested_level = d.requested_level;
+    rec.executed_level = controller.provider().current_level();
+    rec.latency_ms = platform.latency_ms(macs);
+    rec.energy_mj = platform.energy_mj(macs) + switch_energy;
+    rec.switch_us = switch_us;
+    rec.deadline_ms = config.deadline_ms;
+    rec.correct = pred == label;
+    rec.veto = d.veto;
+    rec.violation = controller.monitor() != nullptr &&
+                    rec.executed_level >
+                        controller.monitor()->certified_max(input.criticality);
+    rec.true_violation =
+        controller.monitor() != nullptr &&
+        rec.executed_level >
+            controller.monitor()->certified_max(rec.criticality);
+    result.telemetry.add(rec);
+
+    energy_left -= rec.energy_mj;
+  }
+  result.summary = result.telemetry.summarize();
+  return result;
+}
+
+}  // namespace rrp::sim

@@ -1,0 +1,73 @@
+// runner.h — the closed perception-control loop.
+//
+// Per frame: classify the scene's criticality (Monitor), let the runtime
+// controller pick and apply a pruning level (Analyze/Plan/Execute), render
+// the sensor frame, run inference through the provider, and account
+// latency/energy with the platform model.  Produces the Telemetry that
+// every end-to-end experiment (R-T2, R-F3, R-F4, R-F5) summarizes.
+#pragma once
+
+#include "core/controller.h"
+#include "core/telemetry.h"
+#include "sim/criticality.h"
+#include "sim/perception_criticality.h"
+#include "sim/platform_model.h"
+#include "sim/vision_task.h"
+
+namespace rrp::sim {
+
+/// Where the controller's criticality signal comes from.
+enum class CriticalitySource {
+  GroundTruthTtc,   ///< independent ranging channel (radar-like), delayed
+  Perception,       ///< the perception network's own (previous) output
+  PerceptionFloor,  ///< perception-derived, but never below Medium
+};
+
+struct RunConfig {
+  double deadline_ms = 5.0;
+  CriticalitySource criticality_source = CriticalitySource::GroundTruthTtc;
+  PerceptionCriticality::Config perception_criticality;
+  /// Frames of perception/monitoring latency before a criticality change
+  /// is visible to the controller AND the safety monitor (the plant's
+  /// true criticality still scores missed detections). 0 = idealized.
+  int sensing_delay_frames = 1;
+  /// Whole-scenario energy budget; 0 disables the budget signal (the
+  /// controller then always sees energy_budget_frac == 1).
+  double energy_budget_mj = 0.0;
+  /// Sensor fault injection: per-frame probability that the camera frame
+  /// is lost (rendered as an empty road).  Ground truth is unchanged, so
+  /// blackout frames with an actor present count as missed detections —
+  /// the fault-tolerance experiments use this to stress the loop.
+  double sensor_blackout_prob = 0.0;
+  PlatformConfig platform;
+  CriticalityConfig criticality;
+  VisionTaskConfig vision;
+  std::uint64_t noise_seed = 1234;  ///< sensor-noise stream
+};
+
+struct RunResult {
+  std::string scenario;
+  std::string provider;
+  std::string policy;
+  core::Telemetry telemetry;
+  core::RunSummary summary;
+};
+
+/// Runs the full closed loop over one scenario.
+RunResult run_scenario(const Scenario& scenario,
+                       core::RuntimeController& controller,
+                       const RunConfig& config);
+
+/// Offline profiling of a provider's level ladder: modeled latency/energy
+/// from active MACs and measured accuracy on `eval`.  Restores level 0.
+core::LevelProfile profile_levels(core::InferenceProvider& provider,
+                                  const PlatformModel& platform,
+                                  const nn::Dataset& eval,
+                                  const nn::Shape& input_shape,
+                                  int eval_batch = 64);
+
+/// Accuracy of a provider at its CURRENT level over a dataset.
+double provider_accuracy(core::InferenceProvider& provider,
+                         const nn::Dataset& data, int batch = 64);
+
+}  // namespace rrp::sim

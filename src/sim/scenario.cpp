@@ -1,0 +1,36 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrp::sim {
+
+const char* actor_type_name(ActorType t) {
+  switch (t) {
+    case ActorType::Vehicle: return "vehicle";
+    case ActorType::Pedestrian: return "pedestrian";
+    case ActorType::Cyclist: return "cyclist";
+    case ActorType::Obstacle: return "obstacle";
+  }
+  return "?";
+}
+
+const Actor* Scene::dominant() const {
+  const Actor* best = nullptr;
+  for (const Actor& a : actors) {
+    if (std::fabs(a.lateral_m) > kCorridorHalfWidth_m) continue;
+    if (a.distance_m > kSensorRange_m) continue;
+    if (best == nullptr || a.distance_m < best->distance_m) best = &a;
+  }
+  return best;
+}
+
+void step_actors(Scene& scene, double dt_s) {
+  for (Actor& a : scene.actors) a.distance_m -= a.closing_mps * dt_s;
+  scene.actors.erase(
+      std::remove_if(scene.actors.begin(), scene.actors.end(),
+                     [](const Actor& a) { return a.distance_m <= 0.0; }),
+      scene.actors.end());
+}
+
+}  // namespace rrp::sim

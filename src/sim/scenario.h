@@ -1,0 +1,73 @@
+// scenario.h — kinematic driving-scene model.
+//
+// Substitution note (see DESIGN.md): the paper's group evaluates on real
+// driving stacks; we replace recorded traces with a kinematic scenario
+// generator whose *criticality statistics* (bursts, dwell times, sudden
+// onsets) drive the runtime controller the same way real traffic would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rrp::sim {
+
+/// What the perception network must recognize.
+enum class ActorType : int {
+  Vehicle = 0,
+  Pedestrian = 1,
+  Cyclist = 2,
+  Obstacle = 3,
+};
+
+constexpr int kActorTypes = 4;
+/// Classification label space: actor types plus "clear road".
+constexpr int kNumClasses = kActorTypes + 1;
+constexpr int kClearLabel = kActorTypes;  ///< label when no actor is relevant
+
+const char* actor_type_name(ActorType t);
+
+/// One traffic participant, relative to the ego vehicle.
+struct Actor {
+  ActorType type = ActorType::Vehicle;
+  double distance_m = 50.0;    ///< longitudinal gap to ego (>= 0)
+  double closing_mps = 0.0;    ///< positive = approaching the ego
+  double lateral_m = 0.0;      ///< lateral offset from ego lane center
+};
+
+/// One frame of the world.
+struct Scene {
+  double time_s = 0.0;
+  double ego_speed_mps = 25.0;
+  double visibility = 1.0;  ///< 1 = clear; < 1 degrades the sensor image
+  std::vector<Actor> actors;
+
+  /// The actor that dominates both perception (label) and risk, i.e. the
+  /// in-path actor with the smallest distance; nullptr when the road is
+  /// clear (off-corridor or beyond-sensor-range actors do not count).
+  const Actor* dominant() const;
+};
+
+/// A timed sequence of scenes (fixed frame interval).
+struct Scenario {
+  std::string name;
+  double dt_s = 1.0 / 30.0;
+  std::vector<Scene> scenes;
+
+  std::size_t frame_count() const { return scenes.size(); }
+};
+
+/// Half-width of the corridor in which an actor is considered in-path.
+constexpr double kCorridorHalfWidth_m = 1.8;
+
+/// Perception range: actors beyond this are neither labelled nor scored
+/// (matches the training distribution's distance span).
+constexpr double kSensorRange_m = 55.0;
+
+/// Advances every actor by dt with its closing speed; actors that pass
+/// behind the ego (distance <= 0) are removed.
+void step_actors(Scene& scene, double dt_s);
+
+}  // namespace rrp::sim

@@ -1,0 +1,254 @@
+#include "sim/suites.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checks.h"
+
+namespace rrp::sim {
+
+namespace {
+
+constexpr double kDt = 1.0 / 30.0;
+
+ActorType random_vulnerable(Rng& rng) {
+  return rng.bernoulli(0.6) ? ActorType::Pedestrian : ActorType::Cyclist;
+}
+
+Scenario start(const std::string& name, int frames) {
+  RRP_CHECK(frames > 0);
+  Scenario sc;
+  sc.name = name;
+  sc.dt_s = kDt;
+  sc.scenes.reserve(static_cast<std::size_t>(frames));
+  return sc;
+}
+
+}  // namespace
+
+Scenario make_highway(int frames, std::uint64_t seed) {
+  Scenario sc = start("highway", frames);
+  Rng rng(seed);
+  Scene s;
+  s.ego_speed_mps = 30.0;
+  s.visibility = rng.uniform(0.85, 1.0);
+
+  // A persistent lead vehicle that mostly keeps its gap.
+  Actor lead;
+  lead.type = ActorType::Vehicle;
+  lead.distance_m = rng.uniform(45.0, 65.0);
+  lead.closing_mps = rng.uniform(-0.5, 0.5);
+  s.actors.push_back(lead);
+
+  int braking_frames_left = 0;
+  for (int f = 0; f < frames; ++f) {
+    s.time_s = f * kDt;
+    Actor& l = s.actors.front();
+
+    if (braking_frames_left > 0) {
+      --braking_frames_left;
+      if (l.distance_m < 14.0 || braking_frames_left == 0) {
+        // Event resolves: lead accelerates away again.
+        l.closing_mps = rng.uniform(-4.0, -2.0);
+        braking_frames_left = 0;
+      }
+    } else {
+      // Mild gap jitter; rare hard-braking event.
+      l.closing_mps += rng.normal(0.0, 0.15);
+      l.closing_mps = std::clamp(l.closing_mps, -2.0, 2.0);
+      if (rng.bernoulli(0.004)) {
+        l.closing_mps = rng.uniform(7.0, 11.0);
+        braking_frames_left = rng.uniform_int(45, 120);
+      }
+    }
+    // Keep the lead within sensor range.
+    if (l.distance_m > 75.0) l.closing_mps = std::max(l.closing_mps, 0.5);
+    if (l.distance_m < 8.0) l.closing_mps = std::min(l.closing_mps, -1.0);
+
+    // Occasional road debris far ahead.
+    if (s.actors.size() == 1 && rng.bernoulli(0.002)) {
+      Actor debris;
+      debris.type = ActorType::Obstacle;
+      debris.distance_m = rng.uniform(40.0, 60.0);
+      debris.closing_mps = s.ego_speed_mps * 0.4;  // closes as ego drives
+      debris.lateral_m = rng.uniform(-1.0, 1.0);
+      s.actors.push_back(debris);
+    }
+
+    sc.scenes.push_back(s);
+    step_actors(s, kDt);
+    if (s.actors.empty() || s.actors.front().type != ActorType::Vehicle) {
+      // The lead got consumed by step_actors (passed behind); respawn it.
+      Actor fresh;
+      fresh.type = ActorType::Vehicle;
+      fresh.distance_m = rng.uniform(45.0, 65.0);
+      fresh.closing_mps = rng.uniform(-0.5, 0.5);
+      s.actors.insert(s.actors.begin(), fresh);
+    }
+  }
+  return sc;
+}
+
+Scenario make_urban(int frames, std::uint64_t seed) {
+  Scenario sc = start("urban", frames);
+  Rng rng(seed);
+  Scene s;
+  s.ego_speed_mps = 12.0;
+  s.visibility = rng.uniform(0.8, 1.0);
+
+  for (int f = 0; f < frames; ++f) {
+    s.time_s = f * kDt;
+
+    // Spawn vulnerable road users and parked/crossing vehicles.
+    if (s.actors.size() < 3 && rng.bernoulli(0.03)) {
+      Actor a;
+      const double roll = rng.uniform();
+      if (roll < 0.55) a.type = random_vulnerable(rng);
+      else if (roll < 0.85) a.type = ActorType::Vehicle;
+      else a.type = ActorType::Obstacle;
+      a.distance_m = rng.uniform(18.0, 40.0);
+      a.lateral_m = rng.uniform(-3.0, 3.0);
+      a.closing_mps = rng.uniform(2.0, 7.0);
+      s.actors.push_back(a);
+    }
+    // Pedestrians drift laterally (may enter/leave the corridor).
+    for (Actor& a : s.actors) {
+      if (a.type == ActorType::Pedestrian || a.type == ActorType::Cyclist)
+        a.lateral_m += rng.normal(0.0, 0.08);
+      // Some actors brake/slow before reaching the ego.
+      if (a.distance_m < 6.0 && rng.bernoulli(0.3))
+        a.closing_mps = std::min(a.closing_mps, 1.0);
+    }
+
+    sc.scenes.push_back(s);
+    step_actors(s, kDt);
+  }
+  return sc;
+}
+
+Scenario make_cut_in(int frames, std::uint64_t seed) {
+  Scenario sc = start("cut_in", frames);
+  Rng rng(seed);
+  Scene s;
+  s.ego_speed_mps = 25.0;
+  s.visibility = rng.uniform(0.85, 1.0);
+
+  // Calm background lead.
+  Actor lead;
+  lead.type = ActorType::Vehicle;
+  lead.distance_m = 60.0;
+  lead.closing_mps = 0.0;
+  s.actors.push_back(lead);
+
+  const int period = std::max(180, frames / 4);
+  for (int f = 0; f < frames; ++f) {
+    s.time_s = f * kDt;
+
+    // Scripted cut-in: a vehicle swerves into the lane at mid distance
+    // with a high closing speed — critical TTC while still visually small,
+    // exactly where pruned perception fails first.
+    if (f > 0 && f % period == period / 2) {
+      Actor cut;
+      cut.type = ActorType::Vehicle;
+      cut.distance_m = rng.uniform(18.0, 30.0);
+      cut.closing_mps = rng.uniform(8.0, 14.0);
+      cut.lateral_m = rng.uniform(-0.8, 0.8);
+      s.actors.push_back(cut);
+    }
+    // Cut-in resolves once close: it accelerates away.
+    for (Actor& a : s.actors)
+      if (a.distance_m < 8.0 && a.closing_mps > 0.0)
+        a.closing_mps = rng.uniform(-6.0, -4.0);
+
+    sc.scenes.push_back(s);
+    step_actors(s, kDt);
+    // Drop resolved cut-ins that opened beyond sensor interest.
+    s.actors.erase(std::remove_if(s.actors.begin(), s.actors.end(),
+                                  [](const Actor& a) {
+                                    return a.distance_m > 90.0;
+                                  }),
+                   s.actors.end());
+    if (s.actors.empty()) {
+      Actor fresh = lead;
+      fresh.distance_m = 60.0;
+      s.actors.push_back(fresh);
+    }
+  }
+  return sc;
+}
+
+Scenario make_degraded(int frames, std::uint64_t seed) {
+  Scenario sc = make_urban(frames, seed ^ 0xDE6BADEDull);
+  sc.name = "degraded";
+  Rng rng(seed + 17);
+  // Overlay visibility drops (fog banks / glare windows).
+  int window_left = 0;
+  double window_vis = 1.0;
+  for (Scene& s : sc.scenes) {
+    if (window_left == 0 && rng.bernoulli(0.01)) {
+      window_left = rng.uniform_int(90, 240);
+      window_vis = rng.uniform(0.55, 0.7);
+    }
+    if (window_left > 0) {
+      --window_left;
+      s.visibility = window_vis;
+    }
+  }
+  return sc;
+}
+
+Scenario make_intersection(int frames, std::uint64_t seed) {
+  Scenario sc = start("intersection", frames);
+  Rng rng(seed);
+
+  // Walkers are simulated here (lateral motion) and projected into the
+  // scene each frame; step_actors is not used for them.
+  struct Walker {
+    Actor actor;
+    double lateral_mps;
+  };
+  std::vector<Walker> walkers;
+
+  Scene base;
+  base.ego_speed_mps = 8.0;  // creeping toward the junction
+  base.visibility = rng.uniform(0.8, 1.0);
+
+  for (int f = 0; f < frames; ++f) {
+    if (walkers.size() < 2 && rng.bernoulli(0.02)) {
+      Walker w;
+      w.actor.type = random_vulnerable(rng);
+      w.actor.distance_m = rng.uniform(6.0, 18.0);
+      const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      w.actor.lateral_m = side * rng.uniform(3.0, 4.5);
+      w.actor.closing_mps = rng.uniform(-0.5, 0.5);
+      w.lateral_mps = -side * rng.uniform(1.0, 2.0);
+      walkers.push_back(w);
+    }
+
+    Scene s = base;
+    s.time_s = f * kDt;
+    for (const Walker& w : walkers) s.actors.push_back(w.actor);
+    sc.scenes.push_back(std::move(s));
+
+    for (Walker& w : walkers) {
+      w.actor.lateral_m += w.lateral_mps * kDt;
+      w.actor.distance_m -= w.actor.closing_mps * kDt;
+    }
+    walkers.erase(std::remove_if(walkers.begin(), walkers.end(),
+                                 [](const Walker& w) {
+                                   return std::fabs(w.actor.lateral_m) > 5.0 ||
+                                          w.actor.distance_m <= 0.5;
+                                 }),
+                  walkers.end());
+  }
+  return sc;
+}
+
+std::vector<Scenario> standard_suites(int frames, std::uint64_t base_seed) {
+  return {make_highway(frames, base_seed + 1),
+          make_urban(frames, base_seed + 2),
+          make_cut_in(frames, base_seed + 3),
+          make_degraded(frames, base_seed + 4)};
+}
+
+}  // namespace rrp::sim

@@ -1,0 +1,30 @@
+// suites.h — the four scenario suites of the evaluation.
+//
+//  highway   — fast cruise, long gaps, occasional lead-vehicle braking
+//  urban     — slow, dense, pedestrians/cyclists entering the corridor
+//  cut_in    — scripted sudden cut-ins: the canonical "back to the future"
+//              moment where criticality jumps Low→Critical within frames
+//  degraded  — urban traffic under visibility drops (sensor degradation)
+//  intersection — crossing pedestrians at a junction (lateral criticality)
+//
+// All generators are deterministic in (frames, seed).
+#pragma once
+
+#include "sim/scenario.h"
+
+namespace rrp::sim {
+
+Scenario make_highway(int frames, std::uint64_t seed);
+Scenario make_urban(int frames, std::uint64_t seed);
+Scenario make_cut_in(int frames, std::uint64_t seed);
+Scenario make_degraded(int frames, std::uint64_t seed);
+
+/// Junction approach: pedestrians/cyclists cross the corridor LATERALLY at
+/// short range, so criticality comes and goes with lateral position rather
+/// than closing speed — stresses the controller's restore/re-prune cycle.
+Scenario make_intersection(int frames, std::uint64_t seed);
+
+/// All four suites with derived seeds, in the order above.
+std::vector<Scenario> standard_suites(int frames, std::uint64_t base_seed);
+
+}  // namespace rrp::sim

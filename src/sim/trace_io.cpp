@@ -1,0 +1,131 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/checks.h"
+#include "util/csv.h"
+
+namespace rrp::sim {
+
+namespace {
+
+constexpr const char* kHeader =
+    "frame,time_s,ego_speed_mps,visibility,actor_type,distance_m,"
+    "closing_mps,lateral_m";
+
+std::string num(double v) { return CsvWriter::num(v, 6); }
+
+ActorType actor_type_from(const std::string& name) {
+  for (int t = 0; t < kActorTypes; ++t)
+    if (name == actor_type_name(static_cast<ActorType>(t)))
+      return static_cast<ActorType>(t);
+  throw SerializationError("unknown actor type '" + name + "'");
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_scenario_csv(const Scenario& scenario, std::ostream& out) {
+  out << "# scenario=" << scenario.name << " dt_s="
+      << CsvWriter::num(scenario.dt_s, 9)
+      << "\n"
+      << kHeader << "\n";
+  for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
+    const Scene& s = scenario.scenes[f];
+    const std::string prefix = std::to_string(f) + "," + num(s.time_s) + "," +
+                               num(s.ego_speed_mps) + "," +
+                               num(s.visibility) + ",";
+    if (s.actors.empty()) {
+      out << prefix << "none,0,0,0\n";
+      continue;
+    }
+    for (const Actor& a : s.actors)
+      out << prefix << actor_type_name(a.type) << "," << num(a.distance_m)
+          << "," << num(a.closing_mps) << "," << num(a.lateral_m) << "\n";
+  }
+}
+
+void save_scenario_csv(const Scenario& scenario, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw SerializationError("cannot open '" + path + "' for writing");
+  write_scenario_csv(scenario, f);
+  if (!f) throw SerializationError("write failed for '" + path + "'");
+}
+
+Scenario read_scenario_csv(std::istream& in) {
+  Scenario sc;
+  sc.dt_s = 1.0 / 30.0;
+
+  std::string line;
+  // Optional metadata comment.
+  if (!std::getline(in, line)) throw SerializationError("empty trace");
+  if (!line.empty() && line[0] == '#') {
+    std::istringstream meta(line.substr(1));
+    std::string token;
+    while (meta >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "scenario") sc.name = value;
+      else if (key == "dt_s") sc.dt_s = std::stod(value);
+    }
+    if (!std::getline(in, line)) throw SerializationError("missing header");
+  }
+  if (line != kHeader)
+    throw SerializationError("unexpected trace header: " + line);
+
+  std::map<std::size_t, Scene> frames;
+  std::size_t max_frame = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 8)
+      throw SerializationError("trace row has " +
+                               std::to_string(fields.size()) + " fields");
+    std::size_t frame = 0;
+    try {
+      frame = static_cast<std::size_t>(std::stoull(fields[0]));
+      Scene& s = frames[frame];
+      s.time_s = std::stod(fields[1]);
+      s.ego_speed_mps = std::stod(fields[2]);
+      s.visibility = std::stod(fields[3]);
+      if (fields[4] != "none") {
+        Actor a;
+        a.type = actor_type_from(fields[4]);
+        a.distance_m = std::stod(fields[5]);
+        a.closing_mps = std::stod(fields[6]);
+        a.lateral_m = std::stod(fields[7]);
+        s.actors.push_back(a);
+      }
+    } catch (const std::invalid_argument&) {
+      throw SerializationError("malformed trace row: " + line);
+    }
+    max_frame = std::max(max_frame, frame);
+  }
+  if (frames.empty()) throw SerializationError("trace has no frames");
+  if (frames.size() != max_frame + 1)
+    throw SerializationError("trace has gaps in the frame sequence");
+
+  sc.scenes.reserve(frames.size());
+  for (std::size_t f = 0; f <= max_frame; ++f)
+    sc.scenes.push_back(std::move(frames.at(f)));
+  return sc;
+}
+
+Scenario load_scenario_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw SerializationError("cannot open '" + path + "' for reading");
+  return read_scenario_csv(f);
+}
+
+}  // namespace rrp::sim

@@ -1,0 +1,29 @@
+// trace_io.h — scenario record/replay.
+//
+// Scenarios are serialized to a simple CSV (one row per actor per frame,
+// plus per-frame ego rows), so users can (a) archive the exact traffic a
+// result was produced on, and (b) bring their OWN traces — e.g. converted
+// from a drive log — and run them through the closed loop unchanged.
+// Round-trip is exact up to decimal formatting (property-tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace rrp::sim {
+
+/// Writes a scenario as CSV:
+///   frame,time_s,ego_speed_mps,visibility,actor_type,distance_m,
+///   closing_mps,lateral_m
+/// Frames without actors emit a single row with actor_type "none".
+void write_scenario_csv(const Scenario& scenario, std::ostream& out);
+void save_scenario_csv(const Scenario& scenario, const std::string& path);
+
+/// Parses write_scenario_csv output back into a Scenario.
+/// Throws rrp::SerializationError on malformed input.
+Scenario read_scenario_csv(std::istream& in);
+Scenario load_scenario_csv(const std::string& path);
+
+}  // namespace rrp::sim

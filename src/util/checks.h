@@ -1,0 +1,67 @@
+// checks.h — precondition / invariant checking for the rrp library.
+//
+// The library uses exceptions for recoverable interface errors (per C++ Core
+// Guidelines I.10) and RRP_CHECK for preconditions that indicate a caller
+// bug.  Checks stay enabled in release builds: this is a safety-oriented
+// library and the cost of a predictable branch is negligible next to GEMM.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rrp {
+
+/// Base class for all exceptions thrown by the rrp library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a precondition on an API call is violated.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor shapes are incompatible.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on serialization / deserialization format problems.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "RRP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rrp
+
+/// Check a precondition; throws rrp::PreconditionError with location info.
+#define RRP_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::rrp::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check a precondition with a streamed message:
+///   RRP_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define RRP_CHECK_MSG(expr, stream_expr)                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream rrp_check_os_;                                  \
+      rrp_check_os_ << stream_expr;                                      \
+      ::rrp::detail::fail_check(#expr, __FILE__, __LINE__,               \
+                                rrp_check_os_.str());                    \
+    }                                                                    \
+  } while (false)

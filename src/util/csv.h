@@ -1,0 +1,55 @@
+// csv.h — tiny CSV / table emitter used by benches and telemetry export.
+//
+// Two front-ends over the same row model:
+//   * CsvWriter      — RFC-4180-ish CSV to any std::ostream (or file).
+//   * TableFormatter — aligned, human-readable console tables, so each
+//                      bench binary can print paper-style rows directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rrp {
+
+/// Escapes a single CSV field (quotes when it contains , " or newline).
+std::string csv_escape(const std::string& field);
+
+/// Streams rows of string fields as CSV. The header is optional but, once
+/// written, every row must have the same arity (checked).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 6);
+
+ private:
+  std::ostream* out_;
+  std::size_t arity_ = 0;  // 0 until the first header/row fixes it
+};
+
+/// Collects rows then prints an aligned ASCII table.
+class TableFormatter {
+ public:
+  explicit TableFormatter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> fields);
+  void print(std::ostream& out) const;
+  /// Also emit the same content as CSV (for scripting / plotting).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like "12.3", trimming trailing zeros sensibly.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace rrp

@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/checks.h"
+
+namespace rrp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  RRP_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  RRP_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  return lo + static_cast<int>(uniform_u64(span));
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to keep log finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  RRP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RRP_CHECK_MSG(w >= 0.0, "negative categorical weight " << w);
+    total += w;
+  }
+  RRP_CHECK(total > 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on the last bucket
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = uniform_u64(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+}  // namespace rrp

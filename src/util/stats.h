@@ -1,0 +1,56 @@
+// stats.h — small descriptive-statistics helpers used by telemetry,
+// benchmarks and tests.  All functions are pure; Summary is a value type.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rrp {
+
+/// Descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1), 0 if count < 2
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the full summary of a sample. Returns a zeroed Summary if empty.
+Summary summarize(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than two values.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Precondition: xs non-empty.
+double quantile(std::vector<double> xs, double q);
+
+/// Streaming mean/variance accumulator (Welford), used by telemetry so we
+/// never need to retain per-frame vectors for long scenarios.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance, 0 if count < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rrp

@@ -1,0 +1,30 @@
+// timer.h — wall-clock timing helpers for recovery-latency and inference
+// benchmarks.  Header-only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rrp {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time since construction / last reset, in seconds.
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace rrp

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/assurance_export.h"
+
+namespace rrp::core {
+namespace {
+
+AssuranceReport sample_report() {
+  AssuranceReport r;
+  r.scenario = "cut_in";
+  r.provider = "reversible-masked";
+  r.policy = "criticality-greedy";
+  r.certified.max_level_for = {4, 3, 1, 0};
+  r.summary.frames = 900;
+  r.summary.accuracy = 0.91;
+  r.summary.safety_violations = 0;
+  r.summary.true_safety_violations = 3;
+  AssuranceRecord rec;
+  rec.frame = 42;
+  rec.criticality = CriticalityClass::Critical;
+  rec.requested_level = 4;
+  rec.enforced_level = 0;
+  rec.veto = true;
+  r.log.push_back(rec);
+  return r;
+}
+
+TEST(AssuranceExport, ContainsAllSections) {
+  const std::string json = assurance_json(sample_report());
+  EXPECT_NE(json.find("\"scenario\": \"cut_in\""), std::string::npos);
+  EXPECT_NE(json.find("\"certified_max_level\""), std::string::npos);
+  EXPECT_NE(json.find("\"Critical\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"violations_sensed_basis\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"violations_true_basis\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"assurance_log\""), std::string::npos);
+  EXPECT_NE(json.find("\"frame\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"veto\": true"), std::string::npos);
+}
+
+TEST(AssuranceExport, EmptyLogYieldsEmptyArray) {
+  AssuranceReport r = sample_report();
+  r.log.clear();
+  const std::string json = assurance_json(r);
+  EXPECT_NE(json.find("\"assurance_log\": [\n  ]"), std::string::npos);
+}
+
+TEST(AssuranceExport, EscapesSpecialCharacters) {
+  AssuranceReport r = sample_report();
+  r.scenario = "with \"quotes\" and \\slashes\\ and\nnewline";
+  const std::string json = assurance_json(r);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\slashes\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(AssuranceExport, BalancedBracesSmokeCheck) {
+  const std::string json = assurance_json(sample_report());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace rrp::core

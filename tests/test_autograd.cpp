@@ -1,0 +1,160 @@
+// Numerical gradient verification of every trainable layer, alone and in
+// composition — the foundation the accuracy experiments stand on.
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace rrp::nn {
+namespace {
+
+using rrp::testing::gradient_check;
+using rrp::testing::random_tensor;
+
+constexpr double kTol = 0.05;  // median relative error over directions
+
+std::vector<int> labels_for(int n, int classes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int& l : out) l = rng.uniform_int(0, classes - 1);
+  return out;
+}
+
+TEST(Autograd, LinearOnly) {
+  Network net("n");
+  net.emplace<Linear>("fc", 6, 4);
+  Rng rng(1);
+  init_network(net, rng);
+  const Tensor x = random_tensor({5, 6}, 2);
+  EXPECT_LT(gradient_check(net, x, labels_for(5, 4, 3)), kTol);
+}
+
+TEST(Autograd, TwoLinearWithReLU) {
+  Network net("n");
+  net.emplace<Linear>("fc1", 6, 8);
+  net.emplace<ReLU>("r");
+  net.emplace<Linear>("fc2", 8, 3);
+  Rng rng(4);
+  init_network(net, rng);
+  const Tensor x = random_tensor({4, 6}, 5);
+  EXPECT_LT(gradient_check(net, x, labels_for(4, 3, 6)), kTol);
+}
+
+TEST(Autograd, ConvOnly) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 2, 3, 3, 1, 1);
+  net.emplace<Flatten>("f");
+  Rng rng(7);
+  init_network(net, rng);
+  const Tensor x = random_tensor({2, 2, 5, 5}, 8);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 75, 9)), kTol);
+}
+
+TEST(Autograd, ConvWithStrideNoPadding) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 2, 3, 2, 0);
+  net.emplace<Flatten>("f");
+  Rng rng(10);
+  init_network(net, rng);
+  const Tensor x = random_tensor({2, 1, 7, 7}, 11);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 18, 12)), kTol);
+}
+
+TEST(Autograd, MaxPoolPath) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 2, 3, 1, 1);
+  net.emplace<MaxPool>("p", 2, 2);
+  net.emplace<Flatten>("f");
+  net.emplace<Linear>("fc", 2 * 4 * 4, 3);
+  Rng rng(13);
+  init_network(net, rng);
+  const Tensor x = random_tensor({2, 1, 8, 8}, 14);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 3, 15)), kTol);
+}
+
+TEST(Autograd, AvgPoolPath) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 2, 3, 1, 1);
+  net.emplace<AvgPool>("p", 2, 2);
+  net.emplace<Flatten>("f");
+  net.emplace<Linear>("fc", 2 * 4 * 4, 3);
+  Rng rng(16);
+  init_network(net, rng);
+  const Tensor x = random_tensor({2, 1, 8, 8}, 17);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 3, 18)), kTol);
+}
+
+TEST(Autograd, GlobalAvgPoolPath) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 4, 3, 1, 1);
+  net.emplace<GlobalAvgPool>("g");
+  net.emplace<Linear>("fc", 4, 3);
+  Rng rng(19);
+  init_network(net, rng);
+  const Tensor x = random_tensor({3, 1, 6, 6}, 20);
+  EXPECT_LT(gradient_check(net, x, labels_for(3, 3, 21)), kTol);
+}
+
+TEST(Autograd, BatchNorm4D) {
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 3, 3, 1, 1);
+  net.emplace<BatchNorm>("bn", 3);
+  net.emplace<ReLU>("r");
+  net.emplace<Flatten>("f");
+  net.emplace<Linear>("fc", 3 * 6 * 6, 3);
+  Rng rng(22);
+  init_network(net, rng);
+  const Tensor x = random_tensor({4, 1, 6, 6}, 23);
+  EXPECT_LT(gradient_check(net, x, labels_for(4, 3, 24)), kTol);
+}
+
+TEST(Autograd, BatchNorm2D) {
+  Network net("n");
+  net.emplace<Linear>("fc1", 5, 4);
+  net.emplace<BatchNorm>("bn", 4);
+  net.emplace<ReLU>("r");
+  net.emplace<Linear>("fc2", 4, 3);
+  Rng rng(25);
+  init_network(net, rng);
+  const Tensor x = random_tensor({6, 5}, 26);
+  EXPECT_LT(gradient_check(net, x, labels_for(6, 3, 27)), kTol);
+}
+
+TEST(Autograd, ResidualBlock) {
+  Network net = rrp::testing::tiny_residual_net(28);
+  const Tensor x = random_tensor({2, 1, 8, 8}, 29);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 3, 30)), kTol);
+}
+
+TEST(Autograd, FullTinyConvNet) {
+  Network net = rrp::testing::tiny_conv_net(31);
+  const Tensor x = random_tensor({3, 1, 8, 8}, 32);
+  EXPECT_LT(gradient_check(net, x, labels_for(3, 3, 33)), kTol);
+}
+
+TEST(Autograd, FullTinyBnNet) {
+  Network net = rrp::testing::tiny_bn_net(34);
+  const Tensor x = random_tensor({4, 1, 8, 8}, 35);
+  EXPECT_LT(gradient_check(net, x, labels_for(4, 3, 36)), kTol);
+}
+
+class AutogradSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutogradSeedSweep, ConvLinearStackAcrossSeeds) {
+  const std::uint64_t seed = GetParam();
+  Network net("n");
+  net.emplace<Conv2D>("c", 1, 2, 3, 1, 1);
+  net.emplace<ReLU>("r1");
+  net.emplace<Flatten>("f");
+  net.emplace<Linear>("fc", 2 * 6 * 6, 4);
+  Rng rng(seed);
+  init_network(net, rng);
+  const Tensor x = random_tensor({2, 1, 6, 6}, seed + 1);
+  EXPECT_LT(gradient_check(net, x, labels_for(2, 4, seed + 2)), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradSeedSweep,
+                         ::testing::Values(101ull, 202ull, 303ull, 404ull,
+                                           505ull));
+
+}  // namespace
+}  // namespace rrp::nn

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/bn_calibration.h"
+#include "util/checks.h"
+#include "core/reversible_pruner.h"
+#include "test_support.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::tiny_bn_net;
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_dataset;
+using rrp::testing::tiny_input_shape;
+
+TEST(BnState, CaptureAndApplyRoundTrip) {
+  nn::Network net = tiny_bn_net(1);
+  auto* bn = dynamic_cast<nn::BatchNorm*>(net.find("bn1"));
+  bn->running_mean() = nn::Tensor({6}, {1, 2, 3, 4, 5, 6});
+  const BnState state = capture_bn_state(net);
+  EXPECT_FALSE(state.empty());
+  EXPECT_GT(state.total_bytes(), 0);
+
+  bn->running_mean().fill(0.0f);
+  apply_bn_state(net, state);
+  EXPECT_FLOAT_EQ(bn->running_mean()[3], 4.0f);
+}
+
+TEST(BnState, EmptyForNetWithoutBn) {
+  nn::Network net = tiny_conv_net(2);
+  EXPECT_TRUE(capture_bn_state(net).empty());
+}
+
+TEST(BnState, ApplyValidatesLayerNames) {
+  nn::Network net = tiny_bn_net(3);
+  BnState bogus;
+  bogus.stats.emplace("ghost",
+                      std::make_pair(nn::Tensor({2}), nn::Tensor({2})));
+  EXPECT_THROW(apply_bn_state(net, bogus), PreconditionError);
+}
+
+class CalibrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_bn_net(4);
+    data_ = tiny_dataset(300, 5);
+    rrp::testing::quick_train(net_, data_, 3);
+    lib_ = prune::PruneLevelLibrary::build_structured(
+        net_, {0.0, 0.5}, tiny_input_shape());
+  }
+  nn::Network net_;
+  nn::Dataset data_;
+  prune::PruneLevelLibrary lib_;
+};
+
+TEST_F(CalibrationFixture, ReturnsOneStatePerLevel) {
+  Rng rng(6);
+  const auto states =
+      calibrate_bn_per_level(net_, lib_, data_, BnCalibrationConfig{}, rng);
+  EXPECT_EQ(states.size(), 2u);
+  for (const auto& s : states) EXPECT_FALSE(s.empty());
+}
+
+TEST_F(CalibrationFixture, LevelZeroKeepsDenseStats) {
+  const BnState before = capture_bn_state(net_);
+  Rng rng(7);
+  const auto states =
+      calibrate_bn_per_level(net_, lib_, data_, BnCalibrationConfig{}, rng);
+  for (const auto& [name, mv] : before.stats) {
+    const auto it = states[0].stats.find(name);
+    ASSERT_NE(it, states[0].stats.end());
+    EXPECT_TRUE(it->second.first.equals(mv.first));
+    EXPECT_TRUE(it->second.second.equals(mv.second));
+  }
+}
+
+TEST_F(CalibrationFixture, NetworkRestoredAfterCalibration) {
+  std::vector<nn::Tensor> before;
+  for (auto& p : net_.params()) before.push_back(*p.value);
+  const BnState stats_before = capture_bn_state(net_);
+
+  Rng rng(8);
+  calibrate_bn_per_level(net_, lib_, data_, BnCalibrationConfig{}, rng);
+
+  auto after = net_.params();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_TRUE(after[i].value->equals(before[i]));
+  const BnState stats_after = capture_bn_state(net_);
+  for (const auto& [name, mv] : stats_before.stats) {
+    EXPECT_TRUE(stats_after.stats.at(name).first.equals(mv.first));
+    EXPECT_TRUE(stats_after.stats.at(name).second.equals(mv.second));
+  }
+}
+
+TEST_F(CalibrationFixture, CalibratedStatsDifferFromDenseAtPrunedLevel) {
+  Rng rng(9);
+  const auto states =
+      calibrate_bn_per_level(net_, lib_, data_, BnCalibrationConfig{}, rng);
+  bool any_diff = false;
+  for (const auto& [name, mv] : states[1].stats) {
+    const auto& dense = states[0].stats.at(name);
+    if (!mv.first.equals(dense.first)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(CalibrationFixture, CalibrationImprovesOrMatchesPrunedAccuracy) {
+  Rng rng(10);
+  const auto states =
+      calibrate_bn_per_level(net_, lib_, data_, BnCalibrationConfig{}, rng);
+
+  ReversiblePruner rp(net_, lib_);
+  rp.set_level(1);
+  const double without = nn::evaluate_accuracy(net_, data_);
+  rp.set_level(0);
+
+  ReversiblePruner rp2(net_, lib_);
+  rp2.set_bn_states(states);
+  rp2.set_level(1);
+  const double with = nn::evaluate_accuracy(net_, data_);
+  EXPECT_GE(with + 0.03, without);
+}
+
+TEST_F(CalibrationFixture, ValidatesConfig) {
+  Rng rng(11);
+  BnCalibrationConfig bad;
+  bad.batches = 0;
+  EXPECT_THROW(calibrate_bn_per_level(net_, lib_, data_, bad, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrp::core

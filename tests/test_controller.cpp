@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/baselines.h"
+#include "test_support.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_input_shape;
+
+const std::vector<double> kRatios{0.0, 0.2, 0.4, 0.6, 0.8};
+
+prune::PruneLevelLibrary lib_for(nn::Network& net) {
+  return prune::PruneLevelLibrary::build_structured(net, kRatios,
+                                                    tiny_input_shape());
+}
+
+ControlInput input_at(CriticalityClass c, std::int64_t frame = 0) {
+  ControlInput in;
+  in.frame = frame;
+  in.criticality = c;
+  return in;
+}
+
+TEST(Controller, AppliesPolicyDecisionToProvider) {
+  nn::Network net = tiny_conv_net(1);
+  ReversiblePruner provider(net, lib_for(net));
+  CriticalityGreedyPolicy policy(SafetyConfig{}, /*hysteresis=*/1, 5);
+  SafetyMonitor monitor;
+  RuntimeController ctl(policy, provider, &monitor);
+
+  const auto d = ctl.step(input_at(CriticalityClass::Low));
+  EXPECT_EQ(d.requested_level, 4);
+  EXPECT_EQ(d.enforced_level, 4);
+  EXPECT_EQ(provider.current_level(), 4);
+  EXPECT_FALSE(d.veto);
+}
+
+TEST(Controller, SafetyVetoForcesRestore) {
+  nn::Network net = tiny_conv_net(2);
+  ReversiblePruner provider(net, lib_for(net));
+  FixedPolicy policy(4);  // insists on deepest pruning
+  SafetyMonitor monitor;
+  RuntimeController ctl(policy, provider, &monitor);
+
+  const auto d = ctl.step(input_at(CriticalityClass::Critical));
+  EXPECT_EQ(d.requested_level, 4);
+  EXPECT_EQ(d.enforced_level, 0);
+  EXPECT_TRUE(d.veto);
+  EXPECT_EQ(provider.current_level(), 0);
+  EXPECT_EQ(monitor.veto_count(), 1);
+  EXPECT_EQ(monitor.violation_count(), 0);  // veto prevented the violation
+}
+
+TEST(Controller, WithoutMonitorNoScreening) {
+  nn::Network net = tiny_conv_net(3);
+  ReversiblePruner provider(net, lib_for(net));
+  FixedPolicy policy(4);
+  RuntimeController ctl(policy, provider, nullptr);
+  const auto d = ctl.step(input_at(CriticalityClass::Critical));
+  EXPECT_EQ(d.enforced_level, 4);  // nothing stops it
+  EXPECT_FALSE(d.veto);
+}
+
+TEST(Controller, StaticProviderIgnoresDecisionAndAuditCatchesIt) {
+  nn::Network net = tiny_conv_net(4);
+  const auto lib = lib_for(net);
+  StaticProvider provider(net, lib, 4);  // stuck at deepest pruning
+  CriticalityGreedyPolicy policy(SafetyConfig{}, 1, 5);
+  SafetyMonitor monitor;
+  RuntimeController ctl(policy, provider, &monitor);
+
+  ctl.step(input_at(CriticalityClass::Critical));
+  // The monitor demanded level 0 but the static provider cannot comply:
+  // that frame is a recorded safety violation.
+  EXPECT_EQ(provider.current_level(), 4);
+  EXPECT_EQ(monitor.violation_count(), 1);
+}
+
+TEST(Controller, CountsActualSwitchesOnly) {
+  nn::Network net = tiny_conv_net(5);
+  ReversiblePruner provider(net, lib_for(net));
+  CriticalityGreedyPolicy policy(SafetyConfig{}, 1, 5);
+  RuntimeController ctl(policy, provider, nullptr);
+
+  ctl.step(input_at(CriticalityClass::Low, 0));   // 0 -> 4: switch
+  ctl.step(input_at(CriticalityClass::Low, 1));   // stays: no switch
+  ctl.step(input_at(CriticalityClass::High, 2));  // 4 -> 1: switch
+  EXPECT_EQ(ctl.switch_count(), 2);
+}
+
+TEST(Controller, ClampsPolicyOutputToLevelRange) {
+  nn::Network net = tiny_conv_net(6);
+  ReversiblePruner provider(net, lib_for(net));
+  FixedPolicy policy(99);
+  RuntimeController ctl(policy, provider, nullptr);
+  const auto d = ctl.step(input_at(CriticalityClass::Low));
+  EXPECT_EQ(d.requested_level, 4);
+  EXPECT_EQ(provider.current_level(), 4);
+}
+
+TEST(Controller, ResetClearsPolicyMonitorAndCounter) {
+  nn::Network net = tiny_conv_net(7);
+  ReversiblePruner provider(net, lib_for(net));
+  CriticalityGreedyPolicy policy(SafetyConfig{}, 3, 5);
+  SafetyMonitor monitor;
+  RuntimeController ctl(policy, provider, &monitor);
+  ctl.step(input_at(CriticalityClass::Low, 0));
+  ctl.reset();
+  EXPECT_EQ(ctl.switch_count(), 0);
+  EXPECT_EQ(monitor.audited_frames(), 0);
+}
+
+TEST(Controller, TransitionStatsSurfaceInDecision) {
+  nn::Network net = tiny_conv_net(8);
+  ReversiblePruner provider(net, lib_for(net));
+  CriticalityGreedyPolicy policy(SafetyConfig{}, 1, 5);
+  RuntimeController ctl(policy, provider, nullptr);
+  const auto d = ctl.step(input_at(CriticalityClass::Low));
+  EXPECT_EQ(d.transition.from_level, 0);
+  EXPECT_EQ(d.transition.to_level, 4);
+  EXPECT_GT(d.transition.elements_changed, 0);
+}
+
+}  // namespace
+}  // namespace rrp::core

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/checks.h"
+#include "util/csv.h"
+
+namespace rrp {
+namespace {
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeCommaQuoteNewline) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEmitsHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, WriterEnforcesArity) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), PreconditionError);
+}
+
+TEST(Csv, HeaderMustComeFirst) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"x"});
+  EXPECT_THROW(w.header({"a"}), PreconditionError);
+}
+
+TEST(Csv, NumFormatsFixedPrecision) {
+  EXPECT_EQ(CsvWriter::num(1.23456, 2), "1.23");
+}
+
+TEST(Table, PrintsAlignedTable) {
+  TableFormatter t({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvExportMatchesRows) {
+  TableFormatter t({"h1", "h2"});
+  t.row({"a", "b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "h1,h2\na,b\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  TableFormatter t({"h1", "h2"});
+  EXPECT_THROW(t.row({"a"}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(TableFormatter({}), PreconditionError);
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(1.5, 3), "1.5");
+  EXPECT_EQ(fmt(2.0, 3), "2.0");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace rrp

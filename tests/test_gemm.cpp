@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "util/rng.h"
+
+namespace rrp::nn {
+namespace {
+
+// Naive reference: C = alpha*op(A)*op(B) + beta*C.
+void ref_gemm(bool ta, bool tb, std::int64_t m, std::int64_t n, std::int64_t k,
+              float alpha, const std::vector<float>& a,
+              const std::vector<float>& b, float beta, std::vector<float>& c) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * m + i] : a[i * k + kk];
+        const float bv = tb ? b[j * k + kk] : b[kk * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) +
+                     (beta == 0.0f ? 0.0f : beta * c[i * n + j]);
+    }
+}
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+using GemmShape = std::tuple<int, int, int>;
+
+class GemmShapes : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> expected = c;
+
+  gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  ref_gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(GemmShapes, TransposedAMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7 + n * 11 + k * 13));
+  const auto a = random_vec(static_cast<std::size_t>(k) * m, rng);  // [K, M]
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> expected = c;
+
+  gemm_at(m, n, k, 1.0f, a.data(), m, b.data(), n, 0.0f, c.data(), n);
+  ref_gemm(true, false, m, n, k, 1.0f, a, b, 0.0f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(GemmShapes, TransposedBMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 3 + n * 5 + k * 17));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(n) * k, rng);  // [N, K]
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> expected = c;
+
+  gemm_bt(m, n, k, 1.0f, a.data(), k, b.data(), k, 0.0f, c.data(), n);
+  ref_gemm(false, true, m, n, k, 1.0f, a, b, 0.0f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-4f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 3},
+                      GemmShape{5, 1, 9}, GemmShape{4, 4, 4},
+                      GemmShape{16, 16, 16}, GemmShape{33, 17, 65},
+                      GemmShape{64, 64, 64}, GemmShape{70, 65, 130},
+                      GemmShape{128, 3, 128}));
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Rng rng(99);
+  const int m = 9, n = 11, k = 13;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  auto c = random_vec(static_cast<std::size_t>(m) * n, rng);
+  std::vector<float> expected = c;
+
+  gemm(m, n, k, 0.5f, a.data(), k, b.data(), n, 2.0f, c.data(), n);
+  ref_gemm(false, false, m, n, k, 0.5f, a, b, 2.0f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-3f);
+}
+
+TEST(Gemm, BetaOneAccumulatesIntoExisting) {
+  const int m = 2, n = 2, k = 2;
+  std::vector<float> a{1, 0, 0, 1};  // identity
+  std::vector<float> b{1, 2, 3, 4};
+  std::vector<float> c{10, 10, 10, 10};
+  gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c.data(), n);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Gemm, ZeroWeightsShortCircuitIsExact) {
+  // The kernel skips zero A-values; result must equal the reference anyway.
+  const int m = 4, n = 4, k = 4;
+  Rng rng(7);
+  auto a = random_vec(16, rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;  // half pruned
+  const auto b = random_vec(16, rng);
+  std::vector<float> c(16, 0.0f), expected(16, 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+  ref_gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, expected);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expected[i], 1e-5f);
+}
+
+}  // namespace
+}  // namespace rrp::nn

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "prune/importance.h"
+#include "util/checks.h"
+#include "test_support.h"
+
+namespace rrp::prune {
+namespace {
+
+TEST(Importance, ElementScoresL1) {
+  const nn::Tensor w({4}, {-2, 1, 0, 3});
+  const auto s = element_scores(w, ImportanceMetric::L1);
+  EXPECT_FLOAT_EQ(s[0], 2.0f);
+  EXPECT_FLOAT_EQ(s[1], 1.0f);
+  EXPECT_FLOAT_EQ(s[2], 0.0f);
+  EXPECT_FLOAT_EQ(s[3], 3.0f);
+}
+
+TEST(Importance, ElementScoresL2) {
+  const nn::Tensor w({2}, {-2, 3});
+  const auto s = element_scores(w, ImportanceMetric::L2);
+  EXPECT_FLOAT_EQ(s[0], 4.0f);
+  EXPECT_FLOAT_EQ(s[1], 9.0f);
+}
+
+TEST(Importance, LinearRowScoresMeanAbs) {
+  nn::Linear lin("l", 2, 2);
+  lin.weight() = nn::Tensor({2, 2}, {1, 3, -2, -2});
+  const auto s = linear_row_scores(lin, ImportanceMetric::L1);
+  EXPECT_FLOAT_EQ(s[0], 2.0f);
+  EXPECT_FLOAT_EQ(s[1], 2.0f);
+}
+
+TEST(Importance, ConvChannelScoresRankFilters) {
+  nn::Conv2D conv("c", 1, 2, 2, 1, 0);
+  conv.weight().fill(0.0f);
+  conv.weight().at(0, 0, 0, 0) = 0.1f;
+  conv.weight().at(1, 0, 0, 0) = 5.0f;
+  const auto s = conv_channel_scores(conv, ImportanceMetric::L1);
+  EXPECT_LT(s[0], s[1]);
+}
+
+TEST(Importance, L2RowScoreIsRms) {
+  nn::Linear lin("l", 4, 1);
+  lin.weight() = nn::Tensor({1, 4}, {1, 1, 1, 1});
+  const auto s = linear_row_scores(lin, ImportanceMetric::L2);
+  EXPECT_NEAR(s[0], 1.0f, 1e-6f);
+}
+
+TEST(Importance, ChannelScoresDispatch) {
+  nn::Linear lin("l", 2, 3);
+  EXPECT_EQ(channel_scores(lin, ImportanceMetric::L1).size(), 3u);
+  nn::Conv2D conv("c", 1, 4, 3, 1, 1);
+  EXPECT_EQ(channel_scores(conv, ImportanceMetric::L1).size(), 4u);
+  nn::ReLU relu("r");
+  EXPECT_THROW(channel_scores(relu, ImportanceMetric::L1), rrp::Error);
+}
+
+TEST(Importance, AscendingOrderSortsStably) {
+  const auto order = ascending_order({3.0f, 1.0f, 2.0f, 1.0f});
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // ties keep original order (stable)
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(Importance, MetricNames) {
+  EXPECT_STREQ(importance_metric_name(ImportanceMetric::L1), "L1");
+  EXPECT_STREQ(importance_metric_name(ImportanceMetric::L2), "L2");
+}
+
+}  // namespace
+}  // namespace rrp::prune

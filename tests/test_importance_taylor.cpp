@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/reversible_pruner.h"
+#include "prune/importance.h"
+#include "prune/levels.h"
+#include "prune/sensitivity.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::prune {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_dataset;
+using rrp::testing::tiny_input_shape;
+
+class TaylorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_conv_net(1);
+    data_ = tiny_dataset(200, 2);
+    rrp::testing::quick_train(net_, data_, 3);
+  }
+  nn::Network net_;
+  nn::Dataset data_;
+};
+
+TEST_F(TaylorFixture, ScoresCoverAllParamsAndPrunableLayers) {
+  Rng rng(3);
+  const TaylorScores ts = taylor_scores(net_, data_, 4, 16, rng);
+  for (auto& p : net_.params()) {
+    const auto it = ts.element.find(p.name);
+    ASSERT_NE(it, ts.element.end()) << p.name;
+    EXPECT_EQ(static_cast<std::int64_t>(it->second.size()), p.value->numel());
+  }
+  EXPECT_EQ(ts.channel.count("conv1"), 1u);
+  EXPECT_EQ(ts.channel.count("fc1"), 1u);
+  EXPECT_EQ(ts.channel.count("head"), 0u);  // pinned, not prunable
+  EXPECT_EQ(ts.channel.at("conv1").size(), 6u);
+}
+
+TEST_F(TaylorFixture, ScoresAreNonNegativeAndNotAllZero) {
+  Rng rng(4);
+  const TaylorScores ts = taylor_scores(net_, data_, 4, 16, rng);
+  double total = 0.0;
+  for (const auto& [name, s] : ts.element)
+    for (float v : s) {
+      EXPECT_GE(v, 0.0f);
+      total += v;
+    }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(TaylorFixture, WeightsUnchangedByScoring) {
+  std::vector<nn::Tensor> before;
+  for (auto& p : net_.params()) before.push_back(*p.value);
+  Rng rng(5);
+  taylor_scores(net_, data_, 3, 16, rng);
+  auto after = net_.params();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_TRUE(after[i].value->equals(before[i]));
+}
+
+TEST_F(TaylorFixture, DeterministicForFixedRng) {
+  Rng r1(6), r2(6);
+  const TaylorScores a = taylor_scores(net_, data_, 3, 16, r1);
+  const TaylorScores b = taylor_scores(net_, data_, 3, 16, r2);
+  for (const auto& [name, s] : a.element) {
+    const auto& s2 = b.element.at(name);
+    for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], s2[i]);
+  }
+}
+
+TEST_F(TaylorFixture, ValidatesInputs) {
+  Rng rng(7);
+  EXPECT_THROW(taylor_scores(net_, data_, 0, 16, rng), PreconditionError);
+  nn::Dataset tiny = tiny_dataset(4, 8);
+  EXPECT_THROW(taylor_scores(net_, tiny, 1, 16, rng), PreconditionError);
+}
+
+TEST_F(TaylorFixture, ScoredLadderIsNestedAndUsable) {
+  Rng rng(9);
+  const TaylorScores ts = taylor_scores(net_, data_, 4, 16, rng);
+  auto lib = PruneLevelLibrary::build_structured_scored(
+      net_, {0.0, 0.3, 0.6}, tiny_input_shape(), ts.channel);
+  EXPECT_TRUE(lib.verify_nested());
+  EXPECT_TRUE(lib.structured());
+  core::ReversiblePruner rp(net_, std::move(lib));
+  rp.set_level(2);
+  rp.set_level(0);
+}
+
+TEST_F(TaylorFixture, ScoredBuilderSkipsMissingLayers) {
+  Rng rng(10);
+  TaylorScores ts = taylor_scores(net_, data_, 2, 16, rng);
+  ts.channel.erase("fc1");
+  auto lib = PruneLevelLibrary::build_structured_scored(
+      net_, {0.0, 0.6}, tiny_input_shape(), ts.channel);
+  for (const auto& cm : lib.channel_masks(1))
+    EXPECT_NE(cm.layer_name, "fc1");
+}
+
+TEST_F(TaylorFixture, ScoredBuilderRejectsWidthMismatch) {
+  std::map<std::string, std::vector<float>> bogus;
+  bogus["conv1"] = {1.0f, 2.0f};  // conv1 has 6 channels
+  EXPECT_THROW(PruneLevelLibrary::build_structured_scored(
+                   net_, {0.0, 0.5}, tiny_input_shape(), bogus),
+               PreconditionError);
+}
+
+TEST(NonUniform, ScalesThrottlePerLayerPruning) {
+  nn::Network net = tiny_conv_net(11);
+  std::map<std::string, double> scales{{"conv1", 0.25}, {"fc1", 1.0}};
+  auto lib = PruneLevelLibrary::build_structured_nonuniform(
+      net, {0.0, 0.8}, tiny_input_shape(), scales);
+  EXPECT_TRUE(lib.verify_nested());
+  const auto* conv_cm = find_channel_mask(lib.channel_masks(1), "conv1");
+  const auto* fc_cm = find_channel_mask(lib.channel_masks(1), "fc1");
+  ASSERT_NE(conv_cm, nullptr);
+  ASSERT_NE(fc_cm, nullptr);
+  const double conv_ratio =
+      static_cast<double>(conv_cm->pruned_count()) / conv_cm->keep.size();
+  const double fc_ratio =
+      static_cast<double>(fc_cm->pruned_count()) / fc_cm->keep.size();
+  EXPECT_LT(conv_ratio, fc_ratio);
+  EXPECT_NEAR(conv_ratio, 0.8 * 0.25, 0.18);
+}
+
+TEST(NonUniform, RejectsOutOfRangeScale) {
+  nn::Network net = tiny_conv_net(12);
+  std::map<std::string, double> bad{{"conv1", 1.5}};
+  EXPECT_THROW(PruneLevelLibrary::build_structured_nonuniform(
+                   net, {0.0, 0.5}, tiny_input_shape(), bad),
+               PreconditionError);
+}
+
+TEST(SensitivityScales, TolerancesNormalized) {
+  std::vector<SensitivityPoint> pts;
+  auto add = [&](const char* layer, double ratio, double acc) {
+    pts.push_back({layer, ratio, acc, 0.0});
+  };
+  // robust: survives up to 0.8; fragile: dies after 0.2.
+  add("robust", 0.0, 0.9);
+  add("robust", 0.4, 0.89);
+  add("robust", 0.8, 0.87);
+  add("fragile", 0.0, 0.9);
+  add("fragile", 0.2, 0.88);
+  add("fragile", 0.4, 0.60);
+  const auto scales = sensitivity_scales(pts, /*max_drop=*/0.05);
+  EXPECT_DOUBLE_EQ(scales.at("robust"), 1.0);
+  EXPECT_NEAR(scales.at("fragile"), 0.25, 1e-9);
+}
+
+TEST(SensitivityScales, FloorAppliesWhenNothingTolerated) {
+  std::vector<SensitivityPoint> pts;
+  pts.push_back({"l", 0.0, 0.9, 0.0});
+  pts.push_back({"l", 0.5, 0.1, 0.0});
+  const auto scales = sensitivity_scales(pts, 0.01, /*min_scale=*/0.3);
+  EXPECT_DOUBLE_EQ(scales.at("l"), 0.3);
+}
+
+TEST(SensitivityScales, RequiresBaselinePoints) {
+  std::vector<SensitivityPoint> pts;
+  pts.push_back({"l", 0.5, 0.5, 0.0});
+  EXPECT_THROW(sensitivity_scales(pts, 0.05), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrp::prune
+
+namespace rrp::prune {
+namespace {
+
+TEST(TaylorPurity, BatchNormStatsPreserved) {
+  nn::Network net = rrp::testing::tiny_bn_net(20);
+  nn::Dataset data = rrp::testing::tiny_dataset(100, 21);
+  rrp::testing::quick_train(net, data, 2);
+  auto* bn = dynamic_cast<nn::BatchNorm*>(net.find("bn1"));
+  ASSERT_NE(bn, nullptr);
+  const nn::Tensor mean_before = bn->running_mean();
+  const nn::Tensor var_before = bn->running_var();
+  Rng rng(22);
+  taylor_scores(net, data, 4, 16, rng);
+  EXPECT_TRUE(bn->running_mean().equals(mean_before));
+  EXPECT_TRUE(bn->running_var().equals(var_before));
+}
+
+}  // namespace
+}  // namespace rrp::prune

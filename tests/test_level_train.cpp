@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/level_train.h"
+#include "util/checks.h"
+#include "core/reversible_pruner.h"
+#include "test_support.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_dataset;
+using rrp::testing::tiny_input_shape;
+
+class CoTrainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_conv_net(1);
+    train_ = tiny_dataset(300, 2);
+    eval_ = tiny_dataset(120, 3);
+    rrp::testing::quick_train(net_, train_, 3);
+    lib_ = prune::PruneLevelLibrary::build_structured(
+        net_, {0.0, 0.4, 0.7}, tiny_input_shape());
+  }
+
+  std::vector<double> level_accuracy() {
+    ReversiblePruner rp(net_, lib_);
+    std::vector<double> acc;
+    for (int k = 0; k < lib_.level_count(); ++k) {
+      rp.set_level(k);
+      acc.push_back(nn::evaluate_accuracy(net_, eval_));
+    }
+    rp.set_level(0);
+    return acc;
+  }
+
+  nn::Network net_;
+  nn::Dataset train_, eval_;
+  prune::PruneLevelLibrary lib_;
+};
+
+TEST_F(CoTrainFixture, ImprovesPrunedLevelsWithoutWreckingDense) {
+  const auto before = level_accuracy();
+  CoTrainConfig cfg;
+  cfg.epochs = 3;
+  Rng rng(4);
+  co_train_levels(net_, lib_, train_, eval_, cfg, rng);
+  const auto after = level_accuracy();
+
+  // Dense level must stay strong and the deepest pruned level must not be
+  // WORSE than before co-training (it usually improves a lot).
+  EXPECT_GT(after[0], 0.8);
+  EXPECT_GE(after[2] + 0.05, before[2]);
+}
+
+TEST_F(CoTrainFixture, ReturnsPerLevelAccuracy) {
+  CoTrainConfig cfg;
+  cfg.epochs = 1;
+  Rng rng(5);
+  const CoTrainStats stats =
+      co_train_levels(net_, lib_, train_, eval_, cfg, rng);
+  ASSERT_EQ(stats.final_level_accuracy.size(), 3u);
+  for (double a : stats.final_level_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST_F(CoTrainFixture, ZeroEpochsLeavesWeightsUntouched) {
+  std::vector<nn::Tensor> before;
+  for (auto& p : net_.params()) before.push_back(*p.value);
+  CoTrainConfig cfg;
+  cfg.epochs = 0;
+  Rng rng(6);
+  co_train_levels(net_, lib_, train_, eval_, cfg, rng);
+  auto after = net_.params();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_TRUE(after[i].value->equals(before[i]));
+}
+
+TEST_F(CoTrainFixture, MaskedElementsSurviveCoTraining) {
+  // After co-training, applying the deepest mask then restoring level 0
+  // must still be exact — i.e. co-training never bakes masking into the
+  // shared weights.
+  CoTrainConfig cfg;
+  cfg.epochs = 2;
+  Rng rng(7);
+  co_train_levels(net_, lib_, train_, eval_, cfg, rng);
+
+  std::vector<nn::Tensor> shared;
+  for (auto& p : net_.params()) shared.push_back(*p.value);
+  ReversiblePruner rp(net_, lib_);
+  rp.set_level(2);
+  rp.set_level(0);
+  auto after = net_.params();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_TRUE(after[i].value->equals(shared[i]));
+}
+
+TEST_F(CoTrainFixture, ValidatesConfig) {
+  CoTrainConfig cfg;
+  cfg.level0_weight = 1.5;
+  Rng rng(8);
+  EXPECT_THROW(co_train_levels(net_, lib_, train_, eval_, cfg, rng),
+               PreconditionError);
+  nn::Dataset empty;
+  CoTrainConfig ok;
+  EXPECT_THROW(co_train_levels(net_, lib_, empty, eval_, ok, rng),
+               PreconditionError);
+}
+
+TEST(CoTrainBn, BnStatisticsNotPollutedByMaskedBatches) {
+  nn::Network net = rrp::testing::tiny_bn_net(10);
+  nn::Dataset train = tiny_dataset(200, 11);
+  rrp::testing::quick_train(net, train, 2);
+  auto lib = prune::PruneLevelLibrary::build_structured(
+      net, {0.0, 0.6}, tiny_input_shape());
+
+  const double dense_before = nn::evaluate_accuracy(net, train);
+  CoTrainConfig cfg;
+  cfg.epochs = 2;
+  Rng rng(12);
+  co_train_levels(net, lib, train, nn::Dataset{}, cfg, rng);
+  const double dense_after = nn::evaluate_accuracy(net, train);
+  EXPECT_GT(dense_after, dense_before - 0.1);
+}
+
+}  // namespace
+}  // namespace rrp::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "prune/levels.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::prune {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_input_shape;
+using rrp::testing::tiny_residual_net;
+
+const std::vector<double> kRatios{0.0, 0.25, 0.5, 0.75};
+
+TEST(Levels, UnstructuredLaddersAreNested) {
+  nn::Network net = tiny_conv_net(1);
+  const auto lib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  EXPECT_EQ(lib.level_count(), 4);
+  EXPECT_FALSE(lib.structured());
+  EXPECT_TRUE(lib.verify_nested());
+}
+
+TEST(Levels, StructuredLaddersAreNested) {
+  nn::Network net = tiny_conv_net(2);
+  const auto lib =
+      PruneLevelLibrary::build_structured(net, kRatios, tiny_input_shape());
+  EXPECT_TRUE(lib.structured());
+  EXPECT_TRUE(lib.verify_nested());
+}
+
+TEST(Levels, ResidualStructuredNested) {
+  nn::Network net = tiny_residual_net(3);
+  const auto lib =
+      PruneLevelLibrary::build_structured(net, kRatios, tiny_input_shape());
+  EXPECT_TRUE(lib.verify_nested());
+}
+
+TEST(Levels, LevelZeroIsEmptyMask) {
+  nn::Network net = tiny_conv_net(4);
+  const auto lib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  EXPECT_EQ(lib.mask(0).pruned_count(), 0);
+  EXPECT_EQ(lib.ratio(0), 0.0);
+}
+
+TEST(Levels, SparsityIncreasesMonotonically) {
+  nn::Network net = tiny_conv_net(5);
+  for (bool structured : {false, true}) {
+    const auto lib =
+        structured ? PruneLevelLibrary::build_structured(net, kRatios,
+                                                         tiny_input_shape())
+                   : PruneLevelLibrary::build_unstructured(net, kRatios);
+    const auto sparsity = lib.achieved_sparsity(net);
+    for (std::size_t k = 1; k < sparsity.size(); ++k)
+      EXPECT_GT(sparsity[k], sparsity[k - 1]) << "structured=" << structured;
+  }
+}
+
+TEST(Levels, UnstructuredSparsityTracksRatios) {
+  nn::Network net = tiny_conv_net(6);
+  const auto lib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  const auto sparsity = lib.achieved_sparsity(net);
+  for (std::size_t k = 1; k < sparsity.size(); ++k)
+    EXPECT_NEAR(sparsity[k], kRatios[k], 0.05);
+}
+
+TEST(Levels, ChannelMasksOnlyInStructuredMode) {
+  nn::Network net = tiny_conv_net(7);
+  const auto ulib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  EXPECT_THROW(ulib.channel_masks(1), PreconditionError);
+  const auto slib =
+      PruneLevelLibrary::build_structured(net, kRatios, tiny_input_shape());
+  EXPECT_TRUE(slib.channel_masks(0).empty());
+  EXPECT_FALSE(slib.channel_masks(3).empty());
+}
+
+TEST(Levels, StructuredChannelMasksAreNestedPerLayer) {
+  nn::Network net = tiny_conv_net(8);
+  const auto lib =
+      PruneLevelLibrary::build_structured(net, kRatios, tiny_input_shape());
+  for (int k = 1; k + 1 < lib.level_count(); ++k) {
+    for (const auto& cm : lib.channel_masks(k)) {
+      const auto* finer = find_channel_mask(lib.channel_masks(k + 1),
+                                            cm.layer_name);
+      if (finer == nullptr) continue;
+      for (std::size_t c = 0; c < cm.keep.size(); ++c)
+        if (cm.keep[c] == 0) {
+          EXPECT_EQ(finer->keep[c], 0);
+        }
+    }
+  }
+}
+
+TEST(Levels, RatioValidation) {
+  nn::Network net = tiny_conv_net(9);
+  EXPECT_THROW(PruneLevelLibrary::build_unstructured(net, {}),
+               PreconditionError);
+  EXPECT_THROW(PruneLevelLibrary::build_unstructured(net, {0.1, 0.5}),
+               PreconditionError);  // must start at 0
+  EXPECT_THROW(PruneLevelLibrary::build_unstructured(net, {0.0, 0.5, 0.5}),
+               PreconditionError);  // strictly increasing
+  EXPECT_THROW(PruneLevelLibrary::build_unstructured(net, {0.0, 1.0}),
+               PreconditionError);  // < 1
+}
+
+TEST(Levels, AccessorBounds) {
+  nn::Network net = tiny_conv_net(10);
+  const auto lib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  EXPECT_THROW(lib.mask(-1), PreconditionError);
+  EXPECT_THROW(lib.mask(4), PreconditionError);
+  EXPECT_THROW(lib.ratio(4), PreconditionError);
+}
+
+TEST(Levels, StorageBytesPositiveOnceLeveled) {
+  nn::Network net = tiny_conv_net(11);
+  const auto lib = PruneLevelLibrary::build_unstructured(net, kRatios);
+  EXPECT_GT(lib.storage_bytes(), 0);
+}
+
+TEST(Levels, DefaultConstructedIsEmpty) {
+  PruneLevelLibrary lib;
+  EXPECT_EQ(lib.level_count(), 0);
+}
+
+TEST(Levels, MinChannelsRespectedInStructured) {
+  nn::Network net = tiny_conv_net(12);
+  const auto lib = PruneLevelLibrary::build_structured(
+      net, {0.0, 0.9}, tiny_input_shape(), ImportanceMetric::L1,
+      /*min_channels=*/3);
+  for (const auto& cm : lib.channel_masks(1)) EXPECT_GE(cm.kept_count(), 3u);
+}
+
+}  // namespace
+}  // namespace rrp::prune

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "models/trained_cache.h"
+
+namespace rrp::models {
+namespace {
+
+TEST(Zoo, AllModelsBuildAndProduceLogits) {
+  Rng rng(1);
+  for (ModelKind kind : all_model_kinds()) {
+    nn::Network net = build_model(kind, rng);
+    const nn::Shape in = zoo_input_shape();
+    EXPECT_EQ(net.output_shape(in), (nn::Shape{1, zoo_num_classes()}))
+        << model_kind_name(kind);
+    nn::Tensor x(in);
+    const nn::Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.numel(), zoo_num_classes());
+  }
+}
+
+TEST(Zoo, HeadsArePinned) {
+  Rng rng(2);
+  for (ModelKind kind : all_model_kinds()) {
+    nn::Network net = build_model(kind, rng);
+    auto* head = dynamic_cast<nn::Linear*>(net.find("head"));
+    ASSERT_NE(head, nullptr) << model_kind_name(kind);
+    EXPECT_FALSE(head->out_prunable());
+  }
+}
+
+TEST(Zoo, ResidualAdjacentConvsArePinned) {
+  Rng rng(3);
+  nn::Network net = build_model(ModelKind::ResNetLite, rng);
+  auto* stem = dynamic_cast<nn::Conv2D*>(net.find("stem"));
+  ASSERT_NE(stem, nullptr);
+  EXPECT_FALSE(stem->out_prunable());
+  auto* c2 = dynamic_cast<nn::Conv2D*>(net.find("block1.conv2"));
+  ASSERT_NE(c2, nullptr);
+  EXPECT_FALSE(c2->out_prunable());
+  auto* c1 = dynamic_cast<nn::Conv2D*>(net.find("block1.conv1"));
+  EXPECT_TRUE(c1->out_prunable());
+}
+
+TEST(Zoo, MacsOrdering) {
+  Rng rng(4);
+  const auto in = zoo_input_shape();
+  nn::Network mlp = build_model(ModelKind::Mlp, rng);
+  nn::Network lenet = build_model(ModelKind::LeNet, rng);
+  nn::Network detnet = build_model(ModelKind::DetNet, rng);
+  EXPECT_LT(mlp.macs(in), lenet.macs(in));
+  EXPECT_LT(lenet.macs(in), detnet.macs(in));
+}
+
+TEST(Zoo, KindNamesRoundTrip) {
+  EXPECT_STREQ(model_kind_name(ModelKind::Mlp), "mlp");
+  EXPECT_STREQ(model_kind_name(ModelKind::DetNet), "detnet");
+  EXPECT_EQ(all_model_kinds().size(), 5u);
+}
+
+TEST(TrainedCache, DatasetsAreDeterministic) {
+  TrainRecipe recipe;
+  recipe.train_samples = 40;
+  recipe.eval_samples = 20;
+  nn::Dataset t1, e1, t2, e2;
+  make_datasets(recipe, t1, e1);
+  make_datasets(recipe, t2, e2);
+  ASSERT_EQ(t1.size(), 40u);
+  ASSERT_EQ(e1.size(), 20u);
+  EXPECT_TRUE(t1.inputs[7].equals(t2.inputs[7]));
+  EXPECT_EQ(e1.labels, e2.labels);
+}
+
+TEST(TrainedCache, TrainsThenLoadsIdenticalWeights) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "rrp_cache_test").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  TrainRecipe recipe;
+  recipe.train_samples = 300;
+  recipe.eval_samples = 100;
+  recipe.epochs = 2;
+
+  const TrainedModel first = get_trained(ModelKind::Mlp, recipe, dir);
+  EXPECT_GT(first.eval_accuracy, 0.3);  // clearly better than 1/5 chance
+
+  TrainedModel second = get_trained(ModelKind::Mlp, recipe, dir);
+  auto pa = const_cast<TrainedModel&>(first).net.params();
+  auto pb = second.net.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(pa[i].value->equals(*pb[i].value));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainedCache, ProvisionedModelHasConsistentPieces) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "rrp_prov_test").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  TrainRecipe train_recipe;
+  train_recipe.train_samples = 300;
+  train_recipe.eval_samples = 100;
+  train_recipe.epochs = 2;
+  LevelRecipe level_recipe;
+  level_recipe.ratios = {0.0, 0.5};
+  level_recipe.co_train_epochs = 1;
+
+  ProvisionedModel pm =
+      get_provisioned(ModelKind::LeNet, train_recipe, level_recipe, dir);
+  EXPECT_EQ(pm.levels.level_count(), 2);
+  EXPECT_TRUE(pm.levels.verify_nested());
+  EXPECT_EQ(pm.level_accuracy.size(), 2u);
+  EXPECT_TRUE(pm.bn_states.empty());  // lenet has no BatchNorm
+
+  // A second call must reuse both caches and yield identical weights + masks.
+  ProvisionedModel again =
+      get_provisioned(ModelKind::LeNet, train_recipe, level_recipe, dir);
+  auto pa = pm.net.params();
+  auto pb = again.net.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(pa[i].value->equals(*pb[i].value));
+  EXPECT_EQ(pm.levels.mask(1).diff_count(again.levels.mask(1)), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainedCache, ProvisionedBnModelCarriesBnStates) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "rrp_prov_bn_test").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  TrainRecipe train_recipe;
+  train_recipe.train_samples = 300;
+  train_recipe.eval_samples = 100;
+  train_recipe.epochs = 1;
+  LevelRecipe level_recipe;
+  level_recipe.ratios = {0.0, 0.5};
+  level_recipe.co_train_epochs = 1;
+
+  ProvisionedModel pm = get_provisioned(ModelKind::ResNetLite, train_recipe,
+                                        level_recipe, dir);
+  EXPECT_EQ(pm.bn_states.size(), 2u);
+  auto pruner = pm.make_pruner();
+  EXPECT_TRUE(pruner.has_bn_states());
+  pruner.set_level(1);
+  pruner.set_level(0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rrp::models

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "nn/network.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::nn {
+namespace {
+
+using rrp::testing::random_tensor;
+using rrp::testing::tiny_residual_net;
+
+TEST(Network, ForwardComposesLayers) {
+  Network net("n");
+  auto& l1 = net.emplace<Linear>("fc1", 2, 2, false);
+  auto& l2 = net.emplace<Linear>("fc2", 2, 1, false);
+  l1.weight() = Tensor({2, 2}, {1, 0, 0, 1});  // identity
+  l2.weight() = Tensor({1, 2}, {1, 1});        // sum
+  const Tensor y = net.forward(Tensor({1, 2}, {3, 4}), false);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+}
+
+TEST(Network, LayerAccessAndCount) {
+  Network net("n");
+  net.emplace<ReLU>("r1");
+  net.emplace<ReLU>("r2");
+  EXPECT_EQ(net.layer_count(), 2u);
+  EXPECT_EQ(net.layer(1).name(), "r2");
+  EXPECT_THROW(net.layer(2), PreconditionError);
+}
+
+TEST(Network, ParamsAreHierarchicallyNamed) {
+  Network net = tiny_residual_net(1);
+  std::vector<std::string> names;
+  for (auto& p : net.params()) names.push_back(p.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "block.conv1.weight"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "head.bias"), names.end());
+}
+
+TEST(Network, AllLayersRecursesIntoResidual) {
+  Network net = tiny_residual_net(1);
+  auto all = net.all_layers();
+  auto leaves = net.leaf_layers();
+  // all includes the Residual container itself, leaves do not.
+  EXPECT_EQ(all.size(), leaves.size() + 1);
+  bool found_inner = false;
+  for (auto* l : leaves) found_inner |= (l->name() == "block.conv2");
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(Network, FindLocatesNestedLayers) {
+  Network net = tiny_residual_net(1);
+  EXPECT_NE(net.find("block.conv1"), nullptr);
+  EXPECT_NE(net.find("block"), nullptr);
+  EXPECT_EQ(net.find("nope"), nullptr);
+}
+
+TEST(Network, OutputShapePropagates) {
+  Network net = rrp::testing::tiny_conv_net(2);
+  EXPECT_EQ(net.output_shape({4, 1, 8, 8}), (Shape{4, 3}));
+}
+
+TEST(Network, MacsSumOverLayers) {
+  Network net("n");
+  net.emplace<Linear>("a", 10, 20);
+  net.emplace<ReLU>("r");
+  net.emplace<Linear>("b", 20, 5);
+  EXPECT_EQ(net.macs({1, 10}), 200 + 100);
+}
+
+TEST(Network, ParamCountAndNonzero) {
+  Network net("n");
+  auto& lin = net.emplace<Linear>("fc", 4, 2, false);
+  EXPECT_EQ(net.param_count(), 8);
+  lin.weight().fill(1.0f);
+  lin.weight()[0] = 0.0f;
+  EXPECT_EQ(net.param_nonzero(), 7);
+}
+
+TEST(Network, ZeroGradClearsAll) {
+  Network net = rrp::testing::tiny_conv_net(3);
+  const Tensor x = random_tensor({2, 1, 8, 8}, 4);
+  const Tensor y = net.forward(x, true);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  net.backward(g);
+  net.zero_grad();
+  for (auto& p : net.params()) EXPECT_EQ(p.grad->max_abs(), 0.0f);
+}
+
+TEST(Network, CloneIsIndependentDeepCopy) {
+  Network net = rrp::testing::tiny_conv_net(5);
+  Network copy = net.clone();
+  const Tensor x = random_tensor({1, 1, 8, 8}, 6);
+  const Tensor y1 = net.forward(x, false);
+  // Mutate the original; the clone must be unaffected.
+  for (auto& p : net.params()) p.value->fill(0.0f);
+  const Tensor y2 = copy.forward(x, false);
+  EXPECT_TRUE(y1.equals(y2));
+  EXPECT_EQ(copy.name(), net.name());
+}
+
+TEST(Residual, AddsIdentity) {
+  // Body that outputs all zeros -> residual output equals input.
+  Network body("b");
+  auto& conv = body.emplace<Conv2D>("c", 2, 2, 3, 1, 1);
+  conv.weight().fill(0.0f);
+  Network net("n");
+  net.add(std::make_unique<Residual>("res", std::move(body)));
+  const Tensor x = random_tensor({1, 2, 4, 4}, 7);
+  const Tensor y = net.forward(x, false);
+  EXPECT_NEAR(y.max_abs_diff(x), 0.0f, 1e-6f);
+}
+
+TEST(Residual, RejectsShapeChangingBody) {
+  Network body("b");
+  body.emplace<Conv2D>("c", 2, 3, 3, 1, 1);  // channel change
+  Residual res("res", std::move(body));
+  EXPECT_THROW(res.output_shape({1, 2, 4, 4}), PreconditionError);
+  EXPECT_THROW(res.forward(random_tensor({1, 2, 4, 4}, 8), false),
+               PreconditionError);
+}
+
+TEST(Residual, RejectsEmptyBody) {
+  EXPECT_THROW(Residual("r", Network("b")), PreconditionError);
+}
+
+TEST(Residual, MacsComeFromBody) {
+  Network net = tiny_residual_net(9);
+  const Shape in{1, 1, 8, 8};
+  EXPECT_GT(net.macs(in), 0);
+  // Residual contributes its body's MACs exactly.
+  Layer* res = net.find("block");
+  ASSERT_NE(res, nullptr);
+  auto* r = dynamic_cast<Residual*>(res);
+  EXPECT_EQ(r->macs({1, 6, 8, 8}), r->body().macs({1, 6, 8, 8}));
+}
+
+TEST(Network, MoveSemantics) {
+  Network a = rrp::testing::tiny_conv_net(10);
+  const Tensor x = random_tensor({1, 1, 8, 8}, 11);
+  const Tensor y1 = a.forward(x, false);
+  Network b = std::move(a);
+  const Tensor y2 = b.forward(x, false);
+  EXPECT_TRUE(y1.equals(y2));
+}
+
+}  // namespace
+}  // namespace rrp::nn

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "prune/planner.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::prune {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+
+TEST(PlanUnstructured, ZeroRatioIsEmpty) {
+  nn::Network net = tiny_conv_net(1);
+  const NetworkMask mask = plan_unstructured(net, 0.0);
+  EXPECT_EQ(mask.pruned_count(), 0);
+}
+
+TEST(PlanUnstructured, GlobalRatioApproximatelyAchieved) {
+  nn::Network net = tiny_conv_net(2);
+  for (double ratio : {0.25, 0.5, 0.75}) {
+    const NetworkMask mask = plan_unstructured(net, ratio);
+    const double achieved = mask.sparsity(net);
+    // Sparsity is over ALL params; biases are never pruned, so achieved is
+    // slightly below the weight-only ratio.
+    EXPECT_GT(achieved, ratio * 0.8) << ratio;
+    EXPECT_LT(achieved, ratio * 1.05) << ratio;
+  }
+}
+
+TEST(PlanUnstructured, PrunesSmallestMagnitudesFirst) {
+  nn::Network net("n");
+  auto& lin = net.emplace<nn::Linear>("fc", 4, 1, false);
+  lin.weight() = nn::Tensor({1, 4}, {0.1f, -5.0f, 0.2f, 4.0f});
+  const NetworkMask mask = plan_unstructured(net, 0.5);
+  const auto* keep = mask.find("fc.weight");
+  ASSERT_NE(keep, nullptr);
+  EXPECT_EQ((*keep)[0], 0);  // 0.1 pruned
+  EXPECT_EQ((*keep)[1], 1);  // -5 kept
+  EXPECT_EQ((*keep)[2], 0);  // 0.2 pruned
+  EXPECT_EQ((*keep)[3], 1);  // 4 kept
+}
+
+TEST(PlanUnstructured, PerLayerMode) {
+  nn::Network net = tiny_conv_net(3);
+  UnstructuredOptions opt;
+  opt.global_threshold = false;
+  const NetworkMask mask = plan_unstructured(net, 0.5, opt);
+  // Each weight tensor is pruned at ~the same ratio.
+  for (const auto& [name, keep] : mask.entries()) {
+    std::size_t pruned = 0;
+    for (auto k : keep) pruned += (k == 0);
+    const double r = static_cast<double>(pruned) / keep.size();
+    EXPECT_NEAR(r, 0.5, 0.02) << name;
+  }
+}
+
+TEST(PlanUnstructured, NeverZeroesWholeTensor) {
+  nn::Network net("n");
+  auto& lin = net.emplace<nn::Linear>("fc", 2, 1, false);
+  lin.weight() = nn::Tensor({1, 2}, {1e-9f, 1e-9f});
+  const NetworkMask mask = plan_unstructured(net, 0.99);
+  const auto* keep = mask.find("fc.weight");
+  ASSERT_NE(keep, nullptr);
+  EXPECT_GE(std::count(keep->begin(), keep->end(), 1), 1);
+}
+
+TEST(PlanUnstructured, RejectsBadRatio) {
+  nn::Network net = tiny_conv_net(4);
+  EXPECT_THROW(plan_unstructured(net, -0.1), PreconditionError);
+  EXPECT_THROW(plan_unstructured(net, 1.0), PreconditionError);
+}
+
+TEST(PrunableLayers, ExcludesPinnedOutputs) {
+  nn::Network net = tiny_conv_net(5);
+  const auto layers = prunable_layers(net);
+  std::vector<std::string> names;
+  for (auto* l : layers) names.push_back(l->name());
+  EXPECT_NE(std::find(names.begin(), names.end(), "conv1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fc1"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "head"), names.end());
+}
+
+TEST(PlanStructured, RatioPerLayer) {
+  nn::Network net = tiny_conv_net(6);
+  const auto masks = plan_structured(net, 0.5);
+  for (const auto& cm : masks) {
+    const double r =
+        static_cast<double>(cm.pruned_count()) / cm.keep.size();
+    EXPECT_LE(r, 0.5 + 1e-9) << cm.layer_name;
+    EXPECT_GT(r, 0.2) << cm.layer_name;
+  }
+}
+
+TEST(PlanStructured, RespectsMinChannels) {
+  nn::Network net = tiny_conv_net(7);
+  StructuredOptions opt;
+  opt.min_channels = 4;
+  const auto masks = plan_structured(net, 0.9, opt);
+  for (const auto& cm : masks) EXPECT_GE(cm.kept_count(), 4u);
+}
+
+TEST(PlanStructured, PrunesLowestScoringChannels) {
+  nn::Network net("n");
+  auto& conv = net.emplace<nn::Conv2D>("c", 1, 3, 2, 1, 0, false);
+  conv.weight().fill(0.0f);
+  conv.weight().at(0, 0, 0, 0) = 3.0f;
+  conv.weight().at(1, 0, 0, 0) = 0.1f;
+  conv.weight().at(2, 0, 0, 0) = 2.0f;
+  const auto masks = plan_structured(net, 0.4);
+  ASSERT_EQ(masks.size(), 1u);
+  EXPECT_EQ(masks[0].keep[1], 0);  // weakest channel pruned
+  EXPECT_EQ(masks[0].keep[0], 1);
+  EXPECT_EQ(masks[0].keep[2], 1);
+}
+
+TEST(PlanStructured, ZeroRatioEmpty) {
+  nn::Network net = tiny_conv_net(8);
+  EXPECT_TRUE(plan_structured(net, 0.0).empty());
+}
+
+TEST(PlanStructured, RejectsBadOptions) {
+  nn::Network net = tiny_conv_net(9);
+  StructuredOptions opt;
+  opt.min_channels = 0;
+  EXPECT_THROW(plan_structured(net, 0.5, opt), PreconditionError);
+  EXPECT_THROW(plan_structured(net, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrp::prune

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/platform_model.h"
+#include "util/checks.h"
+
+namespace rrp::sim {
+namespace {
+
+TEST(Platform, LatencyAffineInMacs) {
+  PlatformModel pm;
+  const double base = pm.latency_ms(0);
+  EXPECT_NEAR(base, pm.config().infer_overhead_us * 1e-3, 1e-12);
+  const double l1 = pm.latency_ms(300000);
+  const double l2 = pm.latency_ms(600000);
+  EXPECT_NEAR(l2 - l1, l1 - base, 1e-9);
+  EXPECT_GT(l1, base);
+}
+
+TEST(Platform, EnergyIncludesStaticAndDynamic) {
+  PlatformModel pm;
+  const double idle = pm.energy_mj(0);
+  EXPECT_GT(idle, 0.0);  // static power over the fixed overhead
+  EXPECT_GT(pm.energy_mj(1000000), idle);
+}
+
+TEST(Platform, EnergyMonotoneInMacs) {
+  PlatformModel pm;
+  double prev = -1.0;
+  for (std::int64_t macs : {0LL, 10000LL, 100000LL, 1000000LL}) {
+    const double e = pm.energy_mj(macs);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Platform, SwitchLatencyScalesWithBytes) {
+  PlatformModel pm;
+  const double zero = pm.switch_latency_us(0);
+  EXPECT_NEAR(zero, pm.config().switch_overhead_us, 1e-12);
+  EXPECT_GT(pm.switch_latency_us(1 << 20), zero);
+}
+
+TEST(Platform, SwitchEnergyPositive) {
+  PlatformModel pm;
+  EXPECT_GT(pm.switch_energy_mj(4096), 0.0);
+}
+
+TEST(Platform, ValidatesInputs) {
+  PlatformModel pm;
+  EXPECT_THROW(pm.latency_ms(-1), PreconditionError);
+  EXPECT_THROW(pm.switch_latency_us(-1), PreconditionError);
+  PlatformConfig bad;
+  bad.macs_per_us = 0.0;
+  EXPECT_THROW(PlatformModel{bad}, PreconditionError);
+}
+
+TEST(Platform, CustomConfigRespected) {
+  PlatformConfig cfg;
+  cfg.macs_per_us = 1000.0;
+  cfg.infer_overhead_us = 0.0;
+  PlatformModel pm(cfg);
+  EXPECT_NEAR(pm.latency_ms(1000000), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rrp::sim

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/safety_monitor.h"
+#include "util/checks.h"
+
+namespace rrp::core {
+namespace {
+
+TEST(SafetyMonitor, DefaultsAreMonotone) {
+  SafetyMonitor m;
+  EXPECT_GE(m.certified_max(CriticalityClass::Low),
+            m.certified_max(CriticalityClass::Medium));
+  EXPECT_GE(m.certified_max(CriticalityClass::Medium),
+            m.certified_max(CriticalityClass::High));
+  EXPECT_GE(m.certified_max(CriticalityClass::High),
+            m.certified_max(CriticalityClass::Critical));
+  EXPECT_EQ(m.certified_max(CriticalityClass::Critical), 0);
+}
+
+TEST(SafetyMonitor, RejectsNonMonotoneConfig) {
+  SafetyConfig bad;
+  bad.max_level_for = {1, 2, 0, 0};  // Medium allows more than Low
+  EXPECT_THROW(SafetyMonitor{bad}, PreconditionError);
+}
+
+TEST(SafetyMonitor, RejectsNegativeLevels) {
+  SafetyConfig bad;
+  bad.max_level_for = {2, 1, 0, -1};
+  EXPECT_THROW(SafetyMonitor{bad}, PreconditionError);
+}
+
+TEST(SafetyMonitor, ScreenPassesCompliantRequests) {
+  SafetyMonitor m;
+  EXPECT_EQ(m.screen(0, CriticalityClass::Low, 3), 3);
+  EXPECT_EQ(m.veto_count(), 0);
+  EXPECT_TRUE(m.log().empty());
+}
+
+TEST(SafetyMonitor, ScreenVetoesExcessPruning) {
+  SafetyMonitor m;
+  EXPECT_EQ(m.screen(7, CriticalityClass::Critical, 4), 0);
+  EXPECT_EQ(m.veto_count(), 1);
+  ASSERT_EQ(m.log().size(), 1u);
+  const AssuranceRecord& rec = m.log()[0];
+  EXPECT_EQ(rec.frame, 7);
+  EXPECT_TRUE(rec.veto);
+  EXPECT_FALSE(rec.violation);
+  EXPECT_EQ(rec.requested_level, 4);
+  EXPECT_EQ(rec.enforced_level, 0);
+}
+
+TEST(SafetyMonitor, AuditCountsViolations) {
+  SafetyMonitor m;
+  EXPECT_TRUE(m.audit(0, CriticalityClass::Low, 4));
+  EXPECT_FALSE(m.audit(1, CriticalityClass::Critical, 2));
+  EXPECT_EQ(m.violation_count(), 1);
+  EXPECT_EQ(m.audited_frames(), 2);
+  ASSERT_EQ(m.log().size(), 1u);
+  EXPECT_TRUE(m.log()[0].violation);
+  EXPECT_EQ(m.log()[0].frame, 1);
+}
+
+TEST(SafetyMonitor, ClearResetsEverything) {
+  SafetyMonitor m;
+  m.screen(0, CriticalityClass::Critical, 3);
+  m.audit(0, CriticalityClass::Critical, 3);
+  m.clear();
+  EXPECT_EQ(m.veto_count(), 0);
+  EXPECT_EQ(m.violation_count(), 0);
+  EXPECT_EQ(m.audited_frames(), 0);
+  EXPECT_TRUE(m.log().empty());
+}
+
+TEST(SafetyMonitor, CriticalityNames) {
+  EXPECT_STREQ(criticality_name(CriticalityClass::Low), "Low");
+  EXPECT_STREQ(criticality_name(CriticalityClass::Critical), "Critical");
+}
+
+class SafetyLadderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SafetyLadderSweep, ScreenNeverExceedsCertifiedMax) {
+  const auto [crit, requested] = GetParam();
+  SafetyMonitor m;
+  const auto c = static_cast<CriticalityClass>(crit);
+  const int enforced = m.screen(0, c, requested);
+  EXPECT_LE(enforced, m.certified_max(c));
+  EXPECT_LE(enforced, requested);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SafetyLadderSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace rrp::core

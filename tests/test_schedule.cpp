@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "prune/schedule.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::prune {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_dataset;
+
+class ImpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_conv_net(1);
+    train_ = tiny_dataset(250, 2);
+    eval_ = tiny_dataset(100, 3);
+    rrp::testing::quick_train(net_, train_, 3);
+  }
+  nn::Network net_;
+  nn::Dataset train_, eval_;
+};
+
+TEST_F(ImpFixture, ReachesTargetSparsity) {
+  IterativeScheduleConfig cfg;
+  cfg.target_ratio = 0.7;
+  cfg.steps = 3;
+  Rng rng(4);
+  const auto history =
+      iterative_magnitude_prune(net_, train_, eval_, cfg, rng);
+  ASSERT_EQ(history.size(), 3u);
+  // Sparsity is over all params (biases unpruned), slightly under target.
+  EXPECT_GT(history.back().sparsity, 0.6);
+  EXPECT_LE(history.back().sparsity, 0.72);
+}
+
+TEST_F(ImpFixture, SparsityMonotoneAcrossSteps) {
+  IterativeScheduleConfig cfg;
+  cfg.target_ratio = 0.8;
+  cfg.steps = 4;
+  Rng rng(5);
+  const auto history =
+      iterative_magnitude_prune(net_, train_, eval_, cfg, rng);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i].sparsity, history[i - 1].sparsity);
+    EXPECT_GT(history[i].ratio, history[i - 1].ratio);
+  }
+}
+
+TEST_F(ImpFixture, FineTuningBeatsOneShotAtHighSparsity) {
+  // One-shot 80%:
+  nn::Network oneshot = net_.clone();
+  plan_unstructured(oneshot, 0.8).apply(oneshot);
+  const double oneshot_acc = nn::evaluate_accuracy(oneshot, eval_);
+
+  // Iterative with fine-tuning to the same target:
+  IterativeScheduleConfig cfg;
+  cfg.target_ratio = 0.8;
+  cfg.steps = 4;
+  cfg.finetune_epochs = 2;
+  Rng rng(6);
+  const auto history =
+      iterative_magnitude_prune(net_, train_, eval_, cfg, rng);
+  EXPECT_GE(history.back().accuracy + 0.02, oneshot_acc);
+}
+
+TEST_F(ImpFixture, PrunedWeightsNeverRegrow) {
+  IterativeScheduleConfig cfg;
+  cfg.target_ratio = 0.6;
+  cfg.steps = 2;
+  cfg.finetune_epochs = 1;
+  Rng rng(7);
+  iterative_magnitude_prune(net_, train_, eval_, cfg, rng);
+  const std::int64_t nonzero_after_schedule = net_.param_nonzero();
+
+  // One more fine-tune epoch with freeze on must not change sparsity.
+  nn::SgdConfig sgd;
+  sgd.epochs = 1;
+  sgd.freeze_zeros = true;
+  sgd.weight_decay = 0.0f;
+  Rng rng2(8);
+  nn::train_sgd(net_, train_, sgd, rng2);
+  EXPECT_LE(net_.param_nonzero(), nonzero_after_schedule);
+}
+
+TEST_F(ImpFixture, ValidatesConfig) {
+  IterativeScheduleConfig bad;
+  bad.target_ratio = 1.0;
+  Rng rng(9);
+  EXPECT_THROW(iterative_magnitude_prune(net_, train_, eval_, bad, rng),
+               PreconditionError);
+  bad.target_ratio = 0.5;
+  bad.steps = 0;
+  EXPECT_THROW(iterative_magnitude_prune(net_, train_, eval_, bad, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrp::prune

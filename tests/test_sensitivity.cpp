@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "prune/sensitivity.h"
+#include "test_support.h"
+
+namespace rrp::prune {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_dataset;
+using rrp::testing::tiny_input_shape;
+
+class SensitivityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_conv_net(1);
+    data_ = tiny_dataset(150, 2);
+    rrp::testing::quick_train(net_, data_, 3);
+  }
+  nn::Network net_;
+  nn::Dataset data_;
+};
+
+TEST_F(SensitivityFixture, CoversEveryPrunableLayerAndRatio) {
+  SensitivityOptions opt;
+  opt.ratios = {0.0, 0.5};
+  const auto points = layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  // 2 prunable layers (conv1, fc1) x 2 ratios.
+  EXPECT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_GE(p.accuracy, 0.0);
+    EXPECT_LE(p.accuracy, 1.0);
+  }
+}
+
+TEST_F(SensitivityFixture, ZeroRatioMatchesBaseline) {
+  SensitivityOptions opt;
+  opt.ratios = {0.0};
+  const double base = nn::evaluate_accuracy(net_, data_);
+  const auto points = layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  for (const auto& p : points) EXPECT_NEAR(p.accuracy, base, 1e-9);
+}
+
+TEST_F(SensitivityFixture, HeavyPruningHurtsSomewhere) {
+  SensitivityOptions opt;
+  opt.ratios = {0.0, 0.9};
+  const auto points = layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  double base = 0.0, worst = 1.0;
+  for (const auto& p : points) {
+    if (p.ratio == 0.0) base = std::max(base, p.accuracy);
+    else worst = std::min(worst, p.accuracy);
+  }
+  EXPECT_LT(worst, base);
+}
+
+TEST_F(SensitivityFixture, NetworkIsUntouched) {
+  const auto before = net_.params();
+  std::vector<nn::Tensor> snapshot;
+  for (auto& p : before) snapshot.push_back(*p.value);
+  SensitivityOptions opt;
+  opt.ratios = {0.0, 0.8};
+  layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  auto after = net_.params();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_TRUE(after[i].value->equals(snapshot[i]));
+}
+
+TEST_F(SensitivityFixture, UnstructuredModeWorks) {
+  SensitivityOptions opt;
+  opt.ratios = {0.0, 0.5};
+  opt.structured = false;
+  const auto points = layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  EXPECT_EQ(points.size(), 4u);
+}
+
+TEST_F(SensitivityFixture, SparsityReportedForPrunedPoints) {
+  SensitivityOptions opt;
+  opt.ratios = {0.5};
+  const auto points = layer_sensitivity(net_, data_, tiny_input_shape(), opt);
+  for (const auto& p : points) EXPECT_GT(p.sparsity, 0.0);
+}
+
+}  // namespace
+}  // namespace rrp::prune

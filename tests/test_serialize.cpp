@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "util/checks.h"
+#include "test_support.h"
+
+namespace rrp::nn {
+namespace {
+
+using rrp::testing::random_tensor;
+
+void randomize(Network& net, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& p : net.params())
+    for (float& v : p.value->data())
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void expect_identical(Network& a, Network& b) {
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    EXPECT_TRUE(pa[i].value->equals(*pb[i].value)) << pa[i].name;
+  }
+  const Tensor x = random_tensor({2, 1, 8, 8}, 999);
+  EXPECT_TRUE(a.forward(x, false).equals(b.forward(x, false)));
+}
+
+TEST(Serialize, RoundTripTinyConvNet) {
+  Network net = rrp::testing::tiny_conv_net(1);
+  randomize(net, 2);
+  Network copy = deserialize_network(serialize_network(net));
+  expect_identical(net, copy);
+  EXPECT_EQ(copy.name(), net.name());
+}
+
+TEST(Serialize, RoundTripResidualNet) {
+  Network net = rrp::testing::tiny_residual_net(3);
+  randomize(net, 4);
+  Network copy = deserialize_network(serialize_network(net));
+  expect_identical(net, copy);
+}
+
+TEST(Serialize, RoundTripBatchNormWithRunningStats) {
+  Network net = rrp::testing::tiny_bn_net(5);
+  randomize(net, 6);
+  auto* bn = dynamic_cast<BatchNorm*>(net.find("bn1"));
+  ASSERT_NE(bn, nullptr);
+  bn->running_mean() = Tensor({6}, {1, 2, 3, 4, 5, 6});
+  bn->running_var() = Tensor({6}, {2, 2, 2, 2, 2, 2});
+
+  Network copy = deserialize_network(serialize_network(net));
+  auto* bn2 = dynamic_cast<BatchNorm*>(copy.find("bn1"));
+  ASSERT_NE(bn2, nullptr);
+  EXPECT_TRUE(bn2->running_mean().equals(bn->running_mean()));
+  EXPECT_TRUE(bn2->running_var().equals(bn->running_var()));
+  expect_identical(net, copy);
+}
+
+TEST(Serialize, RoundTripAllStatelessKinds) {
+  Network net("all");
+  net.emplace<Conv2D>("c", 1, 2, 3, 1, 1);
+  net.emplace<ReLU>("r");
+  net.emplace<MaxPool>("mp", 2, 2);
+  net.emplace<Conv2D>("c2", 2, 4, 3, 1, 1);
+  net.emplace<AvgPool>("ap", 2, 2);
+  net.emplace<GlobalAvgPool>("gap");
+  net.emplace<Linear>("fc", 4, 3);
+  net.emplace<Softmax>("sm");
+  randomize(net, 7);
+  Network copy = deserialize_network(serialize_network(net));
+  const Tensor x = random_tensor({1, 1, 8, 8}, 8);
+  EXPECT_TRUE(net.forward(x, false).equals(copy.forward(x, false)));
+}
+
+TEST(Serialize, PreservesPrunableFlags) {
+  Network net = rrp::testing::tiny_conv_net(9);
+  Network copy = deserialize_network(serialize_network(net));
+  auto* head = dynamic_cast<Linear*>(copy.find("head"));
+  ASSERT_NE(head, nullptr);
+  EXPECT_FALSE(head->out_prunable());
+  auto* conv1 = dynamic_cast<Conv2D*>(copy.find("conv1"));
+  EXPECT_TRUE(conv1->out_prunable());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::string bytes = serialize_network(rrp::testing::tiny_conv_net(10));
+  bytes[0] = 'X';
+  EXPECT_THROW(deserialize_network(bytes), SerializationError);
+}
+
+TEST(Serialize, TruncatedBlobThrows) {
+  const std::string bytes = serialize_network(rrp::testing::tiny_conv_net(11));
+  for (std::size_t cut : {bytes.size() / 4, bytes.size() / 2,
+                          bytes.size() - 3}) {
+    EXPECT_THROW(deserialize_network(bytes.substr(0, cut)),
+                 SerializationError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, TrailingGarbageThrows) {
+  std::string bytes = serialize_network(rrp::testing::tiny_conv_net(12));
+  bytes += "extra";
+  EXPECT_THROW(deserialize_network(bytes), SerializationError);
+}
+
+TEST(Serialize, UnsupportedVersionThrows) {
+  std::string bytes = serialize_network(rrp::testing::tiny_conv_net(13));
+  bytes[4] = 99;  // version field
+  EXPECT_THROW(deserialize_network(bytes), SerializationError);
+}
+
+TEST(Serialize, EmptyInputThrows) {
+  EXPECT_THROW(deserialize_network(""), SerializationError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Network net = rrp::testing::tiny_bn_net(14);
+  randomize(net, 15);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rrp_test_net.rrpn").string();
+  save_network(net, path);
+  Network copy = load_network(path);
+  expect_identical(net, copy);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_network("/nonexistent/dir/net.rrpn"), SerializationError);
+}
+
+TEST(Serialize, BlobSizeTracksParamCount) {
+  Network net = rrp::testing::tiny_conv_net(16);
+  const std::string bytes = serialize_network(net);
+  // At least 4 bytes per parameter element must be present.
+  EXPECT_GT(static_cast<std::int64_t>(bytes.size()),
+            net.param_count() * 4);
+}
+
+}  // namespace
+}  // namespace rrp::nn

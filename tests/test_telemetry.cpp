@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/telemetry.h"
+
+namespace rrp::core {
+namespace {
+
+FrameRecord frame(std::int64_t i, CriticalityClass c, int level,
+                  double latency, bool correct) {
+  FrameRecord r;
+  r.frame = i;
+  r.criticality = c;
+  r.executed_level = level;
+  r.latency_ms = latency;
+  r.energy_mj = 1.0;
+  r.deadline_ms = 5.0;
+  r.correct = correct;
+  return r;
+}
+
+TEST(Telemetry, EmptySummaryIsZeroed) {
+  Telemetry t;
+  const RunSummary s = t.summarize();
+  EXPECT_EQ(s.frames, 0);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.0);
+}
+
+TEST(Telemetry, AccuracyAndCriticalAccuracy) {
+  Telemetry t;
+  t.add(frame(0, CriticalityClass::Low, 2, 1.0, true));
+  t.add(frame(1, CriticalityClass::High, 0, 1.0, false));
+  t.add(frame(2, CriticalityClass::Critical, 0, 1.0, true));
+  t.add(frame(3, CriticalityClass::Medium, 1, 1.0, true));
+  const RunSummary s = t.summarize();
+  EXPECT_EQ(s.frames, 4);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.75);
+  EXPECT_EQ(s.critical_frames, 2);
+  EXPECT_DOUBLE_EQ(s.critical_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(s.missed_critical_rate, 0.5);
+}
+
+TEST(Telemetry, DeadlineMissIncludesSwitchTime) {
+  Telemetry t;
+  FrameRecord ok = frame(0, CriticalityClass::Low, 0, 4.0, true);
+  t.add(ok);
+  FrameRecord miss = frame(1, CriticalityClass::Low, 0, 4.0, true);
+  miss.switch_us = 1500.0;  // 1.5 ms pushes past the 5 ms deadline
+  t.add(miss);
+  const RunSummary s = t.summarize();
+  EXPECT_DOUBLE_EQ(s.deadline_miss_rate, 0.5);
+}
+
+TEST(Telemetry, EnergyTotalsAndMeans) {
+  Telemetry t;
+  for (int i = 0; i < 4; ++i)
+    t.add(frame(i, CriticalityClass::Low, 0, 1.0, true));
+  const RunSummary s = t.summarize();
+  EXPECT_DOUBLE_EQ(s.total_energy_mj, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_energy_mj, 1.0);
+}
+
+TEST(Telemetry, LevelSwitchCounting) {
+  Telemetry t;
+  t.add(frame(0, CriticalityClass::Low, 0, 1.0, true));
+  t.add(frame(1, CriticalityClass::Low, 2, 1.0, true));
+  t.add(frame(2, CriticalityClass::Low, 2, 1.0, true));
+  t.add(frame(3, CriticalityClass::Low, 1, 1.0, true));
+  const RunSummary s = t.summarize();
+  EXPECT_EQ(s.level_switches, 2);
+  EXPECT_DOUBLE_EQ(s.mean_level, 1.25);
+}
+
+TEST(Telemetry, SwitchStatsOnlyOverSwitchFrames) {
+  Telemetry t;
+  FrameRecord a = frame(0, CriticalityClass::Low, 0, 1.0, true);
+  a.switch_us = 100.0;
+  FrameRecord b = frame(1, CriticalityClass::Low, 0, 1.0, true);
+  b.switch_us = 300.0;
+  t.add(a);
+  t.add(b);
+  t.add(frame(2, CriticalityClass::Low, 0, 1.0, true));  // no switch
+  const RunSummary s = t.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_switch_us, 200.0);
+  EXPECT_DOUBLE_EQ(s.max_switch_us, 300.0);
+}
+
+TEST(Telemetry, ViolationsAndVetoesCounted) {
+  Telemetry t;
+  FrameRecord r = frame(0, CriticalityClass::High, 3, 1.0, false);
+  r.violation = true;
+  r.veto = true;
+  t.add(r);
+  const RunSummary s = t.summarize();
+  EXPECT_EQ(s.safety_violations, 1);
+  EXPECT_EQ(s.vetoes, 1);
+}
+
+TEST(Telemetry, CsvHasHeaderAndOneRowPerFrame) {
+  Telemetry t;
+  t.add(frame(0, CriticalityClass::Low, 1, 2.0, true));
+  t.add(frame(1, CriticalityClass::High, 0, 3.0, false));
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("frame,criticality"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_NE(s.find("High"), std::string::npos);
+}
+
+TEST(Telemetry, P99LatencyTracksTail) {
+  Telemetry t;
+  for (int i = 0; i < 99; ++i)
+    t.add(frame(i, CriticalityClass::Low, 0, 1.0, true));
+  t.add(frame(99, CriticalityClass::Low, 0, 50.0, true));
+  const RunSummary s = t.summarize();
+  // Interpolated p99 sits between the 1 ms bulk and the 50 ms outlier.
+  EXPECT_GT(s.p99_latency_ms, s.mean_latency_ms);
+  EXPECT_GT(s.p99_latency_ms, 1.2);
+  EXPECT_LT(s.mean_latency_ms, 2.0);
+}
+
+TEST(Telemetry, ClearEmpties) {
+  Telemetry t;
+  t.add(frame(0, CriticalityClass::Low, 0, 1.0, true));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rrp::core

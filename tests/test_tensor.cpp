@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/tensor.h"
+#include "util/checks.h"
+
+namespace rrp::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.dim(), 0);
+}
+
+TEST(Tensor, ConstructionZeroInitializes) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructionFromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, ValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), PreconditionError);
+}
+
+TEST(Tensor, NonPositiveExtentThrows) {
+  EXPECT_THROW(Tensor({2, 0}), PreconditionError);
+  EXPECT_THROW(Tensor({-1}), PreconditionError);
+}
+
+TEST(Tensor, FullFills) {
+  const Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+}
+
+TEST(Tensor, SizeSupportsNegativeIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_THROW(t.size(3), PreconditionError);
+  EXPECT_THROW(t.size(-4), PreconditionError);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t({2});
+  EXPECT_THROW(t[2], PreconditionError);
+  EXPECT_THROW(t[-1], PreconditionError);
+}
+
+TEST(Tensor, MultiIndexRankChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(0), PreconditionError);
+  EXPECT_THROW(t.at(0, 0, 0), PreconditionError);
+}
+
+TEST(Tensor, MultiIndex4D) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[t.numel() - 1], 9.0f);
+  EXPECT_THROW(t.at(2, 0, 0, 0), PreconditionError);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), PreconditionError);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[1], 22.0f);
+  a.sub_(b);
+  EXPECT_EQ(a[1], 2.0f);
+  a.mul_(2.0f);
+  EXPECT_EQ(a[2], 6.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a[0], 2.0f + 5.0f);
+}
+
+TEST(Tensor, ElementwiseShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a.add_(b), PreconditionError);
+  EXPECT_THROW(a.sub_(b), PreconditionError);
+  EXPECT_THROW(a.axpy_(1.0f, b), PreconditionError);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.abs_sum(), 10.0f);
+  EXPECT_FLOAT_EQ(t.sq_sum(), 30.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, EqualsIsBitExact) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f, 2.0f});
+  EXPECT_TRUE(a.equals(b));
+  b[1] = std::nextafter(2.0f, 3.0f);
+  EXPECT_FALSE(a.equals(b));
+  const Tensor c({1, 2}, {1.0f, 2.0f});
+  EXPECT_FALSE(a.equals(c));  // shape differs
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {1, 2.5, 2});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 1.0f);
+  Tensor c({2});
+  EXPECT_THROW(a.max_abs_diff(c), PreconditionError);
+}
+
+TEST(Tensor, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);  // scalar
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, FillOverwritesAll) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  t.fill(0.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 0.5f);
+}
+
+}  // namespace
+}  // namespace rrp::nn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/vision_task.h"
+#include "util/checks.h"
+
+namespace rrp::sim {
+namespace {
+
+TEST(VisionTask, LabelFollowsDominantActor) {
+  Scene s;
+  EXPECT_EQ(scene_label(s), kClearLabel);
+  s.actors.push_back({ActorType::Cyclist, 12.0, 0.0, 0.0});
+  EXPECT_EQ(scene_label(s), static_cast<int>(ActorType::Cyclist));
+  s.actors.push_back({ActorType::Pedestrian, 6.0, 0.0, 0.0});
+  EXPECT_EQ(scene_label(s), static_cast<int>(ActorType::Pedestrian));
+}
+
+TEST(VisionTask, RenderShapeMatchesConfig) {
+  VisionTaskConfig cfg;
+  Rng rng(1);
+  Scene s;
+  const nn::Tensor img = render_scene(s, cfg, rng);
+  EXPECT_EQ(img.shape(), (nn::Shape{1, cfg.height, cfg.width}));
+  EXPECT_EQ(input_shape(cfg), (nn::Shape{1, 1, cfg.height, cfg.width}));
+}
+
+TEST(VisionTask, RenderIsDeterministicGivenRngState) {
+  VisionTaskConfig cfg;
+  Scene s;
+  s.actors.push_back({ActorType::Vehicle, 15.0, 3.0, 0.2});
+  Rng r1(7), r2(7);
+  const nn::Tensor a = render_scene(s, cfg, r1);
+  const nn::Tensor b = render_scene(s, cfg, r2);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(VisionTask, CloserActorsHaveStrongerSignal) {
+  VisionTaskConfig cfg;
+  cfg.base_noise = 0.0;  // isolate the geometry
+  auto energy_at = [&cfg](double distance) {
+    Scene s;
+    s.actors.push_back({ActorType::Vehicle, distance, 0.0, 0.0});
+    Rng rng(3);
+    Scene clear;
+    Rng rng2(3);
+    const nn::Tensor with = render_scene(s, cfg, rng);
+    const nn::Tensor without = render_scene(clear, cfg, rng2);
+    nn::Tensor diff = with;
+    diff.sub_(without);
+    return diff.abs_sum();
+  };
+  EXPECT_GT(energy_at(5.0), energy_at(25.0));
+  EXPECT_GT(energy_at(25.0), 0.0f);
+}
+
+TEST(VisionTask, LowVisibilityWeakensContrast) {
+  VisionTaskConfig cfg;
+  cfg.base_noise = 0.0;
+  Scene bright, foggy;
+  bright.visibility = 1.0;
+  foggy.visibility = 0.55;
+  bright.actors.push_back({ActorType::Vehicle, 10.0, 0.0, 0.0});
+  foggy.actors = bright.actors;
+  Rng r1(4), r2(4);
+  const nn::Tensor a = render_scene(bright, cfg, r1);
+  const nn::Tensor b = render_scene(foggy, cfg, r2);
+  EXPECT_GT(a.max_abs(), b.max_abs());
+}
+
+TEST(VisionTask, NoiseScalesWithPoorVisibility) {
+  VisionTaskConfig cfg;
+  cfg.base_noise = 0.2;
+  Scene clear_sky, fog;
+  clear_sky.visibility = 1.0;
+  fog.visibility = 0.5;
+  // Measure noise as deviation from the noiseless render.
+  VisionTaskConfig quiet = cfg;
+  quiet.base_noise = 0.0;
+  Rng r0(5);
+  const nn::Tensor base = render_scene(clear_sky, quiet, r0);
+  auto noise_power = [&](const Scene& s) {
+    Rng rng(6);
+    nn::Tensor img = render_scene(s, cfg, rng);
+    img.sub_(base);
+    return img.sq_sum();
+  };
+  EXPECT_GT(noise_power(fog), noise_power(clear_sky));
+}
+
+TEST(VisionTask, DatasetBalancedAcrossClasses) {
+  VisionTaskConfig cfg;
+  Rng rng(8);
+  const nn::Dataset data = make_dataset(2000, cfg, rng);
+  EXPECT_EQ(data.size(), 2000u);
+  EXPECT_EQ(data.num_classes, kNumClasses);
+  std::vector<int> counts(static_cast<std::size_t>(kNumClasses), 0);
+  for (int l : data.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, kNumClasses);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (int c : counts) EXPECT_GT(c, 2000 / kNumClasses / 2);
+}
+
+TEST(VisionTask, DatasetDeterministicPerSeed) {
+  VisionTaskConfig cfg;
+  Rng r1(9), r2(9);
+  const nn::Dataset a = make_dataset(50, cfg, r1);
+  const nn::Dataset b = make_dataset(50, cfg, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+    EXPECT_TRUE(a.inputs[i].equals(b.inputs[i]));
+  }
+}
+
+TEST(VisionTask, PixelsStayInValidRange) {
+  VisionTaskConfig cfg;
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const Scene s = random_scene(cfg, rng);
+    const nn::Tensor img = render_scene(s, cfg, rng);
+    for (float v : img.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 2.0f);
+    }
+  }
+}
+
+TEST(VisionTask, RejectsTinyFrames) {
+  VisionTaskConfig cfg;
+  cfg.height = 4;
+  Rng rng(11);
+  Scene s;
+  EXPECT_THROW(render_scene(s, cfg, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrp::sim

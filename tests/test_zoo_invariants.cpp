@@ -1,0 +1,108 @@
+// Whole-zoo invariant sweep: every core property of the reversible runtime
+// must hold for EVERY architecture in the zoo (untrained weights — the
+// invariants are structural, not statistical), parameterized per model.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/reversible_pruner.h"
+#include "models/zoo.h"
+#include "nn/serialize.h"
+#include "prune/compact.h"
+#include "test_support.h"
+
+namespace rrp::models {
+namespace {
+
+class ZooInvariants : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  void SetUp() override {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+    net_ = build_model(GetParam(), rng);
+    lib_ = prune::PruneLevelLibrary::build_structured(
+        net_, {0.0, 0.3, 0.6}, zoo_input_shape(),
+        prune::ImportanceMetric::L1, 2);
+  }
+  nn::Network net_;
+  prune::PruneLevelLibrary lib_;
+};
+
+TEST_P(ZooInvariants, LaddersAreNested) {
+  EXPECT_TRUE(lib_.verify_nested());
+  const auto sparsity = lib_.achieved_sparsity(net_);
+  for (std::size_t k = 1; k < sparsity.size(); ++k)
+    EXPECT_GT(sparsity[k], sparsity[k - 1]);
+}
+
+TEST_P(ZooInvariants, RandomWalkRestoresBitExactly) {
+  std::vector<nn::Tensor> golden;
+  for (auto& p : net_.params()) golden.push_back(*p.value);
+  {
+    core::ReversiblePruner rp(net_, lib_);
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i)
+      rp.set_level(rng.uniform_int(0, rp.level_count() - 1));
+    rp.restore_full();
+    auto after = net_.params();
+    for (std::size_t i = 0; i < after.size(); ++i)
+      EXPECT_TRUE(after[i].value->equals(golden[i])) << after[i].name;
+  }
+}
+
+TEST_P(ZooInvariants, MaskedEqualsCompactedAtEveryLevel) {
+  const nn::Tensor x = rrp::testing::random_tensor(zoo_input_shape(), 9);
+  for (int k = 0; k < lib_.level_count(); ++k) {
+    nn::Network masked = net_.clone();
+    lib_.mask(k).apply(masked);
+    nn::Network compacted =
+        prune::compact_network(net_, lib_.channel_masks(k), zoo_input_shape());
+    EXPECT_LT(masked.forward(x, false).max_abs_diff(
+                  compacted.forward(x, false)),
+              1e-4f)
+        << "level " << k;
+  }
+}
+
+TEST_P(ZooInvariants, EffectiveMacsDecreaseAcrossLevels) {
+  core::ReversiblePruner rp(net_, lib_);
+  std::int64_t prev = -1;
+  for (int k = 0; k < rp.level_count(); ++k) {
+    rp.set_level(k);
+    const std::int64_t macs = rp.active_macs(zoo_input_shape());
+    if (k > 0) {
+      EXPECT_LT(macs, prev) << "level " << k;
+    }
+    prev = macs;
+  }
+  rp.set_level(0);
+}
+
+TEST_P(ZooInvariants, SerializationRoundTripsTheArchitecture) {
+  nn::Network copy = nn::deserialize_network(nn::serialize_network(net_));
+  const nn::Tensor x = rrp::testing::random_tensor(zoo_input_shape(), 11);
+  EXPECT_TRUE(net_.forward(x, false).equals(copy.forward(x, false)));
+  EXPECT_EQ(copy.param_count(), net_.param_count());
+}
+
+TEST_P(ZooInvariants, ReloadBaselineAgreesWithMaskedExecution) {
+  core::ReloadProvider reload(net_, lib_,
+                              core::ReloadProvider::Source::Memory);
+  core::ReversiblePruner rp(net_, lib_);
+  const nn::Tensor x = rrp::testing::random_tensor(zoo_input_shape(), 13);
+  for (int k = 0; k < lib_.level_count(); ++k) {
+    rp.set_level(k);
+    reload.set_level(k);
+    EXPECT_TRUE(rp.infer(x).equals(reload.infer(x))) << "level " << k;
+  }
+  rp.set_level(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooInvariants,
+    ::testing::Values(ModelKind::Mlp, ModelKind::LeNet, ModelKind::ResNetLite,
+                      ModelKind::DetNet, ModelKind::MobileNetLite),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return std::string(model_kind_name(info.param));
+    });
+
+}  // namespace
+}  // namespace rrp::models

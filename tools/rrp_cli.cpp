@@ -1,0 +1,311 @@
+// rrp_cli — command-line front end for the rrp library.
+//
+//   rrp_cli models                         list the model zoo
+//   rrp_cli provision <model>              train + co-train + calibrate
+//   rrp_cli evaluate  <model>              per-level accuracy/latency table
+//   rrp_cli sensitivity <model>            per-layer sensitivity sweep
+//   rrp_cli run <model> <suite> [opts]     closed-loop scenario run
+//        --policy greedy|hybrid|oracle|fixed<K>   (default greedy)
+//        --frames N      (default 900)
+//        --seed S        (default 20240325)
+//        --hysteresis K  (default 6)
+//        --csv FILE        export per-frame telemetry
+//        --trace FILE      replay a recorded trace instead of a suite
+//        --export-trace F  save the generated scenario as a trace CSV
+//        --assurance FILE  export the safety-case evidence as JSON
+//   rrp_cli inspect <file.rrpn>            dump a serialized network
+//
+// Model caches are read/written in $RRP_CACHE_DIR (default ".").
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/assurance_export.h"
+#include "core/reversible_pruner.h"
+#include "models/trained_cache.h"
+#include "nn/serialize.h"
+#include "prune/sensitivity.h"
+#include "sim/runner.h"
+#include "sim/suites.h"
+#include "sim/trace_io.h"
+#include "util/csv.h"
+#include "util/log.h"
+
+using namespace rrp;
+
+namespace {
+
+std::string cache_dir() {
+  const char* dir = std::getenv("RRP_CACHE_DIR");
+  return dir != nullptr && *dir != '\0' ? dir : ".";
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  rrp_cli models\n"
+         "  rrp_cli provision <model>\n"
+         "  rrp_cli evaluate <model>\n"
+         "  rrp_cli sensitivity <model>\n"
+         "  rrp_cli run <model> <highway|urban|cut_in|degraded|intersection> "
+         "[--policy greedy|hybrid|oracle|fixed<K>] [--frames N] [--seed S] "
+         "[--hysteresis K] [--csv FILE]\n"
+         "  rrp_cli inspect <file.rrpn>\n";
+  return 2;
+}
+
+std::optional<models::ModelKind> parse_model(const std::string& name) {
+  for (models::ModelKind kind : models::all_model_kinds())
+    if (name == models::model_kind_name(kind)) return kind;
+  std::cerr << "unknown model '" << name << "' (try: ";
+  for (models::ModelKind kind : models::all_model_kinds())
+    std::cerr << models::model_kind_name(kind) << " ";
+  std::cerr << ")\n";
+  return std::nullopt;
+}
+
+int cmd_models() {
+  TableFormatter table({"model", "params", "dense_MMACs", "layers"});
+  Rng rng(1);
+  for (models::ModelKind kind : models::all_model_kinds()) {
+    nn::Network net = models::build_model(kind, rng);
+    table.row({models::model_kind_name(kind),
+               std::to_string(net.param_count()),
+               fmt(static_cast<double>(net.macs(models::zoo_input_shape())) /
+                       1e6,
+                   3),
+               std::to_string(net.leaf_layers().size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_provision(models::ModelKind kind) {
+  set_log_level(LogLevel::Info);
+  const models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+  std::cout << "provisioned " << models::model_kind_name(kind)
+            << "; per-level eval accuracy:";
+  for (double a : pm.level_accuracy) std::cout << " " << fmt(a, 3);
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_evaluate(models::ModelKind kind) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+  core::ReversiblePruner rp = pm.make_pruner();
+  const sim::PlatformModel platform;
+  const nn::Shape in = models::zoo_input_shape();
+
+  TableFormatter table({"level", "ratio", "sparsity", "eff_MMACs",
+                        "model_latency_ms", "model_energy_mJ", "accuracy"});
+  for (int k = 0; k < rp.level_count(); ++k) {
+    rp.set_level(k);
+    const std::int64_t macs = rp.active_macs(in);
+    table.row({std::to_string(k), fmt(pm.levels.ratio(k), 2),
+               fmt(pm.levels.mask(k).sparsity(pm.net), 3),
+               fmt(macs / 1e6, 3), fmt(platform.latency_ms(macs), 3),
+               fmt(platform.energy_mj(macs), 3),
+               fmt(pm.level_accuracy[static_cast<std::size_t>(k)], 3)});
+  }
+  rp.set_level(0);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sensitivity(models::ModelKind kind) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+  prune::SensitivityOptions opt;
+  const auto points = prune::layer_sensitivity(
+      pm.net, pm.eval_data, models::zoo_input_shape(), opt);
+  TableFormatter table({"layer", "ratio", "accuracy", "net_sparsity"});
+  for (const auto& p : points)
+    table.row({p.layer, fmt(p.ratio, 2), fmt(p.accuracy, 3),
+               fmt(p.sparsity, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+struct RunOutputs {
+  std::string csv_path;
+  std::string trace_in;
+  std::string trace_out;
+  std::string assurance_path;
+};
+
+int cmd_run(models::ModelKind kind, const std::string& suite, int frames,
+            std::uint64_t seed, const std::string& policy_name,
+            int hysteresis, const RunOutputs& io) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+
+  sim::Scenario scenario;
+  if (!io.trace_in.empty()) scenario = sim::load_scenario_csv(io.trace_in);
+  else if (suite == "highway") scenario = sim::make_highway(frames, seed);
+  else if (suite == "urban") scenario = sim::make_urban(frames, seed);
+  else if (suite == "cut_in") scenario = sim::make_cut_in(frames, seed);
+  else if (suite == "degraded") scenario = sim::make_degraded(frames, seed);
+  else if (suite == "intersection")
+    scenario = sim::make_intersection(frames, seed);
+  else {
+    std::cerr << "unknown suite '" << suite << "'\n";
+    return 2;
+  }
+  if (!io.trace_out.empty()) {
+    sim::save_scenario_csv(scenario, io.trace_out);
+    std::cout << "trace written to " << io.trace_out << "\n";
+  }
+
+  core::SafetyConfig certified;
+  certified.max_level_for = {4, 3, 1, 0};
+  sim::RunConfig cfg;
+  cfg.deadline_ms = 12.0;
+  cfg.noise_seed = seed ^ 0xC0FFEEull;
+
+  core::ReversiblePruner provider = pm.make_pruner();
+  std::unique_ptr<core::Policy> policy;
+  if (policy_name == "greedy") {
+    policy = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, hysteresis, provider.level_count());
+  } else if (policy_name == "hybrid") {
+    const sim::PlatformModel platform(cfg.platform);
+    const core::LevelProfile prof = sim::profile_levels(
+        provider, platform, pm.eval_data, models::zoo_input_shape());
+    policy = std::make_unique<core::HybridPolicy>(certified, prof, hysteresis);
+  } else if (policy_name == "oracle") {
+    policy = std::make_unique<core::OraclePolicy>(
+        certified, sim::criticality_trace(scenario, cfg.criticality), 15);
+  } else if (policy_name.rfind("fixed", 0) == 0) {
+    policy = std::make_unique<core::FixedPolicy>(
+        std::stoi(policy_name.substr(5)));
+  } else {
+    std::cerr << "unknown policy '" << policy_name << "'\n";
+    return 2;
+  }
+
+  core::SafetyMonitor monitor(certified);
+  core::RuntimeController controller(*policy, provider, &monitor);
+  const sim::RunResult result = sim::run_scenario(scenario, controller, cfg);
+
+  const core::RunSummary& s = result.summary;
+  TableFormatter table({"metric", "value"});
+  table.row({"scenario", result.scenario});
+  table.row({"policy", result.policy});
+  table.row({"frames", std::to_string(s.frames)});
+  table.row({"accuracy", fmt(s.accuracy, 3)});
+  table.row({"critical accuracy", fmt(s.critical_accuracy, 3)});
+  table.row({"missed critical %", fmt(100.0 * s.missed_critical_rate, 1)});
+  table.row({"deadline miss %", fmt(100.0 * s.deadline_miss_rate, 1)});
+  table.row({"total energy mJ", fmt(s.total_energy_mj, 1)});
+  table.row({"mean level", fmt(s.mean_level, 2)});
+  table.row({"level switches", std::to_string(s.level_switches)});
+  table.row({"mean switch us", fmt(s.mean_switch_us, 1)});
+  table.row({"safety vetoes", std::to_string(s.vetoes)});
+  table.row({"safety violations", std::to_string(s.safety_violations)});
+  table.print(std::cout);
+
+  if (!io.csv_path.empty()) {
+    std::ofstream f(io.csv_path);
+    if (!f) {
+      std::cerr << "cannot write " << io.csv_path << "\n";
+      return 1;
+    }
+    result.telemetry.write_csv(f);
+    std::cout << "telemetry written to " << io.csv_path << "\n";
+  }
+  if (!io.assurance_path.empty()) {
+    core::AssuranceReport report;
+    report.scenario = result.scenario;
+    report.provider = result.provider;
+    report.policy = result.policy;
+    report.certified = certified;
+    report.summary = result.summary;
+    report.log = monitor.log();
+    std::ofstream f(io.assurance_path);
+    if (!f) {
+      std::cerr << "cannot write " << io.assurance_path << "\n";
+      return 1;
+    }
+    core::write_assurance_json(report, f);
+    std::cout << "assurance report written to " << io.assurance_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  nn::Network net = nn::load_network(path);
+  std::cout << "network '" << net.name() << "'\n";
+  TableFormatter table({"layer", "kind", "params", "out_prunable"});
+  for (nn::Layer* l : net.leaf_layers()) {
+    std::int64_t params = 0;
+    for (auto& p : l->params()) params += p.value->numel();
+    std::string prunable = "-";
+    if (auto* c = dynamic_cast<nn::Conv2D*>(l))
+      prunable = c->out_prunable() ? "yes" : "no";
+    else if (auto* lin = dynamic_cast<nn::Linear*>(l))
+      prunable = lin->out_prunable() ? "yes" : "no";
+    else if (auto* dw = dynamic_cast<nn::DepthwiseConv2D*>(l))
+      prunable = dw->out_prunable() ? "yes" : "no";
+    table.row({l->name(), nn::layer_kind_name(l->kind()),
+               std::to_string(params), prunable});
+  }
+  table.print(std::cout);
+  std::cout << "total parameters: " << net.param_count() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "models") return cmd_models();
+    if (cmd == "inspect") {
+      if (argc < 3) return usage();
+      return cmd_inspect(argv[2]);
+    }
+    if (cmd == "provision" || cmd == "evaluate" || cmd == "sensitivity") {
+      if (argc < 3) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      if (cmd == "provision") return cmd_provision(*kind);
+      if (cmd == "evaluate") return cmd_evaluate(*kind);
+      return cmd_sensitivity(*kind);
+    }
+    if (cmd == "run") {
+      if (argc < 4) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      const std::string suite = argv[3];
+      int frames = 900, hysteresis = 6;
+      std::uint64_t seed = 20240325;
+      std::string policy = "greedy";
+      RunOutputs io;
+      for (int i = 4; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--frames") frames = std::stoi(value);
+        else if (flag == "--seed") seed = std::stoull(value);
+        else if (flag == "--policy") policy = value;
+        else if (flag == "--hysteresis") hysteresis = std::stoi(value);
+        else if (flag == "--csv") io.csv_path = value;
+        else if (flag == "--trace") io.trace_in = value;
+        else if (flag == "--export-trace") io.trace_out = value;
+        else if (flag == "--assurance") io.assurance_path = value;
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_run(*kind, suite, frames, seed, policy, hysteresis, io);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
