@@ -6,6 +6,7 @@
 #include "bench_common.h"
 #include "core/reversible_pruner.h"
 #include "nn/gemm.h"
+#include "util/thread_pool.h"
 
 using namespace rrp;
 
@@ -38,6 +39,84 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// --- threaded variants -----------------------------------------------------
+// Same kernels under an explicit pool size (second arg).  Results are
+// bit-identical across thread counts by construction; only wall time may
+// change.  Sweep 1/2/4/N where N = hardware_concurrency.
+
+int hw_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void thread_args(benchmark::internal::Benchmark* b,
+                 const std::vector<std::int64_t>& sizes) {
+  std::vector<int> counts = {1, 2, 4};
+  if (hw_threads() > 4) counts.push_back(hw_threads());
+  for (std::int64_t s : sizes)
+    for (int t : counts) b->Args({s, t});
+}
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  ThreadCountGuard guard(static_cast<int>(state.range(1)));
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  Rng rng(1);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::gemm(n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel("threads=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_GemmThreaded)->Apply([](benchmark::internal::Benchmark* b) {
+  thread_args(b, {128, 256});
+});
+
+void BM_ConvForwardThreaded(benchmark::State& state) {
+  // Batched conv-net forward: samples fan out over the pool (outer level),
+  // the per-sample GEMMs run inline via the reentrancy guard.
+  const std::int64_t batch = state.range(0);
+  ThreadCountGuard guard(static_cast<int>(state.range(1)));
+  auto& pm = detnet();
+  nn::Shape shape = models::zoo_input_shape();
+  shape[0] = static_cast<int>(batch);
+  nn::Tensor x(shape);
+  Rng rng(5);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (auto _ : state) {
+    auto y = pm.net.forward(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel("threads=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_ConvForwardThreaded)->Apply([](benchmark::internal::Benchmark* b) {
+  thread_args(b, {8});
+});
+
+void BM_EvalThreaded(benchmark::State& state) {
+  // Full dataset accuracy evaluation: batches fan out over the pool with
+  // per-chunk network clones (the zoo-provisioning hot path).
+  ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  auto& pm = detnet();
+  for (auto _ : state) {
+    const double acc = nn::evaluate_accuracy(pm.net, pm.eval_data, 64);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pm.eval_data.inputs.size()));
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_EvalThreaded)->Apply([](benchmark::internal::Benchmark* b) {
+  std::vector<int> counts = {1, 2, 4};
+  if (hw_threads() > 4) counts.push_back(hw_threads());
+  for (int t : counts) b->Arg(t);
+});
 
 void BM_InferMasked(benchmark::State& state) {
   auto& pm = detnet();

@@ -15,6 +15,7 @@
 // critical detections, deadline misses, energy, switching behaviour.
 #include "bench_common.h"
 #include "core/reversible_pruner.h"
+#include "util/thread_pool.h"
 
 using namespace rrp;
 
@@ -55,18 +56,29 @@ void run_suite(models::ProvisionedModel& pm,
   std::vector<SystemRow> rows;
 
   // `make` rebuilds provider+policy fresh per replica (controllers are
-  // stateful); results are averaged over scenario seeds.
+  // stateful); results are averaged over scenario seeds.  Replica seeds fan
+  // out over the thread pool: each replica runs against a private clone of
+  // the co-trained network (ReversiblePruner mutates its network), and
+  // summaries land in per-replica slots so the seed average is reduced in
+  // replica order — identical results for any RRP_THREADS.
   auto run_system = [&](const std::string& name, auto&& make) {
-    std::vector<core::RunSummary> summaries;
-    for (std::size_t rep = 0; rep < replicas.size(); ++rep) {
-      sim::RunConfig cfg = base_cfg;
-      cfg.noise_seed = base_cfg.noise_seed + rep;
-      auto [provider, policy] = make(replicas[rep]);
-      core::SafetyMonitor monitor(certified);
-      core::RuntimeController ctl(*policy, *provider, &monitor);
-      summaries.push_back(
-          sim::run_scenario(replicas[rep], ctl, cfg).summary);
-    }
+    std::vector<core::RunSummary> summaries(replicas.size());
+    parallel_for(
+        0, static_cast<std::int64_t>(replicas.size()), 1,
+        [&](std::int64_t r_begin, std::int64_t r_end) {
+          for (std::int64_t rep = r_begin; rep < r_end; ++rep) {
+            sim::RunConfig cfg = base_cfg;
+            cfg.noise_seed = base_cfg.noise_seed + static_cast<std::uint64_t>(rep);
+            nn::Network net = pm.net.clone();
+            auto [provider, policy] =
+                make(replicas[static_cast<std::size_t>(rep)], net);
+            core::SafetyMonitor monitor(certified);
+            core::RuntimeController ctl(*policy, *provider, &monitor);
+            summaries[static_cast<std::size_t>(rep)] =
+                sim::run_scenario(replicas[static_cast<std::size_t>(rep)], ctl,
+                                  cfg).summary;
+          }
+        });
     rows.push_back({name, average(summaries)});
   };
 
@@ -74,41 +86,49 @@ void run_suite(models::ProvisionedModel& pm,
   using PolicyPtr = std::unique_ptr<core::Policy>;
   const int levels = pm.levels.level_count();
 
-  run_system("no-prune", [&](const sim::Scenario&) {
-    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+  // Per-replica ReversiblePruner over the replica's private clone, with the
+  // shared switchable-BN states installed (mirrors pm.make_pruner()).
+  auto make_pruner = [&](nn::Network& net) {
+    auto p = std::make_unique<core::ReversiblePruner>(net, pm.levels);
+    if (!pm.bn_states.empty()) p->set_bn_states(pm.bn_states);
+    return p;
+  };
+
+  run_system("no-prune", [&](const sim::Scenario&, nn::Network& net) {
+    ProviderPtr p = make_pruner(net);
     PolicyPtr pol = std::make_unique<core::FixedPolicy>(0);
     return std::make_pair(std::move(p), std::move(pol));
   });
-  run_system("static-L2", [&](const sim::Scenario&) {
+  run_system("static-L2", [&](const sim::Scenario&, nn::Network& net) {
     ProviderPtr p = std::make_unique<core::StaticProvider>(
-        pm.net, pm.levels, 2, pm.bn_states);
+        net, pm.levels, 2, pm.bn_states);
     PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
         certified, 6, levels);
     return std::make_pair(std::move(p), std::move(pol));
   });
-  run_system("static-L4", [&](const sim::Scenario&) {
+  run_system("static-L4", [&](const sim::Scenario&, nn::Network& net) {
     ProviderPtr p = std::make_unique<core::StaticProvider>(
-        pm.net, pm.levels, 4, pm.bn_states);
+        net, pm.levels, 4, pm.bn_states);
     PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
         certified, 6, levels);
     return std::make_pair(std::move(p), std::move(pol));
   });
-  run_system("reload+adaptive", [&](const sim::Scenario&) {
+  run_system("reload+adaptive", [&](const sim::Scenario&, nn::Network& net) {
     ProviderPtr p = std::make_unique<core::ReloadProvider>(
-        pm.net, pm.levels, core::ReloadProvider::Source::Memory, "",
+        net, pm.levels, core::ReloadProvider::Source::Memory, "",
         pm.bn_states);
     PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
         certified, 6, levels);
     return std::make_pair(std::move(p), std::move(pol));
   });
-  run_system("reversible (ours)", [&](const sim::Scenario&) {
-    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+  run_system("reversible (ours)", [&](const sim::Scenario&, nn::Network& net) {
+    ProviderPtr p = make_pruner(net);
     PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
         certified, 6, levels);
     return std::make_pair(std::move(p), std::move(pol));
   });
-  run_system("oracle", [&](const sim::Scenario& sc) {
-    ProviderPtr p = std::make_unique<core::ReversiblePruner>(pm.make_pruner());
+  run_system("oracle", [&](const sim::Scenario& sc, nn::Network& net) {
+    ProviderPtr p = make_pruner(net);
     PolicyPtr pol = std::make_unique<core::OraclePolicy>(
         certified, sim::criticality_trace(sc, base_cfg.criticality), 15);
     return std::make_pair(std::move(p), std::move(pol));

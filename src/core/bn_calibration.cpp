@@ -4,6 +4,7 @@
 
 #include "core/weight_store.h"
 #include "util/checks.h"
+#include "util/thread_pool.h"
 
 namespace rrp::core {
 
@@ -46,32 +47,50 @@ std::vector<BnState> calibrate_bn_per_level(
 
   const WeightStore golden = WeightStore::snapshot(net);
   const BnState level0 = capture_bn_state(net);
+  const int level_count = levels.level_count();
 
-  std::vector<BnState> out;
-  out.reserve(static_cast<std::size_t>(levels.level_count()));
-  std::vector<int> labels;
-
-  for (int k = 0; k < levels.level_count(); ++k) {
-    if (k == 0) {
-      out.push_back(level0);  // dense stats are already converged
-      continue;
-    }
-    // Start from the dense statistics, then adapt under the level's mask.
-    apply_bn_state(net, level0);
-    golden.apply_mask(net, levels.mask(k));
-    for (int b = 0; b < config.batches; ++b) {
-      std::vector<std::size_t> pick(static_cast<std::size_t>(config.batch_size));
-      for (auto& i : pick) i = rng.uniform_u64(calib_data.size());
-      const nn::Tensor x = calib_data.batch(
-          pick, 0, static_cast<std::size_t>(config.batch_size), &labels);
-      (void)net.forward(x, /*training=*/true);  // only BN stats move
-    }
-    out.push_back(capture_bn_state(net));
+  // Draw every level's calibration batch indices up front, in level-major /
+  // batch-major order — the exact sequence the serial engine consumed — so
+  // the caller's rng ends in the same state for any thread count.
+  const std::size_t per_level = static_cast<std::size_t>(config.batches) *
+                                static_cast<std::size_t>(config.batch_size);
+  std::vector<std::vector<std::size_t>> picks(
+      static_cast<std::size_t>(level_count));
+  for (int k = 1; k < level_count; ++k) {
+    auto& p = picks[static_cast<std::size_t>(k)];
+    p.resize(per_level);
+    for (auto& i : p) i = rng.uniform_u64(calib_data.size());
   }
 
-  // Leave the network exactly as found: dense weights, dense statistics.
-  golden.restore_all(net);
-  apply_bn_state(net, level0);
+  // Levels are independent given their batch picks: each calibrates a
+  // private clone (BN running stats move batch-by-batch within a level, so
+  // the batch loop stays serial per level).  Results land in per-level
+  // slots, keeping the output identical to the serial engine bit-for-bit.
+  std::vector<BnState> out(static_cast<std::size_t>(level_count));
+  out[0] = level0;  // dense stats are already converged
+
+  parallel_for(1, level_count, 1, [&](std::int64_t k_begin,
+                                      std::int64_t k_end) {
+    std::vector<int> labels;
+    for (std::int64_t k = k_begin; k < k_end; ++k) {
+      nn::Network local = net.clone();
+      // Start from the dense statistics, then adapt under the level's mask.
+      apply_bn_state(local, level0);
+      golden.apply_mask(local, levels.mask(static_cast<int>(k)));
+      const auto& level_picks = picks[static_cast<std::size_t>(k)];
+      for (int b = 0; b < config.batches; ++b) {
+        const std::vector<std::size_t> pick(
+            level_picks.begin() + b * config.batch_size,
+            level_picks.begin() + (b + 1) * config.batch_size);
+        const nn::Tensor x = calib_data.batch(
+            pick, 0, static_cast<std::size_t>(config.batch_size), &labels);
+        (void)local.forward(x, /*training=*/true);  // only BN stats move
+      }
+      out[static_cast<std::size_t>(k)] = capture_bn_state(local);
+    }
+  });
+
+  // The network is left exactly as found: clones absorbed all mutation.
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "core/reversible_pruner.h"
 #include "nn/serialize.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace rrp::models {
 
@@ -138,6 +139,23 @@ ProvisionedModel get_provisioned(ModelKind kind,
     }
     probe.set_level(0);
   }
+  return out;
+}
+
+std::vector<ProvisionedModel> get_provisioned_all(
+    const std::vector<ModelKind>& kinds, const TrainRecipe& train_recipe,
+    const LevelRecipe& level_recipe, const std::string& cache_dir) {
+  std::vector<ProvisionedModel> out(kinds.size());
+  // Each model trains/loads into its own slot and its own cache files;
+  // nested kernel parallelism inside a worker degrades gracefully to the
+  // serial path via the pool's reentrancy guard.
+  parallel_for(0, static_cast<std::int64_t>(kinds.size()), 1,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t i = begin; i < end; ++i)
+                   out[static_cast<std::size_t>(i)] = get_provisioned(
+                       kinds[static_cast<std::size_t>(i)], train_recipe,
+                       level_recipe, cache_dir);
+               });
   return out;
 }
 

@@ -70,4 +70,13 @@ ProvisionedModel get_provisioned(ModelKind kind,
                                  const LevelRecipe& level_recipe = {},
                                  const std::string& cache_dir = ".");
 
+/// Provisions several models concurrently on the process thread pool (one
+/// model per pool task; each model's training pipeline is seeded
+/// independently and touches only its own cache files).  Results are in
+/// `kinds` order and identical to sequential get_provisioned calls for any
+/// RRP_THREADS value.
+std::vector<ProvisionedModel> get_provisioned_all(
+    const std::vector<ModelKind>& kinds, const TrainRecipe& train_recipe = {},
+    const LevelRecipe& level_recipe = {}, const std::string& cache_dir = ".");
+
 }  // namespace rrp::models

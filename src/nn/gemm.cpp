@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace rrp::nn {
 
 namespace {
@@ -9,20 +11,33 @@ namespace {
 constexpr std::int64_t kTileM = 64;
 constexpr std::int64_t kTileN = 64;
 constexpr std::int64_t kTileK = 64;
-}  // namespace
 
-void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-          float beta, float* c, std::int64_t ldc) {
+// Minimum FMAs per parallel chunk: below this the dispatch overhead beats
+// the win.  Row-block grain is derived from it so small GEMMs stay on the
+// calling thread while detnet-shaped ones fan out.
+constexpr std::int64_t kMinFlopsPerChunk = 1 << 15;
+
+std::int64_t row_grain(std::int64_t n, std::int64_t k) {
+  const std::int64_t flops_per_row = std::max<std::int64_t>(1, n * k);
+  return std::max<std::int64_t>(1, kMinFlopsPerChunk / flops_per_row);
+}
+
+// Rows [i_begin, i_end) of the no-transpose kernel.  Per-row accumulation
+// order (k0 tiles ascending, kk ascending) is independent of the row block
+// bounds, so any row partition produces bit-identical C.
+void gemm_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float beta, float* c,
+               std::int64_t ldc) {
   // Scale C by beta first so the accumulation loop is pure FMA.
-  for (std::int64_t i = 0; i < m; ++i) {
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
     else if (beta != 1.0f)
       for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
   }
-  for (std::int64_t i0 = 0; i0 < m; i0 += kTileM) {
-    const std::int64_t imax = std::min(i0 + kTileM, m);
+  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
+    const std::int64_t imax = std::min(i0 + kTileM, i_end);
     for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
       const std::int64_t kmax = std::min(k0 + kTileK, k);
       for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
@@ -42,10 +57,14 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b,
-             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
-  for (std::int64_t i = 0; i < m; ++i) {
+// Rows [i_begin, i_end) of the A-transposed kernel.  The serial engine
+// iterates kk outer / i inner; restricting i to a block keeps each row's
+// kk-ascending accumulation order intact.
+void gemm_at_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a,
+                  std::int64_t lda, const float* b, std::int64_t ldb,
+                  float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
     float* crow = c + i * ldc;
     if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
     else if (beta != 1.0f)
@@ -55,7 +74,7 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   for (std::int64_t kk = 0; kk < k; ++kk) {
     const float* arow = a + kk * lda;
     const float* brow = b + kk * ldb;
-    for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t i = i_begin; i < i_end; ++i) {
       const float av = alpha * arow[i];
       if (av == 0.0f) continue;
       float* crow = c + i * ldc;
@@ -64,10 +83,13 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b,
-             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
-  for (std::int64_t i = 0; i < m; ++i) {
+// Rows [i_begin, i_end) of the B-transposed kernel; rows are fully
+// independent dot-product sweeps.
+void gemm_bt_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a,
+                  std::int64_t lda, const float* b, std::int64_t ldb,
+                  float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
     const float* arow = a + i * lda;
     float* crow = c + i * ldc;
     for (std::int64_t j = 0; j < n; ++j) {
@@ -79,6 +101,38 @@ void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                 (beta == 0.0f ? 0.0f : beta * crow[j]);
     }
   }
+}
+
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float beta, float* c, std::int64_t ldc) {
+  parallel_for(0, m, row_grain(n, k),
+               [&](std::int64_t i_begin, std::int64_t i_end) {
+                 gemm_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta,
+                           c, ldc);
+               });
+}
+
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  parallel_for(0, m, row_grain(n, k),
+               [&](std::int64_t i_begin, std::int64_t i_end) {
+                 gemm_at_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb,
+                              beta, c, ldc);
+               });
+}
+
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b,
+             std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  parallel_for(0, m, row_grain(n, k),
+               [&](std::int64_t i_begin, std::int64_t i_end) {
+                 gemm_bt_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb,
+                              beta, c, ldc);
+               });
 }
 
 }  // namespace rrp::nn

@@ -1,8 +1,27 @@
 // gemm.h — single-precision matrix multiply kernels.
 //
-// All heavy layers (Conv2D via im2col, Linear) lower to these two routines,
+// All heavy layers (Conv2D via im2col, Linear) lower to these routines,
 // so the engine's latency-vs-pruning behaviour is concentrated in one place
 // that the platform model can reason about (cost ∝ M·N·K).
+//
+// Threading: every variant parallelizes over disjoint blocks of C rows on
+// the process-wide ThreadPool (util/thread_pool.h).  Each row of C is
+// computed with exactly the same per-element accumulation order as the
+// serial engine regardless of the thread count, so results are bit-exact
+// and independent of RRP_THREADS (DESIGN.md §2, "Threading").
+//
+// Accumulation contract (intentional, relied on by tests/test_gemm.cpp):
+//   * `gemm` and `gemm_at` accumulate C in float, adding scaled A-values
+//     into the output row in k-ascending order (pure float FMA streams —
+//     fastest for the row-broadcast loop structure they use).
+//   * `gemm_bt` accumulates each dot product in double, then rounds once
+//     to float.  Its inner loop is a [K]-contiguous dot product, where the
+//     double accumulator is free and buys precision for the gradient
+//     (dW += g · colᵀ) accumulations that dominate its call sites.
+// Consequently the three variants agree only to float rounding tolerance
+// (~1e-4 relative for the sizes used here), never bitwise; cross-variant
+// consistency is covered by tolerance-bounded tests, while bit-exactness
+// guarantees apply per-variant across thread counts.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,7 @@
 #include "nn/gemm.h"
 #include "nn/layers.h"
 #include "util/checks.h"
+#include "util/thread_pool.h"
 
 namespace rrp::nn {
 
@@ -96,22 +97,26 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   const std::int64_t col_cols = static_cast<std::int64_t>(oh) * ow;
 
   Tensor y({n, out_ch_, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
-  for (int s = 0; s < n; ++s) {
-    const float* src = x.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
-    im2col(src, h, w, col.data());
-    float* out = y.raw() + static_cast<std::int64_t>(s) * out_ch_ * col_cols;
-    // y[out_ch, oh*ow] = W[out_ch, col_rows] * col[col_rows, oh*ow]
-    gemm(out_ch_, col_cols, col_rows, 1.0f, weight_.raw(), col_rows,
-         col.data(), col_cols, 0.0f, out, col_cols);
-    if (with_bias_) {
-      for (int c = 0; c < out_ch_; ++c) {
-        float* plane = out + static_cast<std::int64_t>(c) * col_cols;
-        const float b = bias_[c];
-        for (std::int64_t i = 0; i < col_cols; ++i) plane[i] += b;
+  // Samples write disjoint output planes: fan the batch out over the pool
+  // (each chunk owns a scratch col buffer; nested GEMMs stay serial).
+  parallel_for(0, n, 1, [&](std::int64_t s_begin, std::int64_t s_end) {
+    std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+    for (std::int64_t s = s_begin; s < s_end; ++s) {
+      const float* src = x.raw() + s * in_ch_ * h * w;
+      im2col(src, h, w, col.data());
+      float* out = y.raw() + s * out_ch_ * col_cols;
+      // y[out_ch, oh*ow] = W[out_ch, col_rows] * col[col_rows, oh*ow]
+      gemm(out_ch_, col_cols, col_rows, 1.0f, weight_.raw(), col_rows,
+           col.data(), col_cols, 0.0f, out, col_cols);
+      if (with_bias_) {
+        for (int c = 0; c < out_ch_; ++c) {
+          float* plane = out + static_cast<std::int64_t>(c) * col_cols;
+          const float b = bias_[c];
+          for (std::int64_t i = 0; i < col_cols; ++i) plane[i] += b;
+        }
       }
     }
-  }
+  });
   if (training) cached_input_ = x;
   return y;
 }
@@ -131,33 +136,53 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::int64_t col_cols = static_cast<std::int64_t>(oh) * ow;
 
   Tensor grad_in(x.shape());
-  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
-  std::vector<float> col_grad(static_cast<std::size_t>(col_rows * col_cols));
+  // Per-sample weight/bias gradients land in private slices first; the
+  // cross-sample reduction below runs serially in ascending sample order,
+  // so the accumulated gradients match the serial engine bit-for-bit for
+  // any thread count (float addition into weight_grad_ is per-element and
+  // commutative between the two orderings involved).
+  const std::int64_t wsize = weight_grad_.numel();
+  std::vector<float> dw(static_cast<std::size_t>(n * wsize));
+  std::vector<float> dbias(
+      with_bias_ ? static_cast<std::size_t>(n) * out_ch_ : 0);
 
-  for (int s = 0; s < n; ++s) {
-    const float* src = x.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
-    const float* gout =
-        grad_out.raw() + static_cast<std::int64_t>(s) * out_ch_ * col_cols;
+  parallel_for(0, n, 1, [&](std::int64_t s_begin, std::int64_t s_end) {
+    std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+    std::vector<float> col_grad(static_cast<std::size_t>(col_rows * col_cols));
+    for (std::int64_t s = s_begin; s < s_end; ++s) {
+      const float* src = x.raw() + s * in_ch_ * h * w;
+      const float* gout = grad_out.raw() + s * out_ch_ * col_cols;
 
-    // dW[out_ch, col_rows] += gout[out_ch, col_cols] * col^T
-    im2col(src, h, w, col.data());
-    gemm_bt(out_ch_, col_rows, col_cols, 1.0f, gout, col_cols, col.data(),
-            col_cols, 1.0f, weight_grad_.raw(), col_rows);
+      // dW_s[out_ch, col_rows] = gout[out_ch, col_cols] * col^T
+      im2col(src, h, w, col.data());
+      gemm_bt(out_ch_, col_rows, col_cols, 1.0f, gout, col_cols, col.data(),
+              col_cols, 0.0f, dw.data() + s * wsize, col_rows);
 
-    if (with_bias_) {
-      for (int c = 0; c < out_ch_; ++c) {
-        const float* plane = gout + static_cast<std::int64_t>(c) * col_cols;
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < col_cols; ++i) acc += plane[i];
-        bias_grad_[c] += static_cast<float>(acc);
+      if (with_bias_) {
+        for (int c = 0; c < out_ch_; ++c) {
+          const float* plane = gout + static_cast<std::int64_t>(c) * col_cols;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < col_cols; ++i) acc += plane[i];
+          dbias[static_cast<std::size_t>(s * out_ch_ + c)] =
+              static_cast<float>(acc);
+        }
       }
-    }
 
-    // dcol[col_rows, col_cols] = W^T[col_rows, out_ch] * gout
-    gemm_at(col_rows, col_cols, out_ch_, 1.0f, weight_.raw(), col_rows, gout,
-            col_cols, 0.0f, col_grad.data(), col_cols);
-    float* gin = grad_in.raw() + static_cast<std::int64_t>(s) * in_ch_ * h * w;
-    col2im(col_grad.data(), h, w, gin);
+      // dcol[col_rows, col_cols] = W^T[col_rows, out_ch] * gout
+      gemm_at(col_rows, col_cols, out_ch_, 1.0f, weight_.raw(), col_rows,
+              gout, col_cols, 0.0f, col_grad.data(), col_cols);
+      float* gin = grad_in.raw() + s * in_ch_ * h * w;
+      col2im(col_grad.data(), h, w, gin);
+    }
+  });
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* dws = dw.data() + s * wsize;
+    float* wg = weight_grad_.raw();
+    for (std::int64_t i = 0; i < wsize; ++i) wg[i] += dws[i];
+    if (with_bias_)
+      for (int c = 0; c < out_ch_; ++c)
+        bias_grad_[c] += dbias[static_cast<std::size_t>(s * out_ch_ + c)];
   }
   return grad_in;
 }

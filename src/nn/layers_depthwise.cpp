@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 #include "util/checks.h"
+#include "util/thread_pool.h"
 
 namespace rrp::nn {
 
@@ -37,34 +38,39 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
   Tensor y({n, channels_, oh, ow});
   const int kk = kernel_;
 
-  for (int s = 0; s < n; ++s) {
-    for (int c = 0; c < channels_; ++c) {
-      const float* plane =
-          x.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
-      const float* filter =
-          weight_.raw() + static_cast<std::int64_t>(c) * kk * kk;
-      float* out =
-          y.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * oh * ow;
-      const float b = with_bias_ ? bias_[c] : 0.0f;
-      for (int oi = 0; oi < oh; ++oi) {
-        for (int oj = 0; oj < ow; ++oj) {
-          double acc = b;
-          for (int ki = 0; ki < kk; ++ki) {
-            const int ii = oi * stride_ - padding_ + ki;
-            if (ii < 0 || ii >= h) continue;
-            for (int kj = 0; kj < kk; ++kj) {
-              const int jj = oj * stride_ - padding_ + kj;
-              if (jj < 0 || jj >= w) continue;
-              acc += static_cast<double>(filter[ki * kk + kj]) *
-                     plane[static_cast<std::int64_t>(ii) * w + jj];
+  // Every (sample, channel) plane is independent: parallelize the flat
+  // n*channels grid over the pool (disjoint output planes, bit-exact for
+  // any thread count).
+  parallel_for(
+      0, static_cast<std::int64_t>(n) * channels_, 1,
+      [&](std::int64_t p_begin, std::int64_t p_end) {
+        for (std::int64_t p = p_begin; p < p_end; ++p) {
+          const std::int64_t s = p / channels_;
+          const int c = static_cast<int>(p % channels_);
+          const float* plane = x.raw() + (s * channels_ + c) * h * w;
+          const float* filter =
+              weight_.raw() + static_cast<std::int64_t>(c) * kk * kk;
+          float* out = y.raw() + (s * channels_ + c) * oh * ow;
+          const float b = with_bias_ ? bias_[c] : 0.0f;
+          for (int oi = 0; oi < oh; ++oi) {
+            for (int oj = 0; oj < ow; ++oj) {
+              double acc = b;
+              for (int ki = 0; ki < kk; ++ki) {
+                const int ii = oi * stride_ - padding_ + ki;
+                if (ii < 0 || ii >= h) continue;
+                for (int kj = 0; kj < kk; ++kj) {
+                  const int jj = oj * stride_ - padding_ + kj;
+                  if (jj < 0 || jj >= w) continue;
+                  acc += static_cast<double>(filter[ki * kk + kj]) *
+                         plane[static_cast<std::int64_t>(ii) * w + jj];
+                }
+              }
+              out[static_cast<std::int64_t>(oi) * ow + oj] =
+                  static_cast<float>(acc);
             }
           }
-          out[static_cast<std::int64_t>(oi) * ow + oj] =
-              static_cast<float>(acc);
         }
-      }
-    }
-  }
+      });
   if (training) cached_input_ = x;
   return y;
 }
@@ -83,43 +89,48 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
 
   Tensor grad_in(x.shape());
   const int kk = kernel_;
-  for (int s = 0; s < n; ++s) {
-    for (int c = 0; c < channels_; ++c) {
-      const float* plane =
-          x.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
-      const float* gout =
-          grad_out.raw() +
-          (static_cast<std::int64_t>(s) * channels_ + c) * oh * ow;
-      const float* filter =
-          weight_.raw() + static_cast<std::int64_t>(c) * kk * kk;
-      float* wgrad =
-          weight_grad_.raw() + static_cast<std::int64_t>(c) * kk * kk;
-      float* gin =
-          grad_in.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
+  // Channel c owns wgrad/bias slot c and its grad_in planes across all
+  // samples, so channels parallelize with no shared writes.  The sample
+  // loop stays innermost and ascending: per-channel gradient accumulation
+  // order matches the serial engine exactly (the legacy s-outer / c-inner
+  // nest visits each (s, c) block in the same s order per channel).
+  parallel_for(0, channels_, 1, [&](std::int64_t c_begin, std::int64_t c_end) {
+    for (std::int64_t c = c_begin; c < c_end; ++c) {
+      const float* filter = weight_.raw() + c * kk * kk;
+      float* wgrad = weight_grad_.raw() + c * kk * kk;
+      for (int s = 0; s < n; ++s) {
+        const float* plane =
+            x.raw() + (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
+        const float* gout =
+            grad_out.raw() +
+            (static_cast<std::int64_t>(s) * channels_ + c) * oh * ow;
+        float* gin = grad_in.raw() +
+                     (static_cast<std::int64_t>(s) * channels_ + c) * h * w;
 
-      double bias_acc = 0.0;
-      for (int oi = 0; oi < oh; ++oi) {
-        for (int oj = 0; oj < ow; ++oj) {
-          const float g = gout[static_cast<std::int64_t>(oi) * ow + oj];
-          if (g == 0.0f) continue;
-          bias_acc += g;
-          for (int ki = 0; ki < kk; ++ki) {
-            const int ii = oi * stride_ - padding_ + ki;
-            if (ii < 0 || ii >= h) continue;
-            for (int kj = 0; kj < kk; ++kj) {
-              const int jj = oj * stride_ - padding_ + kj;
-              if (jj < 0 || jj >= w) continue;
-              wgrad[ki * kk + kj] +=
-                  g * plane[static_cast<std::int64_t>(ii) * w + jj];
-              gin[static_cast<std::int64_t>(ii) * w + jj] +=
-                  g * filter[ki * kk + kj];
+        double bias_acc = 0.0;
+        for (int oi = 0; oi < oh; ++oi) {
+          for (int oj = 0; oj < ow; ++oj) {
+            const float g = gout[static_cast<std::int64_t>(oi) * ow + oj];
+            if (g == 0.0f) continue;
+            bias_acc += g;
+            for (int ki = 0; ki < kk; ++ki) {
+              const int ii = oi * stride_ - padding_ + ki;
+              if (ii < 0 || ii >= h) continue;
+              for (int kj = 0; kj < kk; ++kj) {
+                const int jj = oj * stride_ - padding_ + kj;
+                if (jj < 0 || jj >= w) continue;
+                wgrad[ki * kk + kj] +=
+                    g * plane[static_cast<std::int64_t>(ii) * w + jj];
+                gin[static_cast<std::int64_t>(ii) * w + jj] +=
+                    g * filter[ki * kk + kj];
+              }
             }
           }
         }
+        if (with_bias_) bias_grad_[c] += static_cast<float>(bias_acc);
       }
-      if (with_bias_) bias_grad_[c] += static_cast<float>(bias_acc);
     }
-  }
+  });
   return grad_in;
 }
 

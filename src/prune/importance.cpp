@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/checks.h"
+#include "util/thread_pool.h"
 
 namespace rrp::prune {
 
@@ -80,42 +81,56 @@ TaylorScores taylor_scores(nn::Network& net, const nn::Dataset& data,
   RRP_CHECK(batches >= 1 && batch_size >= 1);
   RRP_CHECK(data.size() >= static_cast<std::size_t>(batch_size));
 
-  // Training-mode forwards move BatchNorm running statistics; scoring must
-  // not change observable behaviour, so stash and restore them.
-  std::vector<std::pair<nn::BatchNorm*, std::pair<nn::Tensor, nn::Tensor>>>
-      bn_stash;
-  for (nn::Layer* l : net.leaf_layers())
-    if (auto* bn = dynamic_cast<nn::BatchNorm*>(l))
-      bn_stash.emplace_back(
-          bn, std::make_pair(bn->running_mean(), bn->running_var()));
+  // Draw every batch's sample indices up front, in batch order — the exact
+  // sequence the serial engine consumed — so the caller's rng ends in the
+  // same state for any thread count.
+  std::vector<std::vector<std::size_t>> picks(static_cast<std::size_t>(batches));
+  for (auto& p : picks) {
+    p.resize(static_cast<std::size_t>(batch_size));
+    for (auto& i : p) i = rng.uniform_u64(data.size());
+  }
+
+  // Batches are independent given the shared weights (training-mode BN
+  // normalizes with *batch* statistics, so gradients don't depend on the
+  // running-stat updates of earlier batches).  Each pool chunk computes
+  // per-batch |w * g| terms on a private clone — `net`'s weights and BN
+  // statistics are never touched — and the cross-batch accumulation below
+  // runs serially in batch order for bit-stable scores.
+  std::vector<std::map<std::string, std::vector<float>>> per_batch(
+      static_cast<std::size_t>(batches));
+  parallel_for(0, batches, 1, [&](std::int64_t b_begin, std::int64_t b_end) {
+    nn::Network local = net.clone();
+    std::vector<int> labels;
+    for (std::int64_t b = b_begin; b < b_end; ++b) {
+      const nn::Tensor x =
+          data.batch(picks[static_cast<std::size_t>(b)], 0,
+                     static_cast<std::size_t>(batch_size), &labels);
+      local.zero_grad();
+      const nn::Tensor logits = local.forward(x, /*training=*/true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, labels);
+      local.backward(lr.grad);
+      auto& terms = per_batch[static_cast<std::size_t>(b)];
+      for (auto& p : local.params()) {
+        auto& t = terms[p.name];
+        t.resize(static_cast<std::size_t>(p.value->numel()));
+        auto w = p.value->data();
+        auto g = p.grad->data();
+        for (std::size_t i = 0; i < t.size(); ++i)
+          t[i] = std::fabs(w[i] * g[i]);
+      }
+    }
+  });
 
   // Accumulate |w * g| per weight element across calibration batches.
   TaylorScores out;
-  std::vector<int> labels;
-  for (int b = 0; b < batches; ++b) {
-    std::vector<std::size_t> pick(static_cast<std::size_t>(batch_size));
-    for (auto& i : pick) i = rng.uniform_u64(data.size());
-    const nn::Tensor x =
-        data.batch(pick, 0, static_cast<std::size_t>(batch_size), &labels);
-    net.zero_grad();
-    const nn::Tensor logits = net.forward(x, /*training=*/true);
-    const nn::LossResult lr = nn::softmax_cross_entropy(logits, labels);
-    net.backward(lr.grad);
-    for (auto& p : net.params()) {
-      auto& acc = out.element[p.name];
-      if (acc.empty()) acc.assign(static_cast<std::size_t>(p.value->numel()),
-                                  0.0f);
-      auto w = p.value->data();
-      auto g = p.grad->data();
-      for (std::size_t i = 0; i < acc.size(); ++i)
-        acc[i] += std::fabs(w[i] * g[i]);
+  for (const auto& terms : per_batch) {
+    for (const auto& [name, t] : terms) {
+      auto& acc = out.element[name];
+      if (acc.empty()) acc.assign(t.size(), 0.0f);
+      for (std::size_t i = 0; i < t.size(); ++i) acc[i] += t[i];
     }
   }
-  net.zero_grad();
-  for (auto& [bn, stats] : bn_stash) {
-    bn->running_mean() = std::move(stats.first);
-    bn->running_var() = std::move(stats.second);
-  }
+  net.zero_grad();  // same observable post-state as the serial engine
 
   // Aggregate channel scores for prunable layers (mean over the channel's
   // weight elements).

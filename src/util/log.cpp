@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <iostream>
+#include <mutex>
 
 namespace rrp {
 
@@ -25,6 +26,9 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // One locked write per line so lines from pool workers never interleave.
+  static std::mutex io_mutex;
+  std::lock_guard<std::mutex> lock(io_mutex);
   std::cerr << "[rrp " << level_name(level) << "] " << message << '\n';
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "test_support.h"
+#include "util/thread_pool.h"
 
 namespace rrp::nn {
 namespace {
@@ -135,6 +136,39 @@ TEST(Autograd, FullTinyBnNet) {
   Network net = rrp::testing::tiny_bn_net(34);
   const Tensor x = random_tensor({4, 1, 8, 8}, 35);
   EXPECT_LT(gradient_check(net, x, labels_for(4, 3, 36)), kTol);
+}
+
+TEST(Autograd, GradientCheckHoldsUnderParallelPool) {
+  // The numerical-gradient harness exercises forward/backward through the
+  // parallel conv/GEMM kernels; it must pass identically with a large pool.
+  ThreadCountGuard guard(8);
+  Network net = rrp::testing::tiny_conv_net(55);
+  const Tensor x = random_tensor({3, 1, 8, 8}, 56);
+  EXPECT_LT(gradient_check(net, x, labels_for(3, 3, 57)), kTol);
+}
+
+TEST(Autograd, GradientsBitExactAcrossThreadCounts) {
+  // One forward/backward pass on the conv+depthwise+residual nets must
+  // yield byte-identical parameter gradients for any RRP_THREADS value.
+  const Tensor x = random_tensor({4, 1, 8, 8}, 58);
+  Rng label_rng(59);
+  std::vector<int> labels(4);
+  for (int& l : labels) l = label_rng.uniform_int(0, 2);
+
+  auto grads = [&](int threads, std::uint64_t net_seed) {
+    ThreadCountGuard guard(threads);
+    Network net = rrp::testing::tiny_residual_net(net_seed);
+    Tensor y = net.forward(x, /*training=*/true);
+    net.zero_grad();
+    net.backward(softmax_cross_entropy(y, labels).grad);
+    std::vector<float> g;
+    for (const auto& p : net.params())
+      g.insert(g.end(), p.grad->data().begin(), p.grad->data().end());
+    return g;
+  };
+  const std::vector<float> serial = grads(1, 60);
+  EXPECT_TRUE(serial == grads(2, 60));
+  EXPECT_TRUE(serial == grads(8, 60));
 }
 
 class AutogradSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <tuple>
 #include <vector>
 
 #include "nn/gemm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rrp::nn {
 namespace {
@@ -108,6 +111,65 @@ TEST(Gemm, BetaOneAccumulatesIntoExisting) {
   gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c.data(), n);
   EXPECT_FLOAT_EQ(c[0], 11.0f);
   EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Gemm, CrossVariantConsistencyWithinTolerance) {
+  // gemm.h accumulation contract: gemm/gemm_at sum in float, gemm_bt sums
+  // each dot product in double and rounds once.  The three variants are
+  // therefore NOT bitwise interchangeable — they must only agree to the
+  // documented ~1e-4 relative tolerance on the same logical product.
+  const int m = 33, n = 29, k = 127;
+  Rng rng(20240325);
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);   // [M, K]
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);   // [K, N]
+
+  // Re-layout A as [K, M] for gemm_at and B as [N, K] for gemm_bt.
+  std::vector<float> a_t(a.size()), b_t(b.size());
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk) a_t[static_cast<std::size_t>(kk) * m + i] = a[static_cast<std::size_t>(i) * k + kk];
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) b_t[static_cast<std::size_t>(j) * k + kk] = b[static_cast<std::size_t>(kk) * n + j];
+
+  std::vector<float> c_nn(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> c_at = c_nn, c_bt = c_nn;
+  gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c_nn.data(), n);
+  gemm_at(m, n, k, 1.0f, a_t.data(), m, b.data(), n, 0.0f, c_at.data(), n);
+  gemm_bt(m, n, k, 1.0f, a.data(), k, b_t.data(), k, 0.0f, c_bt.data(), n);
+
+  for (std::size_t i = 0; i < c_nn.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(c_nn[i]));
+    EXPECT_NEAR(c_nn[i], c_at[i], 1e-4f * scale) << "gemm vs gemm_at at " << i;
+    EXPECT_NEAR(c_nn[i], c_bt[i], 1e-4f * scale) << "gemm vs gemm_bt at " << i;
+  }
+}
+
+TEST_P(GemmShapes, BitExactAcrossThreadCounts) {
+  // Each variant must produce byte-identical output for any pool size:
+  // rows are accumulated independently, so row-block partitioning cannot
+  // change any per-element operation order.
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + n * 37 + k * 41));
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto at = random_vec(static_cast<std::size_t>(k) * m, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  const auto bt = random_vec(static_cast<std::size_t>(n) * k, rng);
+  const auto c0 = random_vec(static_cast<std::size_t>(m) * n, rng);
+
+  auto run_all = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    std::vector<float> c_nn = c0, c_at = c0, c_bt = c0;
+    gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.5f, c_nn.data(), n);
+    gemm_at(m, n, k, 1.0f, at.data(), m, b.data(), n, 0.5f, c_at.data(), n);
+    gemm_bt(m, n, k, 1.0f, a.data(), k, bt.data(), k, 0.5f, c_bt.data(), n);
+    std::vector<float> all;
+    all.insert(all.end(), c_nn.begin(), c_nn.end());
+    all.insert(all.end(), c_at.begin(), c_at.end());
+    all.insert(all.end(), c_bt.begin(), c_bt.end());
+    return all;
+  };
+  const std::vector<float> serial = run_all(1);
+  EXPECT_TRUE(serial == run_all(2)) << "threads=2 diverged";
+  EXPECT_TRUE(serial == run_all(8)) << "threads=8 diverged";
 }
 
 TEST(Gemm, ZeroWeightsShortCircuitIsExact) {

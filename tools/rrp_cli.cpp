@@ -1,7 +1,8 @@
 // rrp_cli — command-line front end for the rrp library.
 //
 //   rrp_cli models                         list the model zoo
-//   rrp_cli provision <model>              train + co-train + calibrate
+//   rrp_cli provision <model>|all          train + co-train + calibrate
+//                                          (all = every model, in parallel)
 //   rrp_cli evaluate  <model>              per-level accuracy/latency table
 //   rrp_cli sensitivity <model>            per-layer sensitivity sweep
 //   rrp_cli run <model> <suite> [opts]     closed-loop scenario run
@@ -14,6 +15,12 @@
 //        --export-trace F  save the generated scenario as a trace CSV
 //        --assurance FILE  export the safety-case evidence as JSON
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
+//
+// Global flags (any command):
+//   --threads N    size of the process thread pool (1 = serial legacy
+//                  path); overrides the RRP_THREADS environment variable,
+//                  default hardware_concurrency.  Results are identical
+//                  for every thread count.
 //
 // Model caches are read/written in $RRP_CACHE_DIR (default ".").
 #include <cstring>
@@ -31,6 +38,7 @@
 #include "sim/trace_io.h"
 #include "util/csv.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 using namespace rrp;
 
@@ -45,13 +53,15 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  rrp_cli models\n"
-         "  rrp_cli provision <model>\n"
+         "  rrp_cli provision <model>|all\n"
          "  rrp_cli evaluate <model>\n"
          "  rrp_cli sensitivity <model>\n"
          "  rrp_cli run <model> <highway|urban|cut_in|degraded|intersection> "
          "[--policy greedy|hybrid|oracle|fixed<K>] [--frames N] [--seed S] "
          "[--hysteresis K] [--csv FILE]\n"
-         "  rrp_cli inspect <file.rrpn>\n";
+         "  rrp_cli inspect <file.rrpn>\n"
+         "global flags: --threads N   (pool size; 1 = serial, default "
+         "$RRP_THREADS or hardware)\n";
   return 2;
 }
 
@@ -89,6 +99,20 @@ int cmd_provision(models::ModelKind kind) {
             << "; per-level eval accuracy:";
   for (double a : pm.level_accuracy) std::cout << " " << fmt(a, 3);
   std::cout << "\n";
+  return 0;
+}
+
+int cmd_provision_all() {
+  set_log_level(LogLevel::Info);
+  const std::vector<models::ModelKind> kinds = models::all_model_kinds();
+  const auto provisioned =
+      models::get_provisioned_all(kinds, {}, {}, cache_dir());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    std::cout << "provisioned " << models::model_kind_name(kinds[i])
+              << "; per-level eval accuracy:";
+    for (double a : provisioned[i].level_accuracy) std::cout << " " << fmt(a, 3);
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -260,6 +284,34 @@ int cmd_inspect(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract the global --threads flag (any position) before dispatch.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads expects a value\n";
+        return 2;
+      }
+      int threads = 0;
+      try {
+        threads = std::stoi(argv[i + 1]);
+      } catch (const std::exception&) {
+        threads = 0;
+      }
+      if (threads < 1) {
+        std::cerr << "--threads expects a positive integer, got '"
+                  << argv[i + 1] << "'\n";
+        return 2;
+      }
+      ThreadPool::set_global_threads(threads);
+      ++i;  // skip the value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -270,6 +322,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "provision" || cmd == "evaluate" || cmd == "sensitivity") {
       if (argc < 3) return usage();
+      if (cmd == "provision" && std::string(argv[2]) == "all")
+        return cmd_provision_all();
       const auto kind = parse_model(argv[2]);
       if (!kind) return 2;
       if (cmd == "provision") return cmd_provision(*kind);
