@@ -2,8 +2,8 @@
 //
 // Every bench binary regenerates one reconstructed table/figure (see
 // DESIGN.md §3 and EXPERIMENTS.md).  Models are provisioned through the
-// disk cache (cache_*.rrpn in $RRP_CACHE_DIR, default "."), so the first
-// ever run trains them (~4 min total) and every later run starts in
+// disk cache (cache_*.rrpn in $RRP_CACHE_DIR, default "cache"), so the
+// first ever run trains them (~4 min total) and every later run starts in
 // milliseconds.
 #pragma once
 
@@ -23,7 +23,7 @@ namespace rrp::bench {
 
 inline std::string cache_dir() {
   const char* dir = std::getenv("RRP_CACHE_DIR");
-  return dir != nullptr && *dir != '\0' ? dir : ".";
+  return dir != nullptr && *dir != '\0' ? dir : "cache";
 }
 
 /// The standard experiment recipe (matches the shipped cache files).

@@ -74,6 +74,7 @@ TrainedModel get_trained(ModelKind kind, const TrainRecipe& recipe,
   out.eval_accuracy = nn::evaluate_accuracy(out.net, out.eval_data);
   RRP_LOG_INFO << "trained " << model_kind_name(kind) << " eval acc "
                << out.eval_accuracy;
+  std::filesystem::create_directories(cache_dir);
   nn::save_network(out.net, path);
   return out;
 }
@@ -115,6 +116,7 @@ ProvisionedModel get_provisioned(ModelKind kind,
     Rng rng(train_recipe.data_seed + 99);
     core::co_train_levels(out.net, out.levels, out.train_data, nn::Dataset{},
                           cfg, rng);
+    std::filesystem::create_directories(cache_dir);
     nn::save_network(out.net, path);
   }
 

@@ -4,7 +4,8 @@
 // process would dominate runtime, so trained networks are cached on disk
 // (serialized via nn/serialize) keyed by model name + training recipe
 // version.  Datasets are regenerated deterministically from fixed seeds —
-// only weights need persistence.  Delete cache_*.rrpn to force retraining.
+// only weights need persistence.  Caches live under cache/ (gitignored,
+// auto-created on first save); delete cache/*.rrpn to force retraining.
 #pragma once
 
 #include "core/reversible_pruner.h"
@@ -39,7 +40,7 @@ void make_datasets(const TrainRecipe& recipe, nn::Dataset& train,
 /// Returns a trained model, loading from `cache_dir` when possible and
 /// training + caching otherwise. Thread-compatible (not thread-safe).
 TrainedModel get_trained(ModelKind kind, const TrainRecipe& recipe = {},
-                         const std::string& cache_dir = ".");
+                         const std::string& cache_dir = "cache");
 
 /// How the nested pruning-level ladder is built and co-trained.
 struct LevelRecipe {
@@ -68,7 +69,7 @@ struct ProvisionedModel {
 ProvisionedModel get_provisioned(ModelKind kind,
                                  const TrainRecipe& train_recipe = {},
                                  const LevelRecipe& level_recipe = {},
-                                 const std::string& cache_dir = ".");
+                                 const std::string& cache_dir = "cache");
 
 /// Provisions several models concurrently on the process thread pool (one
 /// model per pool task; each model's training pipeline is seeded
@@ -77,6 +78,6 @@ ProvisionedModel get_provisioned(ModelKind kind,
 /// RRP_THREADS value.
 std::vector<ProvisionedModel> get_provisioned_all(
     const std::vector<ModelKind>& kinds, const TrainRecipe& train_recipe = {},
-    const LevelRecipe& level_recipe = {}, const std::string& cache_dir = ".");
+    const LevelRecipe& level_recipe = {}, const std::string& cache_dir = "cache");
 
 }  // namespace rrp::models

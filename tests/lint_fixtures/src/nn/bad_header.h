@@ -1,0 +1,18 @@
+// Fixture: R4 hygiene — header-scope `using namespace` and a virtual
+// member of a derived class missing `override`.
+#pragma once
+
+#include "nn/layer.h"
+
+using namespace std;
+
+struct Base {
+  virtual ~Base() = default;
+  virtual int kind() const = 0;
+};
+
+struct Derived : public Base {
+  ~Derived() override = default;
+  virtual int kind() const;
+  int other() const override;
+};

@@ -1,0 +1,7 @@
+// Fixture: R3 (layering) — nn is rank 1 and may only reach down.
+#include "core/controller.h"
+#include "models/zoo.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+void use() {}

@@ -1,0 +1,9 @@
+// Fixture: R4 hygiene-logging — direct stream output in library code.
+#include <cstdio>
+#include <iostream>
+
+void report(int frames) {
+  std::cout << "frames: " << frames << "\n";
+  std::cerr << "warning\n";
+  printf("%d\n", frames);
+}

@@ -1,0 +1,15 @@
+// Fixture: R1a (determinism-random) triggers.  Never compiled —
+// test_rrp_lint.cpp asserts the exact lines that fire.
+#include <random>
+
+int entropy() {
+  srand(42);
+  std::random_device rd;
+  const auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  (void)rd;
+  return rand();
+}
+
+// A banned name inside a string or comment must NOT fire: std::rand.
+const char* doc = "call srand(7) then time(nullptr)";

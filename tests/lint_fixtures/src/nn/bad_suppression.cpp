@@ -1,0 +1,8 @@
+// Fixture: malformed suppressions are themselves findings, and a marker
+// without a reason does not silence the violation it annotates.
+
+// rrp-lint-allow(determinism-random)
+int no_reason = time(nullptr);
+
+// rrp-lint-allow(no-such-rule): the rule id must exist
+int fine = 0;

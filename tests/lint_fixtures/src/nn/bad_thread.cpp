@@ -1,0 +1,14 @@
+// Fixture: R1b (determinism-thread) triggers — ad-hoc threading outside
+// src/util/thread_pool.
+#include <thread>
+
+void spawn() {
+  std::mutex m;
+  std::thread t([] {});
+  auto f = std::async([] { return 1; });
+  // A read-only capacity query is allowed everywhere:
+  unsigned hw = std::thread::hardware_concurrency();
+  (void)m;
+  (void)hw;
+  t.join();
+}

@@ -1,0 +1,27 @@
+// Fixture: R2 (float-accumulator) — the GEMM accumulation contract.
+// File name contains "gemm" so the kernel rule applies.
+
+float dot_bad(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float dot_good(const float* a, const float* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+// A float written inside a loop but declared inside the same loop body is
+// not a cross-iteration accumulator and must not fire:
+float per_iter(const float* a, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    float scaled = a[i];
+    scaled += 1.0f;
+    total += scaled;
+  }
+  return static_cast<float>(total);
+}

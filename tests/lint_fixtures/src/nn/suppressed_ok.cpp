@@ -1,0 +1,11 @@
+// Fixture: valid suppressions silence every finding in this file.
+
+// rrp-lint-allow(determinism-random): fixture exercises the marker on the line above a violation
+int seeded = rand();
+
+int wall() {
+  return time(nullptr);  // rrp-lint-allow(determinism-random): trailing marker on the violating line
+}
+
+// rrp-lint-allow(hygiene-logging): demonstrating suppression of a second rule
+void print_direct() { std::cout << "ok\n"; }

@@ -1,0 +1,16 @@
+// Fixture: a fully clean header — no rule may fire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rrp {
+
+/// Sums a vector with a double accumulator (the blessed pattern).
+inline double sum(const std::vector<float>& v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x);
+  return acc;
+}
+
+}  // namespace rrp

@@ -1,0 +1,14 @@
+// Fixture: the src/util/thread_pool. whitelist — threading primitives are
+// the pool's implementation domain, so nothing here may fire.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+void pool_impl() {
+  std::mutex m;
+  std::condition_variable cv;
+  std::thread t([] {});
+  (void)m;
+  (void)cv;
+  t.join();
+}

@@ -1,0 +1,11 @@
+// Fixture: apps (tools/bench/examples) may print to stdout — the
+// hygiene-logging rule is scoped to src/ — and may include any module.
+#include <iostream>
+
+#include "models/zoo.h"
+#include "util/rng.h"
+
+int main() {
+  std::cout << "apps own their stdout\n";
+  return 0;
+}

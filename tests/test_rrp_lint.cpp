@@ -1,0 +1,189 @@
+// test_rrp_lint.cpp — the linter linted.
+//
+// Drives the rrp_lint rule engine (tools/rrp_lint/lint.cpp) against the
+// fixture tree in tests/lint_fixtures/: every rule must fire on exactly
+// the seeded lines, valid suppressions must silence their target, the
+// whitelists must hold, and — the actual gate — the real source tree must
+// come back clean.  Paths are injected by tests/CMakeLists.txt as
+// RRP_LINT_FIXTURE_DIR / RRP_LINT_REPO_ROOT.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using rrp::lint::Finding;
+
+std::vector<Finding> fixture_findings() {
+  static const std::vector<Finding> findings =
+      rrp::lint::lint_tree(RRP_LINT_FIXTURE_DIR);
+  return findings;
+}
+
+/// Findings for one fixture file, as (line, rule) pairs.
+std::vector<std::pair<int, std::string>> fired(const std::string& file) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Finding& f : fixture_findings())
+    if (f.file == file) out.push_back({f.line, f.rule});
+  return out;
+}
+
+bool has(const std::vector<std::pair<int, std::string>>& v, int line,
+         const std::string& rule) {
+  return std::find(v.begin(), v.end(), std::make_pair(line, rule)) != v.end();
+}
+
+TEST(RrpLint, DeterminismRandomRule) {
+  const auto v = fired("src/nn/bad_random.cpp");
+  EXPECT_TRUE(has(v, 3, "determinism-random")) << "#include <random>";
+  EXPECT_TRUE(has(v, 6, "determinism-random")) << "srand(42)";
+  EXPECT_TRUE(has(v, 7, "determinism-random")) << "std::random_device";
+  EXPECT_TRUE(has(v, 8, "determinism-random")) << "system_clock::now()";
+  EXPECT_TRUE(has(v, 11, "determinism-random")) << "rand()";
+  // Banned names inside comments or string literals never fire.
+  EXPECT_FALSE(has(v, 14, "determinism-random"));
+  EXPECT_FALSE(has(v, 15, "determinism-random"));
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(RrpLint, DeterminismThreadRule) {
+  const auto v = fired("src/nn/bad_thread.cpp");
+  EXPECT_TRUE(has(v, 3, "determinism-thread")) << "#include <thread>";
+  EXPECT_TRUE(has(v, 6, "determinism-thread")) << "std::mutex";
+  EXPECT_TRUE(has(v, 7, "determinism-thread")) << "std::thread";
+  EXPECT_TRUE(has(v, 8, "determinism-thread")) << "std::async";
+  // hardware_concurrency is a read-only query, allowed everywhere.
+  EXPECT_FALSE(has(v, 10, "determinism-thread"));
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(RrpLint, FloatAccumulatorRule) {
+  const auto v = fired("src/nn/gemm_fixture.cpp");
+  EXPECT_TRUE(has(v, 6, "float-accumulator")) << "float acc += in loop";
+  // double accumulator and per-iteration float both stay silent.
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(RrpLint, FloatAccumulatorScopedToKernels) {
+  // The same float-accumulator pattern outside gemm/conv/depthwise files
+  // is not part of the contract.  bad_logging.cpp is an nn file but not a
+  // kernel: synthesize the check directly.
+  const auto findings = rrp::lint::lint_file(
+      "src/nn/layers_pool.cpp",
+      "float m(const float* a, int n) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) acc += a[i];\n"
+      "  return acc;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty());
+  const auto kernel = rrp::lint::lint_file(
+      "src/nn/layers_conv.cpp",
+      "float m(const float* a, int n) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) acc += a[i];\n"
+      "  return acc;\n"
+      "}\n");
+  ASSERT_EQ(kernel.size(), 1u);
+  EXPECT_EQ(kernel[0].rule, "float-accumulator");
+  EXPECT_EQ(kernel[0].line, 3);
+}
+
+TEST(RrpLint, LayeringRule) {
+  const auto v = fired("src/nn/bad_layering.cpp");
+  EXPECT_TRUE(has(v, 2, "layering")) << "nn -> core is upward";
+  EXPECT_TRUE(has(v, 3, "layering")) << "nn -> models is upward";
+  // Same-module and downward includes are fine.
+  EXPECT_FALSE(has(v, 4, "layering"));
+  EXPECT_FALSE(has(v, 5, "layering"));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(RrpLint, HygieneHeaderRules) {
+  const auto v = fired("src/nn/bad_header.h");
+  EXPECT_TRUE(has(v, 7, "hygiene-using-namespace"));
+  EXPECT_TRUE(has(v, 16, "hygiene-override")) << "virtual without override";
+  // Base-class virtuals, override'd members and destructors are silent.
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(RrpLint, HygieneLoggingRule) {
+  const auto v = fired("src/nn/bad_logging.cpp");
+  EXPECT_TRUE(has(v, 6, "hygiene-logging")) << "std::cout";
+  EXPECT_TRUE(has(v, 7, "hygiene-logging")) << "std::cerr";
+  EXPECT_TRUE(has(v, 8, "hygiene-logging")) << "printf";
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RrpLint, SuppressionsSilenceFindings) {
+  EXPECT_TRUE(fired("src/nn/suppressed_ok.cpp").empty());
+}
+
+TEST(RrpLint, MalformedSuppressionsAreFindings) {
+  const auto v = fired("src/nn/bad_suppression.cpp");
+  EXPECT_TRUE(has(v, 4, "bad-suppression")) << "missing reason";
+  EXPECT_TRUE(has(v, 5, "determinism-random"))
+      << "reason-less marker must not silence the violation";
+  EXPECT_TRUE(has(v, 7, "bad-suppression")) << "unknown rule id";
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RrpLint, WhitelistsAndScopes) {
+  // thread_pool.* may use every threading primitive.
+  EXPECT_TRUE(fired("src/util/thread_pool.fixture.cpp").empty());
+  // Apps own their stdout and may include any module.
+  EXPECT_TRUE(fired("tools/clean_tool.cpp").empty());
+  // A clean header stays clean.
+  EXPECT_TRUE(fired("src/util/clean_util.h").empty());
+}
+
+TEST(RrpLint, TopLevelBlobCheck) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "rrp_lint_blob_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "cache");
+  {
+    std::ofstream txt(root / "README.md");
+    txt << "text is fine\n";
+    std::ofstream blob(root / "cache_mlp.rrpn", std::ios::binary);
+    const char nulbuf[4] = {'\0', '\1', '\2', '\3'};
+    blob.write(nulbuf, sizeof nulbuf);
+    std::ofstream sneaky(root / "weights.dat", std::ios::binary);
+    sneaky.write(nulbuf, sizeof nulbuf);  // NUL sniff, unknown extension
+    std::ofstream nested(root / "cache" / "model.rrpn", std::ios::binary);
+    nested.write(nulbuf, sizeof nulbuf);  // cache/ is the sanctioned home
+  }
+  const auto findings = rrp::lint::check_top_level(root.string());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "cache_mlp.rrpn");
+  EXPECT_EQ(findings[0].rule, "top-level-blob");
+  EXPECT_EQ(findings[1].file, "weights.dat");
+  fs::remove_all(root);
+}
+
+TEST(RrpLint, ScannerBlanksLiteralsAndComments) {
+  const rrp::lint::FileView view = rrp::lint::scan_file(
+      "int a; // srand(1)\n"
+      "const char* s = \"std::mutex\";\n"
+      "/* time(0) */ int b;\n"
+      "const char* r = R\"(rand())\";\n");
+  ASSERT_EQ(view.code.size(), 5u);  // trailing newline yields an empty line
+  EXPECT_EQ(view.code[0].find("srand"), std::string::npos);
+  EXPECT_EQ(view.code[1].find("mutex"), std::string::npos);
+  EXPECT_EQ(view.code[2].find("time"), std::string::npos);
+  EXPECT_NE(view.code[2].find("int b;"), std::string::npos);
+  EXPECT_EQ(view.code[3].find("rand"), std::string::npos);
+  EXPECT_NE(view.comments[0].find("srand(1)"), std::string::npos);
+}
+
+TEST(RrpLint, RealTreeIsClean) {
+  const auto findings = rrp::lint::lint_tree(RRP_LINT_REPO_ROOT);
+  for (const Finding& f : findings) ADD_FAILURE() << rrp::lint::to_string(f);
+}
+
+}  // namespace

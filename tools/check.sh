@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check.sh — the one-shot PR gate.
+#
+#   tools/check.sh [jobs]
+#
+# Runs, in order, everything a PR must pass:
+#   (a) normal build (-Wall -Wextra promoted to -Werror) + full ctest
+#       — which already includes `ctest -L lint` via the rrp_lint test;
+#   (b) the lint label on its own, so a lint failure is called out;
+#   (c) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
+#       parallel provisioning);
+#   (d) a UBSan build of the unit tests, -fno-sanitize-recover=all.
+# Build trees are kept per-configuration (build-check, build-check-tsan,
+# build-check-ubsan) so re-runs are incremental.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "(a) build -Werror + full ctest"
+cmake -B build-check -S . -DRRP_WERROR=ON
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+step "(b) static analysis (ctest -L lint)"
+ctest --test-dir build-check --output-on-failure -L lint
+
+step "(c) ThreadSanitizer smoke suite"
+cmake -B build-check-tsan -S . -DRRP_SANITIZE=thread
+cmake --build build-check-tsan -j "$JOBS" --target rrp_tsan_smoke
+ctest --test-dir build-check-tsan --output-on-failure -L tsan
+
+step "(d) UndefinedBehaviorSanitizer unit tests"
+cmake -B build-check-ubsan -S . -DRRP_SANITIZE=undefined
+cmake --build build-check-ubsan -j "$JOBS" --target rrp_tests
+./build-check-ubsan/tests/rrp_tests
+
+echo
+echo "check.sh: all gates passed"

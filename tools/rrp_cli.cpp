@@ -22,7 +22,8 @@
 //                  default hardware_concurrency.  Results are identical
 //                  for every thread count.
 //
-// Model caches are read/written in $RRP_CACHE_DIR (default ".").
+// Model caches are read/written in $RRP_CACHE_DIR (default "cache",
+// auto-created on first save).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,7 +47,7 @@ namespace {
 
 std::string cache_dir() {
   const char* dir = std::getenv("RRP_CACHE_DIR");
-  return dir != nullptr && *dir != '\0' ? dir : ".";
+  return dir != nullptr && *dir != '\0' ? dir : "cache";
 }
 
 int usage() {

@@ -1,0 +1,74 @@
+// lint.h — project-specific static analysis for the rrp tree.
+//
+// rrp_lint enforces at the source level the invariants that the runtime
+// guarantees dynamically (DESIGN.md "Static guarantees"): determinism (no
+// ambient randomness, wall-clock time, or ad-hoc threading), the kernel
+// accumulation contract (double accumulators in reduction loops), the
+// module layering DAG, and a handful of hygiene rules.  It is a
+// lightweight lexer + per-file and cross-file rules — deliberately not a
+// compiler plugin, so it builds everywhere the tree builds and adds
+// milliseconds, not minutes, to the test run.
+//
+// The library half exists so tests/test_rrp_lint.cpp can drive every rule
+// against fixture snippets; tools/rrp_lint/main.cpp wraps it as the
+// `rrp_lint` binary that CTest runs (label `lint`).
+//
+// Suppressions: a legitimate exception is documented in place with
+//   // rrp-lint-allow(<rule>): <reason>
+// which silences <rule> on that line and the next one.  A missing reason
+// is itself reported (`bad-suppression`), so exceptions stay explained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rrp::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;  ///< path as walked (relative to the lint root)
+  int line = 0;      ///< 1-based
+  std::string rule;  ///< stable rule id, e.g. "determinism-random"
+  std::string message;
+};
+
+/// Rule ids, in DESIGN.md order.  (R1) determinism-random,
+/// determinism-thread; (R2) float-accumulator; (R3) layering;
+/// (R4) hygiene-override, hygiene-using-namespace, hygiene-logging;
+/// plus top-level-blob and bad-suppression.
+std::vector<std::string> all_rule_ids();
+
+/// A source file split into a comment-and-literal-blanked code view plus
+/// the per-line comment text (for suppression parsing).  Line i of `code`
+/// corresponds to line i+1 of the original file.
+struct FileView {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+/// Strips comments, string literals and char literals (contents replaced
+/// by spaces, delimiters kept) while preserving line structure.  Handles
+/// //, /*...*/, "...", '...' and R"delim(...)delim".
+FileView scan_file(const std::string& text);
+
+/// Lints a single file given its contents.  `rel_path` is the
+/// forward-slash path relative to the lint root (e.g. "src/nn/gemm.cpp");
+/// it selects the module for layering and the per-rule whitelists.
+std::vector<Finding> lint_file(const std::string& rel_path,
+                               const std::string& text);
+
+/// Walks `dirs` (default: src, tools, bench, examples) under `root`,
+/// linting every .h/.cpp file, and checks `root`'s top level for committed
+/// binary blobs.  Findings are sorted by (file, line, rule).
+std::vector<Finding> lint_tree(const std::string& root,
+                               std::vector<std::string> dirs = {});
+
+/// Just the top-level binary-blob check for `root` (also part of
+/// lint_tree).  Model caches and other binary artifacts belong in
+/// cache/ (gitignored), never at the repo root.
+std::vector<Finding> check_top_level(const std::string& root);
+
+/// Formats a finding as "file:line: [rule] message".
+std::string to_string(const Finding& f);
+
+}  // namespace rrp::lint

@@ -1,0 +1,52 @@
+// rrp_lint — static analysis gate for the rrp tree.
+//
+//   rrp_lint [--root DIR] [--list-rules] [subdir...]
+//
+// Walks src/, tools/, bench/ and examples/ under --root (default: the
+// current directory), applies every rule in tools/rrp_lint/lint.cpp and
+// exits non-zero when any finding survives suppression.  Registered with
+// CTest under the `lint` label, so `ctest -L lint` is the one-command
+// static gate; tools/check.sh runs it as part of the full PR gate.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : rrp::lint::all_rule_ids())
+        std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rrp_lint [--root DIR] [--list-rules] "
+                   "[subdir...]\n"
+                   "Lints src/ tools/ bench/ examples/ (or the given "
+                   "subdirs) under DIR\nand checks DIR's top level for "
+                   "committed binary blobs.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rrp_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+
+  const std::vector<rrp::lint::Finding> findings =
+      rrp::lint::lint_tree(root, dirs);
+  for (const rrp::lint::Finding& f : findings)
+    std::cerr << rrp::lint::to_string(f) << "\n";
+  if (!findings.empty()) {
+    std::cerr << "rrp_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "rrp_lint: clean\n";
+  return 0;
+}
