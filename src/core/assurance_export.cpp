@@ -63,11 +63,14 @@ void write_assurance_json(const AssuranceReport& report, std::ostream& out) {
       << "  \"assurance_log\": [\n";
   for (std::size_t i = 0; i < report.log.size(); ++i) {
     const AssuranceRecord& r = report.log[i];
-    out << "    {\"frame\": " << r.frame << ", \"criticality\": \""
+    out << "    {\"frame\": " << r.frame << ", \"kind\": \""
+        << assurance_kind_name(r.kind) << "\", \"criticality\": \""
         << criticality_name(r.criticality) << "\", \"requested_level\": "
         << r.requested_level << ", \"enforced_level\": " << r.enforced_level
         << ", \"veto\": " << (r.veto ? "true" : "false")
-        << ", \"violation\": " << (r.violation ? "true" : "false") << "}"
+        << ", \"violation\": " << (r.violation ? "true" : "false")
+        << ", \"elements\": " << r.elements << ", \"detail\": \""
+        << json_escape(r.detail) << "\"}"
         << (i + 1 < report.log.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";

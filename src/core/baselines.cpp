@@ -1,5 +1,6 @@
 #include "core/baselines.h"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 
@@ -87,6 +88,49 @@ nn::Tensor ReloadProvider::infer(const nn::Tensor& x) {
   return active_.forward(x, false);
 }
 
+nn::Network ReloadProvider::load_with_retry(int level, TransitionStats& stats) {
+  std::string last_error;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      stats.backoff_us +=
+          retry_.base_us * std::pow(retry_.mult, attempt - 1);
+      ++stats.read_retries;
+    }
+    try {
+      if (injected_read_failures_ > 0) {
+        --injected_read_failures_;
+        throw SerializationError("injected transient artifact read failure");
+      }
+      std::string bytes;
+      if (source_ == Source::Disk) {
+        const std::string path = path_for(level);
+        std::ifstream f(path, std::ios::binary);
+        if (!f)
+          throw SerializationError("cannot open artifact '" + path +
+                                   "' for level " + std::to_string(level));
+        bytes.assign(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+        if (static_cast<std::int64_t>(bytes.size()) != artifact_bytes(level))
+          throw SerializationError(
+              "artifact '" + path + "' is truncated: " +
+              std::to_string(bytes.size()) + " of " +
+              std::to_string(artifact_bytes(level)) + " bytes");
+      } else {
+        bytes = blobs_[static_cast<std::size_t>(level)];
+      }
+      nn::Network net = nn::deserialize_network(bytes);
+      stats.bytes_written = static_cast<std::int64_t>(bytes.size());
+      return net;
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+  }
+  throw SerializationError(
+      name_ + ": artifact for level " + std::to_string(level) +
+      " unreadable after " + std::to_string(retry_.max_attempts) +
+      " attempts — " + last_error);
+}
+
 TransitionStats ReloadProvider::set_level(int level) {
   RRP_CHECK_MSG(level >= 0 && level < level_count(),
                 "level " << level << " outside [0, " << level_count() << ")");
@@ -97,22 +141,21 @@ TransitionStats ReloadProvider::set_level(int level) {
   if (level == current_level_) return stats;
 
   Timer timer;
-  if (source_ == Source::Disk) {
-    std::ifstream f(path_for(level), std::ios::binary);
-    RRP_CHECK_MSG(f.good(), "cannot read artifact " << path_for(level));
-    std::string bytes((std::istreambuf_iterator<char>(f)),
-                      std::istreambuf_iterator<char>());
-    active_ = nn::deserialize_network(bytes);
-    stats.bytes_written = static_cast<std::int64_t>(bytes.size());
-  } else {
-    active_ = nn::deserialize_network(
-        blobs_[static_cast<std::size_t>(level)]);
-    stats.bytes_written =
-        static_cast<std::int64_t>(blobs_[static_cast<std::size_t>(level)].size());
-  }
+  active_ = load_with_retry(level, stats);
   stats.elements_changed = active_.param_count();
   stats.wall_us = timer.elapsed_us();
   current_level_ = level;
+  return stats;
+}
+
+TransitionStats ReloadProvider::reload_current() {
+  TransitionStats stats;
+  stats.from_level = current_level_;
+  stats.to_level = current_level_;
+  Timer timer;
+  active_ = load_with_retry(current_level_, stats);
+  stats.elements_changed = active_.param_count();
+  stats.wall_us = timer.elapsed_us();
   return stats;
 }
 

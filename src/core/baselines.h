@@ -51,6 +51,17 @@ class ReloadProvider : public InferenceProvider {
  public:
   enum class Source { Memory, Disk };
 
+  /// Bounded retry-with-backoff for transient artifact-read failures.  A
+  /// deployed stack retries a flaky storage read rather than dying; the
+  /// backoff delay is MODELED (deterministic), not slept, so campaign
+  /// results stay bit-reproducible.  attempt k (0-based retry) waits
+  /// base_us * mult^k.
+  struct RetryPolicy {
+    int max_attempts = 4;      ///< total tries, including the first
+    double base_us = 200.0;    ///< modeled delay before the first retry
+    double mult = 2.0;         ///< exponential backoff factor
+  };
+
   /// Builds one serialized artifact per level from `net` + `levels`; each
   /// artifact embeds its level's calibrated BatchNorm statistics when
   /// `bn_states` is supplied (one per level).  With Source::Disk the blobs
@@ -71,8 +82,33 @@ class ReloadProvider : public InferenceProvider {
   /// Size of one level's artifact in bytes.
   std::int64_t artifact_bytes(int level) const;
 
+  /// Path of one level's on-disk artifact (Disk mode; empty dir otherwise).
+  std::string artifact_path(int level) const { return path_for(level); }
+
+  /// Re-deserializes the CURRENT level's artifact — the reload stack's only
+  /// recovery path after in-memory weight corruption (it has no golden
+  /// store to heal from).  Pays the full artifact cost every time.
+  TransitionStats reload_current();
+
+  /// The resident network (fault-injection target; see sim/faults.h).
+  nn::Network& active_network() { return active_; }
+
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// FAULT-INJECTION HOOK: the next `n` artifact reads fail as if the
+  /// storage returned garbage; the retry loop absorbs up to
+  /// retry_policy().max_attempts - 1 of them per switch.
+  void inject_read_failures(int n) { injected_read_failures_ = n; }
+  int pending_read_failures() const { return injected_read_failures_; }
+
  private:
   std::string path_for(int level) const;
+
+  /// Loads `level`'s artifact with bounded retry; fills retry accounting
+  /// into `stats` and returns the deserialized network.  Throws
+  /// rrp::SerializationError naming the artifact after the final attempt.
+  nn::Network load_with_retry(int level, TransitionStats& stats);
 
   std::string name_;
   Source source_;
@@ -80,6 +116,8 @@ class ReloadProvider : public InferenceProvider {
   std::vector<std::string> blobs_;  // kept even in Disk mode for sizing
   nn::Network active_;
   int current_level_ = 0;
+  RetryPolicy retry_;
+  int injected_read_failures_ = 0;
 };
 
 }  // namespace rrp::core

@@ -1,0 +1,142 @@
+#include "core/integrity.h"
+
+#include <cstring>
+
+#include "util/checks.h"
+
+namespace rrp::core {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t tensor_digest(const nn::Tensor& t) {
+  return fnv1a64(t.raw(), sizeof(float) * static_cast<std::size_t>(t.numel()));
+}
+
+std::int64_t ScrubReport::diverged_elements() const {
+  std::int64_t n = 0;
+  for (const IntegrityFinding& f : findings) n += f.diverged_elements;
+  return n;
+}
+
+bool ScrubReport::store_corrupt() const {
+  for (const IntegrityFinding& f : findings)
+    if (f.store_corrupt) return true;
+  return false;
+}
+
+IntegrityChecker::IntegrityChecker(const WeightStore& store) : store_(&store) {
+  for (const std::string& name : store.param_names())
+    digests_.emplace(name, tensor_digest(store.get(name)));
+}
+
+std::uint64_t IntegrityChecker::digest(const std::string& param) const {
+  auto it = digests_.find(param);
+  RRP_CHECK_MSG(it != digests_.end(), "no digest for '" << param << "'");
+  return it->second;
+}
+
+namespace {
+
+/// Bit-level equality: a flipped NaN payload or signed zero must count as
+/// divergence, so memcmp semantics (not float ==) are required.
+inline bool same_bits(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+}  // namespace
+
+ScrubReport IntegrityChecker::scrub(nn::Network& net,
+                                    const prune::NetworkMask& mask) const {
+  ScrubReport report;
+  for (auto& p : net.params()) {
+    const nn::Tensor& gold = store_->get(p.name);
+    RRP_CHECK_MSG(gold.shape() == p.value->shape(),
+                  "shape drift on '" << p.name << "'");
+    const bool store_ok = tensor_digest(gold) == digest(p.name);
+    const auto* keep = mask.find(p.name);
+    const float* live = p.value->raw();
+    const float* src = gold.raw();
+    const std::int64_t n = gold.numel();
+    report.elements_checked += n;
+
+    IntegrityFinding finding;
+    finding.param = p.name;
+    finding.store_corrupt = !store_ok;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float expect =
+          (keep != nullptr && !(*keep)[static_cast<std::size_t>(i)])
+              ? 0.0f
+              : src[i];
+      if (!same_bits(live[i], expect)) {
+        if (finding.first_index < 0) finding.first_index = i;
+        ++finding.diverged_elements;
+      }
+    }
+    if (finding.diverged_elements > 0 || finding.store_corrupt)
+      report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+RepairReport IntegrityChecker::repair(nn::Network& net,
+                                      const prune::NetworkMask& mask,
+                                      const ScrubReport& report) const {
+  RepairReport out;
+  if (report.clean()) return out;
+  for (auto& p : net.params()) {
+    const IntegrityFinding* finding = nullptr;
+    for (const IntegrityFinding& f : report.findings)
+      if (f.param == p.name) {
+        finding = &f;
+        break;
+      }
+    if (finding == nullptr) continue;
+    if (finding->store_corrupt) {
+      // The golden copy itself diverged from its snapshot digest: copying
+      // from it would launder the corruption into "repaired" state.
+      out.unrepairable.push_back(p.name);
+      continue;
+    }
+    if (finding->diverged_elements == 0) continue;
+    const nn::Tensor& gold = store_->get(p.name);
+    const auto* keep = mask.find(p.name);
+    float* live = p.value->raw();
+    const float* src = gold.raw();
+    const std::int64_t n = gold.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float expect =
+          (keep != nullptr && !(*keep)[static_cast<std::size_t>(i)])
+              ? 0.0f
+              : src[i];
+      if (!same_bits(live[i], expect)) {
+        live[i] = expect;
+        ++out.elements_repaired;
+      }
+    }
+  }
+  out.bytes_written =
+      out.elements_repaired * static_cast<std::int64_t>(sizeof(float));
+  return out;
+}
+
+RepairReport IntegrityChecker::scrub_and_repair(nn::Network& net,
+                                                const prune::NetworkMask& mask,
+                                                ScrubReport* out_scrub) const {
+  const ScrubReport report = scrub(net, mask);
+  const RepairReport repaired = repair(net, mask, report);
+  if (out_scrub != nullptr) *out_scrub = report;
+  return repaired;
+}
+
+}  // namespace rrp::core

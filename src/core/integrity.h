@@ -1,0 +1,97 @@
+// integrity.h — runtime weight-integrity checking and O(Δ) self-healing.
+//
+// Threat model: single-event upsets in weight SRAM/DRAM (the canonical
+// memory hazard for safety-critical NN accelerators, cf. Li et al., SC'17).
+// Because the reversible runtime keeps the full golden weights resident in
+// the WeightStore, integrity becomes cheap to *assert* and cheap to
+// *repair*:
+//
+//   invariant   live weights == golden ⊙ current mask   (element-wise)
+//
+// The IntegrityChecker captures FNV-1a digests of every golden parameter at
+// snapshot time.  A periodic SCRUB verifies (a) the store against its own
+// digests (golden corruption is detectable even though it is not locally
+// repairable) and (b) the live network against golden ⊙ mask.  SELF-HEAL
+// rewrites exactly the divergent elements from the store — an O(Δ) copy,
+// where Δ is the number of corrupted elements, versus the full-artifact
+// deserialization a reload-based stack must pay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/weight_store.h"
+
+namespace rrp::core {
+
+/// FNV-1a 64-bit digest of a byte range (deterministic, portable).
+std::uint64_t fnv1a64(const void* data, std::size_t bytes);
+
+/// Digest of a tensor's float payload.
+std::uint64_t tensor_digest(const nn::Tensor& t);
+
+/// One divergent parameter found by a scrub.
+struct IntegrityFinding {
+  std::string param;
+  std::int64_t diverged_elements = 0;  ///< live != golden ⊙ mask
+  std::int64_t first_index = -1;       ///< first divergent flat index
+  bool store_corrupt = false;  ///< the golden copy itself fails its digest
+};
+
+/// Result of one scrub pass.
+struct ScrubReport {
+  std::int64_t frame = -1;  ///< set by the caller (runner) when in-loop
+  std::vector<IntegrityFinding> findings;
+  std::int64_t elements_checked = 0;
+
+  bool clean() const { return findings.empty(); }
+  std::int64_t diverged_elements() const;
+  bool store_corrupt() const;
+};
+
+/// Result of one self-heal pass.
+struct RepairReport {
+  std::int64_t elements_repaired = 0;  ///< the Δ of the O(Δ) copy
+  std::int64_t bytes_written = 0;      ///< elements_repaired * sizeof(float)
+  /// Parameters whose golden copy is corrupt: detected but NOT repairable
+  /// from the store (a reload from a trusted artifact is required).
+  std::vector<std::string> unrepairable;
+
+  bool fully_repaired() const { return unrepairable.empty(); }
+};
+
+/// Verifies and repairs the live-weights invariant against a WeightStore.
+class IntegrityChecker {
+ public:
+  /// Captures per-parameter digests of `store`'s golden tensors.  The
+  /// store must outlive the checker.
+  explicit IntegrityChecker(const WeightStore& store);
+
+  /// Digest captured for one parameter (testing / evidence export).
+  std::uint64_t digest(const std::string& param) const;
+
+  /// Full verification pass: every parameter of `net` is compared
+  /// element-wise against golden ⊙ mask (parameters absent from the mask
+  /// compare against plain golden), and every golden tensor is re-digested
+  /// against its snapshot-time digest.  Detects any single-element
+  /// divergence by construction (exhaustive compare, not sampling).
+  ScrubReport scrub(nn::Network& net, const prune::NetworkMask& mask) const;
+
+  /// Repairs the divergences listed in `report` by copying exactly the
+  /// divergent elements back from golden ⊙ mask — O(Δ).  Parameters whose
+  /// golden copy is itself corrupt are skipped and reported unrepairable.
+  RepairReport repair(nn::Network& net, const prune::NetworkMask& mask,
+                      const ScrubReport& report) const;
+
+  /// scrub + repair in one call (the runner's periodic path).
+  RepairReport scrub_and_repair(nn::Network& net,
+                                const prune::NetworkMask& mask,
+                                ScrubReport* out_scrub = nullptr) const;
+
+ private:
+  const WeightStore* store_;
+  std::map<std::string, std::uint64_t> digests_;
+};
+
+}  // namespace rrp::core

@@ -31,6 +31,10 @@ struct TransitionStats {
   std::int64_t elements_changed = 0;
   std::int64_t bytes_written = 0;
   double wall_us = 0.0;
+  /// Reload baseline only: failed artifact-read attempts absorbed by the
+  /// bounded retry loop, and the modeled backoff delay they cost.
+  int read_retries = 0;
+  double backoff_us = 0.0;
 };
 
 /// Uniform interface over every way of executing the network at a level.
@@ -83,6 +87,10 @@ class ReversiblePruner : public InferenceProvider {
 
   nn::Network& network() { return *net_; }
   const WeightStore& store() const { return store_; }
+  /// FAULT-INJECTION BACKDOOR: mutable store access so sim/faults.h can
+  /// simulate SEUs in the golden copy's memory (WeightStore::flip_bit).
+  /// Never used by runtime control paths.
+  WeightStore& mutable_store() { return store_; }
   const prune::PruneLevelLibrary& levels() const { return levels_; }
   const std::vector<TransitionStats>& history() const { return history_; }
 

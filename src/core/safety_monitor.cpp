@@ -14,6 +14,17 @@ const char* criticality_name(CriticalityClass c) {
   return "?";
 }
 
+const char* assurance_kind_name(AssuranceKind k) {
+  switch (k) {
+    case AssuranceKind::LevelVeto: return "level_veto";
+    case AssuranceKind::LevelViolation: return "level_violation";
+    case AssuranceKind::IntegrityDetect: return "integrity_detect";
+    case AssuranceKind::IntegrityRepair: return "integrity_repair";
+    case AssuranceKind::WatchdogDegrade: return "watchdog_degrade";
+  }
+  return "?";
+}
+
 SafetyMonitor::SafetyMonitor(SafetyConfig config) : config_(config) {
   // The certified ladder must be monotone: higher criticality never allows
   // MORE pruning than lower criticality.
@@ -58,14 +69,54 @@ bool SafetyMonitor::audit(std::int64_t frame, CriticalityClass c,
   rec.criticality = c;
   rec.requested_level = executed_level;
   rec.enforced_level = executed_level;
+  rec.kind = AssuranceKind::LevelViolation;
   rec.violation = true;
   log_.push_back(rec);
   return false;
 }
 
+void SafetyMonitor::record_integrity_detect(std::int64_t frame,
+                                            std::int64_t elements,
+                                            const std::string& detail) {
+  ++integrity_detects_;
+  AssuranceRecord rec;
+  rec.frame = frame;
+  rec.kind = AssuranceKind::IntegrityDetect;
+  rec.elements = elements;
+  rec.detail = detail;
+  log_.push_back(rec);
+}
+
+void SafetyMonitor::record_integrity_repair(std::int64_t frame,
+                                            std::int64_t elements,
+                                            const std::string& detail) {
+  ++integrity_repairs_;
+  AssuranceRecord rec;
+  rec.frame = frame;
+  rec.kind = AssuranceKind::IntegrityRepair;
+  rec.elements = elements;
+  rec.detail = detail;
+  log_.push_back(rec);
+}
+
+void SafetyMonitor::record_watchdog_degrade(std::int64_t frame,
+                                            CriticalityClass c, int from_level,
+                                            int forced_level) {
+  ++watchdog_degrades_;
+  AssuranceRecord rec;
+  rec.frame = frame;
+  rec.kind = AssuranceKind::WatchdogDegrade;
+  rec.criticality = c;
+  rec.requested_level = from_level;
+  rec.enforced_level = forced_level;
+  rec.detail = "deadline watchdog forced certified level";
+  log_.push_back(rec);
+}
+
 void SafetyMonitor::clear() {
   log_.clear();
   veto_count_ = violation_count_ = audited_frames_ = 0;
+  integrity_detects_ = integrity_repairs_ = watchdog_degrades_ = 0;
 }
 
 }  // namespace rrp::core

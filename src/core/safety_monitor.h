@@ -36,14 +36,32 @@ struct SafetyConfig {
   std::array<int, kCriticalityClasses> max_level_for = {4, 3, 1, 0};
 };
 
+/// What kind of safety evidence an assurance-log entry carries.  The level
+/// kinds cover the certified-ladder story; the integrity/watchdog kinds
+/// extend the safety case to weight faults and timing faults.
+enum class AssuranceKind : int {
+  LevelVeto = 0,        ///< screen() overrode the controller's request
+  LevelViolation = 1,   ///< audit() saw an over-certified executed level
+  IntegrityDetect = 2,  ///< scrub found live/golden divergence
+  IntegrityRepair = 3,  ///< self-heal rewrote the divergent elements
+  WatchdogDegrade = 4,  ///< deadline watchdog forced the certified level
+};
+
+const char* assurance_kind_name(AssuranceKind k);
+
 /// One assurance-log entry.
 struct AssuranceRecord {
   std::int64_t frame = 0;
+  AssuranceKind kind = AssuranceKind::LevelVeto;
   CriticalityClass criticality = CriticalityClass::Low;
   int requested_level = 0;
   int enforced_level = 0;
   bool veto = false;       ///< monitor overrode the controller's request
   bool violation = false;  ///< the executed level exceeded the certified max
+  /// Integrity kinds: elements diverged (Detect) / repaired (Repair).
+  std::int64_t elements = 0;
+  /// Free-form evidence detail ("param conv1.weight", "store corrupt", …).
+  std::string detail;
 };
 
 class SafetyMonitor {
@@ -64,9 +82,26 @@ class SafetyMonitor {
   /// Returns true if the frame was safe.
   bool audit(std::int64_t frame, CriticalityClass c, int executed_level);
 
+  /// Records a weight-integrity detection (scrub found `elements` divergent
+  /// elements; `detail` names the parameter / store state).
+  void record_integrity_detect(std::int64_t frame, std::int64_t elements,
+                               const std::string& detail);
+
+  /// Records a completed self-heal of `elements` elements.
+  void record_integrity_repair(std::int64_t frame, std::int64_t elements,
+                               const std::string& detail);
+
+  /// Records a watchdog intervention: after consecutive deadline overruns
+  /// the runner forced the certified max level for criticality `c`.
+  void record_watchdog_degrade(std::int64_t frame, CriticalityClass c,
+                               int from_level, int forced_level);
+
   std::int64_t veto_count() const { return veto_count_; }
   std::int64_t violation_count() const { return violation_count_; }
   std::int64_t audited_frames() const { return audited_frames_; }
+  std::int64_t integrity_detect_count() const { return integrity_detects_; }
+  std::int64_t integrity_repair_count() const { return integrity_repairs_; }
+  std::int64_t watchdog_degrade_count() const { return watchdog_degrades_; }
 
   const std::vector<AssuranceRecord>& log() const { return log_; }
   void clear();
@@ -77,6 +112,9 @@ class SafetyMonitor {
   std::int64_t veto_count_ = 0;
   std::int64_t violation_count_ = 0;
   std::int64_t audited_frames_ = 0;
+  std::int64_t integrity_detects_ = 0;
+  std::int64_t integrity_repairs_ = 0;
+  std::int64_t watchdog_degrades_ = 0;
 };
 
 }  // namespace rrp::core

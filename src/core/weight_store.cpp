@@ -1,5 +1,7 @@
 #include "core/weight_store.h"
 
+#include <cstring>
+
 #include "util/checks.h"
 
 namespace rrp::core {
@@ -23,6 +25,27 @@ const nn::Tensor& WeightStore::get(const std::string& param_name) const {
   RRP_CHECK_MSG(it != golden_.end(),
                 "no golden weights for '" << param_name << "'");
   return it->second;
+}
+
+std::vector<std::string> WeightStore::param_names() const {
+  std::vector<std::string> names;
+  names.reserve(golden_.size());
+  for (const auto& [name, t] : golden_) names.push_back(name);
+  return names;
+}
+
+void WeightStore::flip_bit(const std::string& param_name, std::int64_t element,
+                           int bit) {
+  auto it = golden_.find(param_name);
+  RRP_CHECK_MSG(it != golden_.end(),
+                "no golden weights for '" << param_name << "'");
+  RRP_CHECK(element >= 0 && element < it->second.numel());
+  RRP_CHECK(bit >= 0 && bit < 32);
+  float* f = it->second.raw() + element;
+  std::uint32_t u;
+  std::memcpy(&u, f, sizeof u);
+  u ^= (1u << bit);
+  std::memcpy(f, &u, sizeof u);
 }
 
 std::int64_t WeightStore::total_elements() const {

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "nn/network.h"
 #include "prune/mask.h"
@@ -22,6 +23,17 @@ class WeightStore {
 
   bool has(const std::string& param_name) const;
   const nn::Tensor& get(const std::string& param_name) const;
+
+  /// All stored parameter names, in deterministic (lexicographic) order.
+  std::vector<std::string> param_names() const;
+
+  /// FAULT-INJECTION BACKDOOR: XORs one bit of one stored element,
+  /// simulating a single-event upset in the golden copy's memory.  This is
+  /// the only mutation the store permits after snapshot; it exists so the
+  /// integrity scrub's store-corruption detection can be exercised
+  /// (sim/faults.h, experiment R-F9) and must never be called by runtime
+  /// control paths.  `bit` is in [0, 31].
+  void flip_bit(const std::string& param_name, std::int64_t element, int bit);
 
   std::size_t param_count() const { return golden_.size(); }
   std::int64_t total_elements() const;

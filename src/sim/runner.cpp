@@ -46,6 +46,12 @@ core::LevelProfile profile_levels(core::InferenceProvider& provider,
 RunResult run_scenario(const Scenario& scenario,
                        core::RuntimeController& controller,
                        const RunConfig& config) {
+  return run_scenario(scenario, controller, config, nullptr);
+}
+
+RunResult run_scenario(const Scenario& scenario,
+                       core::RuntimeController& controller,
+                       const RunConfig& config, FaultHarness* harness) {
   RRP_CHECK_MSG(!scenario.scenes.empty(), "scenario has no frames");
   RunResult result;
   result.scenario = scenario.name;
@@ -58,12 +64,26 @@ RunResult run_scenario(const Scenario& scenario,
   double energy_left = config.energy_budget_mj;
   PerceptionCriticality estimator(config.perception_criticality);
   core::CriticalityClass perceived = core::CriticalityClass::Low;
+  core::SafetyMonitor* monitor = controller.monitor();
+
+  FaultInjector injector(config.faults,
+                         harness ? harness->targets : FaultTargets{});
+  core::CriticalityClass last_published = core::CriticalityClass::Low;
+  int consecutive_overruns = 0;
+  // Watchdog interventions fire AFTER a frame is accounted; their switch
+  // cost lands on the next frame's record.
+  double carried_switch_us = 0.0;
+  double carried_switch_energy = 0.0;
 
   RRP_CHECK(config.sensing_delay_frames >= 0);
   RRP_CHECK(config.sensor_blackout_prob >= 0.0 &&
             config.sensor_blackout_prob <= 1.0);
+  RRP_CHECK(config.scrub_period_frames >= 0);
+  RRP_CHECK(config.watchdog_overrun_frames >= 0);
   for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
     const Scene& scene = scenario.scenes[f];
+    const FrameFaults faults =
+        injector.begin_frame(static_cast<std::int64_t>(f));
     // The controller and monitor see the criticality the perception stack
     // has already published — `sensing_delay_frames` behind the world.
     const std::size_t sensed_frame =
@@ -87,18 +107,36 @@ RunResult run_scenario(const Scenario& scenario,
             std::max(perceived, core::CriticalityClass::Medium);
         break;
     }
+    // Sensor faults override what the controller gets to see; the plant's
+    // true criticality (rec.criticality below) is unaffected.
+    if (faults.stuck_criticality)
+      input.criticality = *faults.stuck_criticality;
+    else if (faults.stale_criticality)
+      input.criticality = last_published;
+    last_published = input.criticality;
     input.deadline_ms = config.deadline_ms;
     input.energy_budget_frac =
         config.energy_budget_mj > 0.0
             ? std::clamp(energy_left / config.energy_budget_mj, 0.0, 1.0)
             : 1.0;
 
-    // Analyze/Plan/Execute: the controller applies a (screened) level.
-    const core::ControlDecision d = controller.step(input);
+    // Analyze/Plan/Execute: the controller applies a (screened) level —
+    // unless this frame's decision is dropped by a fault, in which case the
+    // provider coasts at its current level (still audited).
+    core::ControlDecision d;
+    if (faults.drop_decision) {
+      d.requested_level = controller.provider().current_level();
+      d.enforced_level = d.requested_level;
+      if (monitor)
+        monitor->audit(input.frame, input.criticality, d.enforced_level);
+    } else {
+      d = controller.step(input);
+    }
 
     // Perceive: render the sensor frame (maybe lost) and run inference.
-    const bool blackout = config.sensor_blackout_prob > 0.0 &&
-                          noise.bernoulli(config.sensor_blackout_prob);
+    const bool blackout = (config.sensor_blackout_prob > 0.0 &&
+                           noise.bernoulli(config.sensor_blackout_prob)) ||
+                          faults.blackout;
     Scene sensed_view = scene;
     if (blackout) sensed_view.actors.clear();  // empty road, noise only
     const nn::Tensor frame = render_scene(sensed_view, config.vision, noise);
@@ -113,33 +151,136 @@ RunResult run_scenario(const Scenario& scenario,
     // Account: platform-model latency/energy for this frame.
     const std::int64_t macs = controller.provider().active_macs(in_shape);
     const bool switched = d.transition.from_level != d.transition.to_level;
-    const double switch_us =
-        switched ? platform.switch_latency_us(d.transition.bytes_written) : 0.0;
-    const double switch_energy =
-        switched ? platform.switch_energy_mj(d.transition.bytes_written) : 0.0;
+    double switch_us =
+        (switched ? platform.switch_latency_us(d.transition.bytes_written)
+                  : 0.0) +
+        d.transition.backoff_us + carried_switch_us;
+    double switch_energy =
+        (switched ? platform.switch_energy_mj(d.transition.bytes_written)
+                  : 0.0) +
+        carried_switch_energy;
+    carried_switch_us = 0.0;
+    carried_switch_energy = 0.0;
+
+    // Integrity scrub: verify live weights against golden ⊙ mask
+    // (reversible arm) or against the clean artifact digest (reload arm),
+    // and repair in place when configured.  Modeled repair cost is charged
+    // to this frame's switch budget.
+    if (harness != nullptr && config.scrub_period_frames > 0 &&
+        (f + 1) % static_cast<std::size_t>(config.scrub_period_frames) == 0) {
+      if (harness->checker != nullptr && harness->levels != nullptr &&
+          harness->targets.live_net != nullptr) {
+        const prune::NetworkMask& mask =
+            harness->levels->mask(controller.provider().current_level());
+        core::ScrubReport scrub =
+            harness->checker->scrub(*harness->targets.live_net, mask);
+        scrub.frame = input.frame;
+        if (!scrub.clean()) {
+          if (monitor)
+            for (const core::IntegrityFinding& finding : scrub.findings)
+              monitor->record_integrity_detect(
+                  input.frame, finding.diverged_elements,
+                  finding.param +
+                      (finding.store_corrupt ? " store-corrupt" : ""));
+          if (config.self_heal) {
+            const core::RepairReport fix = harness->checker->repair(
+                *harness->targets.live_net, mask, scrub);
+            const double heal_us = platform.switch_latency_us(fix.bytes_written);
+            switch_us += heal_us;
+            switch_energy += platform.switch_energy_mj(fix.bytes_written);
+            if (monitor)
+              monitor->record_integrity_repair(
+                  input.frame, fix.elements_repaired,
+                  fix.fully_repaired() ? "self-heal"
+                                       : "self-heal (store corrupt)");
+            harness->recoveries.push_back(
+                {input.frame, "self-heal", fix.elements_repaired,
+                 fix.bytes_written, heal_us / 1000.0, fix.fully_repaired()});
+          }
+        }
+      } else if (harness->reload != nullptr &&
+                 harness->reload_digests != nullptr &&
+                 harness->targets.live_net != nullptr) {
+        const int level = controller.provider().current_level();
+        const std::uint64_t digest =
+            live_network_digest(*harness->targets.live_net);
+        if (digest !=
+            (*harness->reload_digests)[static_cast<std::size_t>(level)]) {
+          if (monitor)
+            monitor->record_integrity_detect(
+                input.frame, 0,
+                "digest mismatch at level " + std::to_string(level));
+          if (config.self_heal) {
+            const core::TransitionStats reload =
+                harness->reload->reload_current();
+            const double reload_us =
+                platform.switch_latency_us(reload.bytes_written) +
+                reload.backoff_us;
+            switch_us += reload_us;
+            switch_energy += platform.switch_energy_mj(reload.bytes_written);
+            if (monitor)
+              monitor->record_integrity_repair(input.frame,
+                                               reload.elements_changed,
+                                               "full artifact reload");
+            harness->recoveries.push_back(
+                {input.frame, "reload", reload.elements_changed,
+                 reload.bytes_written, reload_us / 1000.0, true});
+          }
+        }
+      }
+    }
 
     core::FrameRecord rec;
     rec.frame = input.frame;
     rec.criticality = classify_scene(scene, config.criticality);
     rec.requested_level = d.requested_level;
     rec.executed_level = controller.provider().current_level();
-    rec.latency_ms = platform.latency_ms(macs);
+    rec.latency_ms = platform.latency_ms(macs) * faults.latency_scale;
     rec.energy_mj = platform.energy_mj(macs) + switch_energy;
     rec.switch_us = switch_us;
     rec.deadline_ms = config.deadline_ms;
     rec.correct = pred == label;
     rec.veto = d.veto;
-    rec.violation = controller.monitor() != nullptr &&
+    rec.violation = monitor != nullptr &&
                     rec.executed_level >
-                        controller.monitor()->certified_max(input.criticality);
+                        monitor->certified_max(input.criticality);
     rec.true_violation =
-        controller.monitor() != nullptr &&
-        rec.executed_level >
-            controller.monitor()->certified_max(rec.criticality);
+        monitor != nullptr &&
+        rec.executed_level > monitor->certified_max(rec.criticality);
     result.telemetry.add(rec);
 
     energy_left -= rec.energy_mj;
+
+    // Deadline watchdog: N consecutive overruns force the certified max
+    // level for the SENSED criticality — degraded but certified service.
+    if (config.watchdog_overrun_frames > 0) {
+      const double frame_total_ms = rec.latency_ms + rec.switch_us / 1000.0;
+      if (frame_total_ms > config.deadline_ms)
+        ++consecutive_overruns;
+      else
+        consecutive_overruns = 0;
+      if (consecutive_overruns >= config.watchdog_overrun_frames) {
+        const int ladder_max = controller.provider().level_count() - 1;
+        const int forced =
+            monitor ? std::min(monitor->certified_max(input.criticality),
+                               ladder_max)
+                    : ladder_max;
+        const int from = controller.provider().current_level();
+        if (forced != from) {
+          const core::TransitionStats t =
+              controller.provider().set_level(forced);
+          carried_switch_us =
+              platform.switch_latency_us(t.bytes_written) + t.backoff_us;
+          carried_switch_energy = platform.switch_energy_mj(t.bytes_written);
+        }
+        if (monitor)
+          monitor->record_watchdog_degrade(input.frame, input.criticality,
+                                           from, forced);
+        consecutive_overruns = 0;
+      }
+    }
   }
+  if (harness != nullptr) harness->injected = injector.injected();
   result.summary = result.telemetry.summarize();
   return result;
 }

@@ -10,6 +10,7 @@
 #include "core/controller.h"
 #include "core/telemetry.h"
 #include "sim/criticality.h"
+#include "sim/faults.h"
 #include "sim/perception_criticality.h"
 #include "sim/platform_model.h"
 #include "sim/vision_task.h"
@@ -37,8 +38,25 @@ struct RunConfig {
   /// Sensor fault injection: per-frame probability that the camera frame
   /// is lost (rendered as an empty road).  Ground truth is unchanged, so
   /// blackout frames with an actor present count as missed detections —
-  /// the fault-tolerance experiments use this to stress the loop.
+  /// the fault-tolerance experiments use this to stress the loop.  This is
+  /// per-frame Bernoulli sugar over FaultKind::SensorBlackout; scheduled
+  /// blackout bursts go in `faults`.
   double sensor_blackout_prob = 0.0;
+  /// Seeded fault schedule applied at frame boundaries (see sim/faults.h).
+  /// Weight/store/artifact faults additionally need a FaultHarness passed
+  /// to run_scenario; the sensor/timing kinds work with the plan alone.
+  FaultPlan faults;
+  /// Integrity scrub cadence in frames (0 = no scrubbing).  Requires a
+  /// harness with a checker (reversible arm) or reload digests (reload
+  /// arm) to have any effect.
+  int scrub_period_frames = 0;
+  /// Repair detected weight divergence in place (reversible arm) or by
+  /// re-reading the artifact (reload arm).  Detection-only when false.
+  bool self_heal = true;
+  /// Deadline watchdog: after this many CONSECUTIVE deadline overruns the
+  /// runner forces the certified max level for the sensed criticality and
+  /// records a WatchdogDegrade assurance record.  0 disables.
+  int watchdog_overrun_frames = 0;
   PlatformConfig platform;
   CriticalityConfig criticality;
   VisionTaskConfig vision;
@@ -57,6 +75,13 @@ struct RunResult {
 RunResult run_scenario(const Scenario& scenario,
                        core::RuntimeController& controller,
                        const RunConfig& config);
+
+/// As above, with fault-injection targets and integrity wiring.  The
+/// harness (optional) receives every detection/recovery; weight faults in
+/// `config.faults` are skipped without it.
+RunResult run_scenario(const Scenario& scenario,
+                       core::RuntimeController& controller,
+                       const RunConfig& config, FaultHarness* harness);
 
 /// Offline profiling of a provider's level ladder: modeled latency/energy
 /// from active MACs and measured accuracy on `eval`.  Restores level 0.

@@ -1,0 +1,9 @@
+// Fixture: src/sim/faults.* is deliberately NOT on kRandomWhitelist —
+// fault plans must come from the seeded rrp::Rng so campaigns replay
+// byte-identically.  Ambient entropy here must fire R1a.  Never compiled.
+#include <random>
+
+int roll_fault_frame() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<int>(gen() % 600u);
+}

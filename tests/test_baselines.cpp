@@ -98,6 +98,51 @@ TEST(ReloadProvider, DiskModeRoundTrips) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ReloadProvider, MissingArtifactFailsWithDiagnosableError) {
+  nn::Network net = tiny_conv_net(9);
+  const auto lib = lib_for(net);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "rrp_reload_missing").string();
+  ReloadProvider rp(net, lib, ReloadProvider::Source::Disk, dir);
+  std::filesystem::remove(rp.artifact_path(1));
+  try {
+    rp.set_level(1);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot open artifact"), std::string::npos) << what;
+    EXPECT_NE(what.find(rp.artifact_path(1)), std::string::npos) << what;
+  }
+  EXPECT_EQ(rp.current_level(), 0);  // provider state is unchanged
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReloadProvider, TruncatedArtifactFailsWithDiagnosableError) {
+  nn::Network net = tiny_conv_net(9);
+  const auto lib = lib_for(net);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "rrp_reload_trunc").string();
+  ReloadProvider rp(net, lib, ReloadProvider::Source::Disk, dir);
+  // Truncate level 2's artifact to half its size: the size check must turn
+  // what would be stream UB into a typed, named error.
+  std::filesystem::resize_file(
+      rp.artifact_path(2),
+      static_cast<std::uintmax_t>(rp.artifact_bytes(2) / 2));
+  try {
+    rp.set_level(2);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find(rp.artifact_path(2)), std::string::npos) << what;
+  }
+  EXPECT_EQ(rp.current_level(), 0);
+  // The provider keeps serving the level-0 network after the failure.
+  const nn::Tensor x = random_tensor({1, 1, 8, 8}, 10);
+  EXPECT_EQ(rp.infer(x).numel(), 3);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ReloadProvider, DiskModeNeedsDirectory) {
   nn::Network net = tiny_conv_net(11);
   const auto lib = lib_for(net);

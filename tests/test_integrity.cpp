@@ -1,0 +1,212 @@
+// test_integrity.cpp — digests, scrub detection parity, and O(Δ) self-heal.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/integrity.h"
+#include "core/reversible_pruner.h"
+#include "test_support.h"
+#include "util/checks.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::tiny_conv_net;
+
+class IntegrityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = tiny_conv_net(31);
+    lib_ = prune::PruneLevelLibrary::build_unstructured(net_, {0.0, 0.4, 0.7});
+    store_ = WeightStore::snapshot(net_);
+  }
+
+  std::vector<float> flat_weights() {
+    std::vector<float> out;
+    for (const auto& p : net_.params())
+      out.insert(out.end(), p.value->data().begin(), p.value->data().end());
+    return out;
+  }
+
+  nn::Network net_;
+  prune::PruneLevelLibrary lib_;
+  WeightStore store_;
+};
+
+TEST_F(IntegrityFixture, DigestsAreStableAndSensitive) {
+  const IntegrityChecker checker(store_);
+  for (const std::string& name : store_.param_names()) {
+    EXPECT_EQ(checker.digest(name), tensor_digest(store_.get(name)));
+  }
+  // Any single-bit change to the payload changes the digest.
+  nn::Tensor t = store_.get(store_.param_names().front());
+  const std::uint64_t before = tensor_digest(t);
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, t.raw(), sizeof(bits));
+  bits ^= 1u;
+  std::memcpy(t.raw(), &bits, sizeof(bits));
+  EXPECT_NE(tensor_digest(t), before);
+}
+
+TEST_F(IntegrityFixture, CleanNetworkScrubsClean) {
+  const IntegrityChecker checker(store_);
+  for (int level = 0; level < lib_.level_count(); ++level) {
+    store_.apply_mask(net_, lib_.mask(level));
+    const ScrubReport report = checker.scrub(net_, lib_.mask(level));
+    EXPECT_TRUE(report.clean()) << "level " << level;
+    EXPECT_EQ(report.elements_checked, store_.total_elements());
+  }
+}
+
+// Parity sweep: every injected single-bit flip — any parameter, low/high
+// bits, kept or pruned element, any level — must be detected (the scrub is
+// an exhaustive compare, so this is 100% by construction) and healed back
+// to bit-exact weights.
+TEST_F(IntegrityFixture, DetectsAndHealsEverySingleBitFlip) {
+  const IntegrityChecker checker(store_);
+  const int level = 1;
+  store_.apply_mask(net_, lib_.mask(level));
+  const std::vector<float> golden_masked = flat_weights();
+
+  auto params = net_.params();
+  Rng rng(99);
+  for (const int bit : {0, 7, 15, 23, 30, 31}) {
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+      nn::Tensor& value = *params[pi].value;
+      const std::int64_t element = static_cast<std::int64_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(value.numel())));
+      float* slot = value.raw() + element;
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, slot, sizeof(bits));
+      bits ^= (1u << bit);
+      std::memcpy(slot, &bits, sizeof(bits));
+
+      const ScrubReport report = checker.scrub(net_, lib_.mask(level));
+      ASSERT_EQ(report.findings.size(), 1u)
+          << "param " << params[pi].name << " bit " << bit;
+      EXPECT_EQ(report.findings[0].param, params[pi].name);
+      EXPECT_EQ(report.findings[0].diverged_elements, 1);
+      EXPECT_EQ(report.findings[0].first_index, element);
+      EXPECT_FALSE(report.findings[0].store_corrupt);
+
+      const RepairReport fix = checker.repair(net_, lib_.mask(level), report);
+      EXPECT_EQ(fix.elements_repaired, 1);
+      EXPECT_EQ(fix.bytes_written, static_cast<std::int64_t>(sizeof(float)));
+      EXPECT_TRUE(fix.fully_repaired());
+    }
+  }
+  // After the whole sweep the weights are bit-exactly the masked golden.
+  const std::vector<float> healed = flat_weights();
+  ASSERT_EQ(healed.size(), golden_masked.size());
+  for (std::size_t i = 0; i < healed.size(); ++i)
+    EXPECT_EQ(std::memcmp(&healed[i], &golden_masked[i], sizeof(float)), 0)
+        << "element " << i;
+}
+
+TEST_F(IntegrityFixture, ScrubAndRepairHealsMultiElementCorruption) {
+  const IntegrityChecker checker(store_);
+  store_.apply_mask(net_, lib_.mask(2));
+  auto params = net_.params();
+  // Corrupt several elements across two parameters.
+  for (std::int64_t e : {0, 3, 5}) params[0].value->raw()[e] += 1.5f;
+  params.back().value->raw()[1] = -42.0f;
+
+  ScrubReport scrub;
+  const RepairReport fix = checker.scrub_and_repair(net_, lib_.mask(2), &scrub);
+  EXPECT_GE(scrub.diverged_elements(), 3);
+  EXPECT_EQ(fix.elements_repaired, scrub.diverged_elements());
+  EXPECT_TRUE(fix.fully_repaired());
+  EXPECT_TRUE(checker.scrub(net_, lib_.mask(2)).clean());
+}
+
+TEST_F(IntegrityFixture, StoreCorruptionIsDetectedButNotLaundered) {
+  const IntegrityChecker checker(store_);
+  store_.apply_mask(net_, lib_.mask(0));
+  const std::string victim = store_.param_names().front();
+  store_.flip_bit(victim, 0, 30);
+
+  const ScrubReport report = checker.scrub(net_, lib_.mask(0));
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(report.store_corrupt());
+  bool found = false;
+  for (const IntegrityFinding& f : report.findings)
+    if (f.param == victim) {
+      found = true;
+      EXPECT_TRUE(f.store_corrupt);
+      // The live copy diverges from the now-corrupt golden at that element.
+      EXPECT_EQ(f.diverged_elements, 1);
+    }
+  EXPECT_TRUE(found);
+
+  // Repair must NOT copy from the corrupt golden: the live value is kept
+  // and the parameter is reported unrepairable.
+  const float live_before = net_.params()[0].value->raw()[0];
+  const RepairReport fix = checker.repair(net_, lib_.mask(0), report);
+  EXPECT_FALSE(fix.fully_repaired());
+  ASSERT_EQ(fix.unrepairable.size(), 1u);
+  EXPECT_EQ(fix.unrepairable[0], victim);
+  EXPECT_EQ(net_.params()[0].value->raw()[0], live_before);
+}
+
+TEST_F(IntegrityFixture, FlipOnPrunedElementIsDetected) {
+  const IntegrityChecker checker(store_);
+  const int level = lib_.level_count() - 1;
+  const prune::NetworkMask& mask = lib_.mask(level);
+  store_.apply_mask(net_, mask);
+  // Find a pruned (zeroed) element and flip a bit in it: a stray write to
+  // "dead" weights still violates the invariant and must be caught.
+  auto params = net_.params();
+  for (const auto& p : params) {
+    const auto* keep = mask.find(p.name);
+    if (keep == nullptr) continue;
+    for (std::size_t i = 0; i < keep->size(); ++i) {
+      if ((*keep)[i]) continue;
+      p.value->raw()[i] = 0.25f;
+      const ScrubReport report = checker.scrub(net_, mask);
+      ASSERT_EQ(report.findings.size(), 1u);
+      EXPECT_EQ(report.findings[0].param, p.name);
+      const RepairReport fix = checker.repair(net_, mask, report);
+      EXPECT_EQ(fix.elements_repaired, 1);
+      EXPECT_EQ(p.value->raw()[i], 0.0f);
+      return;
+    }
+  }
+  FAIL() << "level library pruned nothing";
+}
+
+TEST_F(IntegrityFixture, IntegratesWithReversiblePruner) {
+  ReversiblePruner pruner(net_, lib_);
+  const IntegrityChecker checker(pruner.store());
+  pruner.set_level(1);
+  const prune::NetworkMask& mask = lib_.mask(1);
+  EXPECT_TRUE(checker.scrub(pruner.network(), mask).clean());
+
+  // Corrupt the live net through the provider's own network reference.
+  pruner.network().params()[0].value->raw()[2] += 1.5f;
+  ScrubReport scrub;
+  const RepairReport fix =
+      checker.scrub_and_repair(pruner.network(), mask, &scrub);
+  EXPECT_EQ(scrub.diverged_elements(), 1);
+  EXPECT_EQ(fix.elements_repaired, 1);
+  // Healed state survives a full prune/restore cycle bit-exactly.
+  pruner.set_level(2);
+  pruner.restore_full();
+  EXPECT_TRUE(checker.scrub(pruner.network(), lib_.mask(0)).clean());
+}
+
+TEST_F(IntegrityFixture, StoreFlipBitValidatesArguments) {
+  EXPECT_THROW(store_.flip_bit("nope", 0, 0), PreconditionError);
+  const std::string name = store_.param_names().front();
+  EXPECT_THROW(store_.flip_bit(name, -1, 0), PreconditionError);
+  EXPECT_THROW(store_.flip_bit(name, store_.get(name).numel(), 0),
+               PreconditionError);
+  EXPECT_THROW(store_.flip_bit(name, 0, 32), PreconditionError);
+  // A double flip is the identity: bit-exact round trip.
+  const float before = store_.get(name).raw()[0];
+  store_.flip_bit(name, 0, 13);
+  store_.flip_bit(name, 0, 13);
+  EXPECT_EQ(std::memcmp(&before, store_.get(name).raw(), sizeof(float)), 0);
+}
+
+}  // namespace
+}  // namespace rrp::core

@@ -52,6 +52,16 @@ TEST(RrpLint, DeterminismRandomRule) {
   EXPECT_EQ(v.size(), 5u);
 }
 
+// The fault-injection layer is intentionally not random-whitelisted: it
+// must draw exclusively from the seeded rrp::Rng, so ambient entropy under
+// src/sim/ still fires R1a.
+TEST(RrpLint, FaultSimTreeIsNotRandomWhitelisted) {
+  const auto v = fired("src/sim/bad_faults.cpp");
+  EXPECT_TRUE(has(v, 4, "determinism-random")) << "#include <random>";
+  EXPECT_TRUE(has(v, 7, "determinism-random")) << "std::random_device";
+  EXPECT_EQ(v.size(), 2u);
+}
+
 TEST(RrpLint, DeterminismThreadRule) {
   const auto v = fired("src/nn/bad_thread.cpp");
   EXPECT_TRUE(has(v, 3, "determinism-thread")) << "#include <thread>";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/weight_store.h"
 #include "prune/planner.h"
 #include "test_support.h"
@@ -68,20 +70,31 @@ TEST(WeightStore, ApplyMaskRestoresUnmaskedParamsFully) {
     EXPECT_TRUE(after[i].value->equals(golden[i]));
 }
 
-TEST(WeightStore, RepeatedCyclesStayExact) {
+TEST(WeightStore, ThousandCyclesStayBitExact) {
   nn::Network net = tiny_conv_net(5);
   const WeightStore store = WeightStore::snapshot(net);
   std::vector<nn::Tensor> golden;
   for (auto& p : net.params()) golden.push_back(*p.value);
 
-  const prune::NetworkMask mask = prune::plan_unstructured(net, 0.5);
-  for (int cycle = 0; cycle < 10; ++cycle) {
-    store.apply_mask(net, mask);
+  // Reversibility claim at endurance scale: 1000 prune/restore cycles
+  // across two different masks leave every element BIT-identical (memcmp,
+  // not approximate equality) — no drift, ever.
+  const prune::NetworkMask mask_a = prune::plan_unstructured(net, 0.5);
+  const prune::NetworkMask mask_b = prune::plan_unstructured(net, 0.8);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    store.apply_mask(net, (cycle % 2 == 0) ? mask_a : mask_b);
     store.restore_all(net);
   }
   auto after = net.params();
-  for (std::size_t i = 0; i < after.size(); ++i)
-    EXPECT_TRUE(after[i].value->equals(golden[i]));
+  ASSERT_EQ(after.size(), golden.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    ASSERT_EQ(after[i].value->numel(), golden[i].numel());
+    EXPECT_EQ(std::memcmp(after[i].value->raw(), golden[i].raw(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(golden[i].numel())),
+              0)
+        << after[i].name;
+  }
 }
 
 }  // namespace

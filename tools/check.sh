@@ -7,9 +7,11 @@
 #   (a) normal build (-Wall -Wextra promoted to -Werror) + full ctest
 #       — which already includes `ctest -L lint` via the rrp_lint test;
 #   (b) the lint label on its own, so a lint failure is called out;
-#   (c) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
+#   (c) the fault-injection / integrity campaign suite (ctest -L faults),
+#       so a robustness regression is called out by name;
+#   (d) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
 #       parallel provisioning);
-#   (d) a UBSan build of the unit tests, -fno-sanitize-recover=all.
+#   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all.
 # Build trees are kept per-configuration (build-check, build-check-tsan,
 # build-check-ubsan) so re-runs are incremental.
 set -euo pipefail
@@ -27,12 +29,15 @@ ctest --test-dir build-check --output-on-failure -j "$JOBS"
 step "(b) static analysis (ctest -L lint)"
 ctest --test-dir build-check --output-on-failure -L lint
 
-step "(c) ThreadSanitizer smoke suite"
+step "(c) fault-injection campaign suite (ctest -L faults)"
+ctest --test-dir build-check --output-on-failure -L faults
+
+step "(d) ThreadSanitizer smoke suite"
 cmake -B build-check-tsan -S . -DRRP_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS" --target rrp_tsan_smoke
 ctest --test-dir build-check-tsan --output-on-failure -L tsan
 
-step "(d) UndefinedBehaviorSanitizer unit tests"
+step "(e) UndefinedBehaviorSanitizer unit tests"
 cmake -B build-check-ubsan -S . -DRRP_SANITIZE=undefined
 cmake --build build-check-ubsan -j "$JOBS" --target rrp_tests
 ./build-check-ubsan/tests/rrp_tests

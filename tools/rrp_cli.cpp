@@ -14,6 +14,15 @@
 //        --trace FILE      replay a recorded trace instead of a suite
 //        --export-trace F  save the generated scenario as a trace CSV
 //        --assurance FILE  export the safety-case evidence as JSON
+//   rrp_cli faults <model> [opts]          seeded fault-injection campaign
+//        --suites a,b,c  (default cut_in,urban)
+//        --arms a,b      reversible|reload-memory|reload-disk
+//                        (default reversible,reload-memory)
+//        --frames N      (default 600)
+//        --seed S        (default 20240325)
+//        --faults N      faults per run (default 10)
+//        --policy P      greedy|fixed<K> (default greedy)
+//        --csv FILE      export the per-fault outcome table
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
 //
 // Global flags (any command):
@@ -34,6 +43,7 @@
 #include "models/trained_cache.h"
 #include "nn/serialize.h"
 #include "prune/sensitivity.h"
+#include "sim/faults.h"
 #include "sim/runner.h"
 #include "sim/suites.h"
 #include "sim/trace_io.h"
@@ -60,6 +70,9 @@ int usage() {
          "  rrp_cli run <model> <highway|urban|cut_in|degraded|intersection> "
          "[--policy greedy|hybrid|oracle|fixed<K>] [--frames N] [--seed S] "
          "[--hysteresis K] [--csv FILE]\n"
+         "  rrp_cli faults <model> [--suites a,b,c] [--arms a,b] "
+         "[--frames N] [--seed S] [--faults N] [--policy greedy|fixed<K>] "
+         "[--csv FILE]\n"
          "  rrp_cli inspect <file.rrpn>\n"
          "global flags: --threads N   (pool size; 1 = serial, default "
          "$RRP_THREADS or hardware)\n";
@@ -260,6 +273,62 @@ int cmd_run(models::ModelKind kind, const std::string& suite, int frames,
   return 0;
 }
 
+std::vector<std::string> split_csv_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : value) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+int cmd_faults(models::ModelKind kind, const sim::FaultCampaignConfig& config,
+               const std::string& csv_path) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+
+  sim::CampaignInputs inputs;
+  inputs.net = &pm.net;
+  inputs.levels = &pm.levels;
+  inputs.bn_states = pm.bn_states;
+  inputs.certified.max_level_for = {4, 3, 1, 0};
+
+  const sim::FaultCampaignResult result =
+      sim::run_fault_campaign(inputs, config);
+
+  TableFormatter table({"arm", "weight_faults", "detected", "healed",
+                        "mean_detect_frames", "mean_recovery_ms",
+                        "mean_recovery_KB"});
+  for (const auto& [arm, s] : result.summaries)
+    table.row({arm, std::to_string(s.weight_faults_injected),
+               std::to_string(s.weight_faults_detected),
+               std::to_string(s.weight_faults_healed),
+               fmt(s.mean_detect_latency_frames, 1),
+               fmt(s.mean_recovery_ms, 3),
+               fmt(s.mean_recovery_bytes / 1024.0, 1)});
+  table.print(std::cout);
+  std::cout << result.outcomes.size() << " fault outcomes across "
+            << config.suites.size() << " suite(s) x " << config.arms.size()
+            << " arm(s), seed " << config.seed << "\n";
+
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (!f) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    sim::write_campaign_csv(result, f);
+    std::cout << "campaign CSV written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_inspect(const std::string& path) {
   nn::Network net = nn::load_network(path);
   std::cout << "network '" << net.name() << "'\n";
@@ -357,6 +426,44 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_run(*kind, suite, frames, seed, policy, hysteresis, io);
+    }
+    if (cmd == "faults") {
+      if (argc < 3) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      sim::FaultCampaignConfig config;
+      config.artifact_dir = cache_dir() + "/fault_artifacts";
+      std::string csv_path;
+      for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--frames") config.frames = std::stoi(value);
+        else if (flag == "--seed") config.seed = std::stoull(value);
+        else if (flag == "--faults") config.faults_per_run = std::stoi(value);
+        else if (flag == "--policy") config.policy = value;
+        else if (flag == "--suites") config.suites = split_csv_list(value);
+        else if (flag == "--csv") csv_path = value;
+        else if (flag == "--arms") {
+          config.arms.clear();
+          for (const std::string& arm : split_csv_list(value)) {
+            if (arm == "reversible")
+              config.arms.push_back(sim::CampaignArm::Reversible);
+            else if (arm == "reload-memory")
+              config.arms.push_back(sim::CampaignArm::ReloadMemory);
+            else if (arm == "reload-disk")
+              config.arms.push_back(sim::CampaignArm::ReloadDisk);
+            else {
+              std::cerr << "unknown arm '" << arm
+                        << "' (reversible|reload-memory|reload-disk)\n";
+              return 2;
+            }
+          }
+        } else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_faults(*kind, config, csv_path);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

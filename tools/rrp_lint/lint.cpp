@@ -161,6 +161,12 @@ const char* const kThreadHeaders[] = {"thread",  "mutex",     "shared_mutex",
                                       "stop_token"};
 
 // Whitelists, matched as rel-path prefixes.
+//
+// src/sim/faults.* is deliberately ABSENT from kRandomWhitelist: the
+// fault-injection layer draws every event from the seeded rrp::Rng API, so
+// the ambient-entropy rule (R1a) must keep applying to it.  A campaign that
+// touched std::random_device / rand() / wall clocks would stop replaying
+// byte-identically from its --seed.
 const char* const kRandomWhitelist[] = {"src/util/rng.", "src/util/timer.h",
                                         "src/core/telemetry."};
 const char* const kThreadWhitelist[] = {"src/util/thread_pool.",
