@@ -13,9 +13,14 @@
 //
 // Columns are the reconstructed table's: perception accuracy, missed
 // critical detections, deadline misses, energy, switching behaviour.
+#include <cstring>
+#include <fstream>
+
 #include "bench_common.h"
+#include "core/metrics.h"
 #include "core/reversible_pruner.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 using namespace rrp;
 
@@ -62,6 +67,8 @@ void run_suite(models::ProvisionedModel& pm,
   // summaries land in per-replica slots so the seed average is reduced in
   // replica order — identical results for any RRP_THREADS.
   auto run_system = [&](const std::string& name, auto&& make) {
+    RRP_SPAN_VAR(sys_span, name.c_str());
+    sys_span.add_items(static_cast<std::int64_t>(replicas.size()));
     std::vector<core::RunSummary> summaries(replicas.size());
     parallel_for(
         0, static_cast<std::int64_t>(replicas.size()), 1,
@@ -154,12 +161,26 @@ void run_suite(models::ProvisionedModel& pm,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace out.json: arm the span tracer for the whole bench and dump a
+  // Chrome trace_event file at exit.  Replica runs execute inside pool
+  // chunks, so their spans are suppressed (deterministic); the trace shows
+  // the top-level fan-out structure (pool.parallel_for per system).
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+
   bench::print_banner("R-T2", "end-to-end safety/efficiency across suites");
   models::ProvisionedModel pm = bench::provision(models::ModelKind::ResNetLite);
   std::cout << "model: resnetlite, per-level accuracy:";
   for (double a : pm.level_accuracy) std::cout << " " << fmt(a, 3);
   std::cout << "\n";
+
+  if (!trace_path.empty()) {
+    core::reset_observability();
+    trace::set_enabled(true);
+  }
 
   const sim::RunConfig cfg = bench::standard_run_config();
   constexpr int kSeeds = 3;
@@ -170,6 +191,18 @@ int main() {
           sim::standard_suites(900, 20240325 + 1000ull * rep)[
               static_cast<std::size_t>(suite)]);
     run_suite(pm, replicas, cfg);
+  }
+
+  if (!trace_path.empty()) {
+    trace::set_enabled(false);
+    std::ofstream f(trace_path);
+    if (!f) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    trace::write_chrome_trace(f);
+    std::cout << "\nchrome trace (" << trace::spans().size()
+              << " spans) written to " << trace_path << "\n";
   }
   return 0;
 }

@@ -4,7 +4,9 @@
 
 #include "core/weight_store.h"
 #include "util/checks.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace rrp::core {
 
@@ -26,6 +28,8 @@ BnState capture_bn_state(nn::Network& net) {
 }
 
 void apply_bn_state(nn::Network& net, const BnState& state) {
+  static metrics::Counter& swaps = metrics::counter("bn.state_swaps");
+  swaps.add(1);
   for (const auto& [name, mv] : state.stats) {
     nn::Layer* l = net.find(name);
     RRP_CHECK_MSG(l != nullptr, "BnState names unknown layer '" << name << "'");
@@ -44,6 +48,11 @@ std::vector<BnState> calibrate_bn_per_level(
     Rng& rng) {
   RRP_CHECK(config.batches >= 1 && config.batch_size >= 2);
   RRP_CHECK(calib_data.size() >= static_cast<std::size_t>(config.batch_size));
+
+  RRP_SPAN_VAR(span, "bn.calibrate");
+  span.add_items(levels.level_count() - 1);  // levels recalibrated
+  static metrics::Counter& calibrations = metrics::counter("bn.calibrations");
+  calibrations.add(std::max(0, levels.level_count() - 1));
 
   const WeightStore golden = WeightStore::snapshot(net);
   const BnState level0 = capture_bn_state(net);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/checks.h"
+#include "util/metrics.h"
 
 namespace rrp::core {
 
@@ -26,7 +27,16 @@ ControlDecision RuntimeController::step(const ControlInput& input) {
   }
 
   d.transition = provider_->set_level(d.enforced_level);
-  if (d.transition.from_level != d.transition.to_level) ++switch_count_;
+  static metrics::Counter& steps = metrics::counter("controller.steps");
+  static metrics::Counter& vetoes = metrics::counter("controller.vetoes");
+  static metrics::Counter& switches =
+      metrics::counter("controller.level_switch");
+  steps.add(1);
+  if (d.veto) vetoes.add(1);
+  if (d.transition.from_level != d.transition.to_level) {
+    ++switch_count_;
+    switches.add(1);
+  }
 
   // Audit what actually executes (baselines may ignore the request).
   if (monitor_ != nullptr)

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "util/checks.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rrp::core {
 
@@ -58,6 +60,7 @@ inline bool same_bits(float a, float b) {
 
 ScrubReport IntegrityChecker::scrub(nn::Network& net,
                                     const prune::NetworkMask& mask) const {
+  RRP_SPAN_VAR(span, "integrity.scrub");
   ScrubReport report;
   for (auto& p : net.params()) {
     const nn::Tensor& gold = store_->get(p.name);
@@ -86,12 +89,20 @@ ScrubReport IntegrityChecker::scrub(nn::Network& net,
     if (finding.diverged_elements > 0 || finding.store_corrupt)
       report.findings.push_back(std::move(finding));
   }
+  static metrics::Counter& scrubs = metrics::counter("integrity.scrubs");
+  static metrics::Counter& elems = metrics::counter("integrity.scrub_elems");
+  static metrics::Counter& found = metrics::counter("integrity.findings");
+  scrubs.add(1);
+  elems.add(report.elements_checked);
+  found.add(static_cast<std::int64_t>(report.findings.size()));
+  span.add_items(report.elements_checked);
   return report;
 }
 
 RepairReport IntegrityChecker::repair(nn::Network& net,
                                       const prune::NetworkMask& mask,
                                       const ScrubReport& report) const {
+  RRP_SPAN_VAR(span, "integrity.heal");
   RepairReport out;
   if (report.clean()) return out;
   for (auto& p : net.params()) {
@@ -127,6 +138,11 @@ RepairReport IntegrityChecker::repair(nn::Network& net,
   }
   out.bytes_written =
       out.elements_repaired * static_cast<std::int64_t>(sizeof(float));
+  static metrics::Counter& elems = metrics::counter("integrity.heal_elems");
+  static metrics::Counter& bytes = metrics::counter("integrity.heal_bytes");
+  elems.add(out.elements_repaired);
+  bytes.add(out.bytes_written);
+  span.add_items(out.elements_repaired);
   return out;
 }
 

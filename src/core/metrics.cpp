@@ -1,0 +1,99 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace rrp::core {
+
+namespace {
+
+std::string bound_label(double bound) {
+  // fmt() trims trailing zeros ("10.0", "0.5") — deterministic and short.
+  return fmt(bound, 6);
+}
+
+}  // namespace
+
+MetricsSnapshot capture_metrics() {
+  MetricsSnapshot snap;
+  const metrics::Registry& reg = metrics::Registry::instance();
+  for (const auto& [name, c] : reg.counters())
+    snap.rows.push_back({name, "counter", std::to_string(c->value())});
+  for (const auto& [name, g] : reg.gauges())
+    snap.rows.push_back({name, "gauge", CsvWriter::num(g->value(), 9)});
+  for (const auto& [name, h] : reg.histograms()) {
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i)
+      snap.rows.push_back({name + ".le_" + bound_label(bounds[i]),
+                           "histogram", std::to_string(h->bucket_count(i))});
+    snap.rows.push_back({name + ".overflow", "histogram",
+                         std::to_string(h->bucket_count(bounds.size()))});
+    snap.rows.push_back(
+        {name + ".total", "histogram", std::to_string(h->total())});
+  }
+  return snap;
+}
+
+void MetricsSnapshot::write_csv(std::ostream& out) const {
+  CsvWriter w(out);
+  w.header({"name", "kind", "value"});
+  for (const MetricRow& r : rows) w.row({r.name, r.kind, r.value});
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  // Values were formatted as plain decimal numbers; emit them unquoted so
+  // the document round-trips as numeric JSON.
+  out << "{\"metrics\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) out << ",";
+    out << "\n{\"name\":\"" << rows[i].name << "\",\"kind\":\""
+        << rows[i].kind << "\",\"value\":" << rows[i].value << "}";
+  }
+  out << "\n]}\n";
+}
+
+std::string MetricsSnapshot::csv_string() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+std::string MetricsSnapshot::json_string() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void reset_observability() {
+  metrics::reset_all();
+  trace::reset();
+}
+
+FrameReconciliation reconcile_frame_spans(const Telemetry& telemetry) {
+  // Collect the modeled time of each "frame" span, keyed by frame tag.
+  std::map<std::int64_t, double> span_us;
+  for (const trace::SpanRecord& s : trace::spans())
+    if (s.name == "frame" && s.frame >= 0) span_us[s.frame] += s.modeled_us;
+
+  FrameReconciliation rec;
+  for (const FrameRecord& fr : telemetry.records()) {
+    const auto it = span_us.find(fr.frame);
+    if (it == span_us.end()) {
+      ++rec.missing_frame_spans;
+      continue;
+    }
+    const double expect_us = fr.latency_ms * 1000.0 + fr.switch_us;
+    rec.max_abs_delta_us =
+        std::max(rec.max_abs_delta_us, std::fabs(expect_us - it->second));
+    ++rec.frames_compared;
+  }
+  return rec;
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,62 @@
+// metrics.h (core) — snapshot / export layer over the util metrics
+// registry, plus the trace<->telemetry reconciliation check.
+//
+// The primitive registry lives in util/metrics.h so the nn kernels (one
+// layer below core) can bump counters; this layer owns everything that
+// needs the core vocabulary: deterministic CSV/JSON serialization and
+// the invariant that per-frame span modeled time reconciles with the
+// Telemetry frame records (DESIGN.md §8, invariant 11).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/telemetry.h"
+
+namespace rrp::core {
+
+/// One exported metric row.  Histograms expand to one row per bucket
+/// ("name.le_<bound>", "name.overflow") plus "name.total"; `value` is
+/// pre-formatted so CSV and JSON render identically.
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  std::string value;
+};
+
+/// Rows sorted by name (the registry's map order), so snapshots of equal
+/// state compare byte-equal.
+struct MetricsSnapshot {
+  std::vector<MetricRow> rows;
+
+  void write_csv(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+  std::string csv_string() const;
+  std::string json_string() const;
+};
+
+/// Captures the current state of the process-wide registry.
+MetricsSnapshot capture_metrics();
+
+/// Zeroes the metrics registry AND clears the span trace — one call to
+/// arm the observability layer for a fresh run.
+void reset_observability();
+
+/// Result of checking per-frame "frame" spans against Telemetry records.
+struct FrameReconciliation {
+  std::int64_t frames_compared = 0;
+  std::int64_t missing_frame_spans = 0;  ///< telemetry frames with no span
+  double max_abs_delta_us = 0.0;
+
+  bool ok(double tol_us = 1e-9) const {
+    return missing_frame_spans == 0 && max_abs_delta_us <= tol_us;
+  }
+};
+
+/// For every telemetry frame, compares latency_ms*1000 + switch_us with
+/// the modeled_us of the span named "frame" tagged with that frame index.
+FrameReconciliation reconcile_frame_spans(const Telemetry& telemetry);
+
+}  // namespace rrp::core

@@ -1,7 +1,9 @@
 #include "core/reversible_pruner.h"
 
 #include "util/checks.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace rrp::core {
 
@@ -90,6 +92,7 @@ TransitionStats ReversiblePruner::set_level(int level) {
   stats.is_restore = level < current_level_;
   if (level == current_level_) return stats;
 
+  RRP_SPAN_VAR(span, stats.is_restore ? "prune.restore" : "prune.apply");
   Timer timer;
   // Nested masks make any transition a walk over adjacent-level deltas:
   // pruning applies deltas (current, level] as zeros; restoring copies
@@ -128,6 +131,16 @@ TransitionStats ReversiblePruner::set_level(int level) {
   stats.wall_us = timer.elapsed_us();
   current_level_ = level;
   history_.push_back(stats);
+
+  static metrics::Counter& transitions = metrics::counter("prune.transitions");
+  static metrics::Counter& restores = metrics::counter("prune.restores");
+  static metrics::Counter& elems = metrics::counter("prune.elements_touched");
+  static metrics::Counter& bytes = metrics::counter("prune.bytes_touched");
+  transitions.add(1);
+  if (stats.is_restore) restores.add(1);
+  elems.add(stats.elements_changed);
+  bytes.add(stats.bytes_written);
+  span.add_items(stats.elements_changed);
   return stats;
 }
 

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace rrp::nn {
 
 namespace {
+
+// Shared entry bookkeeping for the three variants: one span carrying the
+// FMA count, plus the process-wide op counters.  Counter totals are
+// commutative adds, so they stay byte-exact when GEMMs run inside pool
+// chunks; the span is suppressed there (util/trace.h).
+struct GemmScope {
+  GemmScope(const char* name, std::int64_t m, std::int64_t n, std::int64_t k)
+      : span(name) {
+    static metrics::Counter& calls = metrics::counter("gemm.calls");
+    static metrics::Counter& flops = metrics::counter("gemm.flops");
+    const std::int64_t fma = m * n * k;
+    calls.add(1);
+    flops.add(fma);
+    span.add_items(fma);
+  }
+  trace::Span span;
+};
 // Cache-blocking tile sizes; modest because models here are small.
 constexpr std::int64_t kTileM = 64;
 constexpr std::int64_t kTileN = 64;
@@ -108,6 +127,7 @@ void gemm_bt_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc) {
+  GemmScope scope("gemm", m, n, k);
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
                  gemm_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta,
@@ -118,6 +138,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, std::int64_t lda, const float* b,
              std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  GemmScope scope("gemm_at", m, n, k);
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
                  gemm_at_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb,
@@ -128,6 +149,7 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, std::int64_t lda, const float* b,
              std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  GemmScope scope("gemm_bt", m, n, k);
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
                  gemm_bt_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb,

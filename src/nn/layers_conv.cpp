@@ -3,7 +3,9 @@
 #include "nn/gemm.h"
 #include "nn/layers.h"
 #include "util/checks.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace rrp::nn {
 
@@ -97,6 +99,11 @@ Tensor Conv2D::forward(const Tensor& x, bool training) {
   const std::int64_t col_cols = static_cast<std::int64_t>(oh) * ow;
 
   Tensor y({n, out_ch_, oh, ow});
+  static metrics::Counter& calls = metrics::counter("conv.calls");
+  calls.add(1);
+  RRP_SPAN_VAR(span, "conv.forward");
+  span.add_items(static_cast<std::int64_t>(n) * out_ch_ * col_rows *
+                 col_cols);  // im2col-GEMM FMAs
   // Samples write disjoint output planes: fan the batch out over the pool
   // (each chunk owns a scratch col buffer; nested GEMMs stay serial).
   parallel_for(0, n, 1, [&](std::int64_t s_begin, std::int64_t s_end) {

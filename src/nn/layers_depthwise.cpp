@@ -1,6 +1,8 @@
 #include "nn/layers.h"
 #include "util/checks.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace rrp::nn {
 
@@ -37,6 +39,14 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
   const auto [oh, ow] = out_hw(h, w);
   Tensor y({n, channels_, oh, ow});
   const int kk = kernel_;
+  static metrics::Counter& calls = metrics::counter("depthwise.calls");
+  static metrics::Counter& flops = metrics::counter("depthwise.flops");
+  const std::int64_t fma = static_cast<std::int64_t>(n) * channels_ * oh * ow *
+                           kk * kk;  // upper bound; padding skips some taps
+  calls.add(1);
+  flops.add(fma);
+  RRP_SPAN_VAR(span, "depthwise.forward");
+  span.add_items(fma);
 
   // Every (sample, channel) plane is independent: parallelize the flat
   // n*channels grid over the pool (disjoint output planes, bit-exact for

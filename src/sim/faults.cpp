@@ -9,6 +9,8 @@
 #include "sim/suites.h"
 #include "util/checks.h"
 #include "util/csv.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rrp::sim {
 
@@ -135,6 +137,8 @@ void FaultInjector::apply_point_fault(std::size_t idx, const FaultEvent& e) {
     default:
       break;
   }
+  static metrics::Counter& injected = metrics::counter("faults.injected");
+  if (inj.applied) injected.add(1);
   injected_.push_back(std::move(inj));
 }
 
@@ -153,6 +157,8 @@ FrameFaults FaultInjector::begin_frame(std::int64_t frame) {
         inj.kind = e.kind;
         inj.frame = frame;
         inj.applied = true;
+        static metrics::Counter& injected = metrics::counter("faults.injected");
+        injected.add(1);
         injected_.push_back(std::move(inj));
         active_.emplace_back(frame + std::max(1, e.duration_frames), next_);
         break;
@@ -285,6 +291,9 @@ FaultCampaignResult run_fault_campaign(const CampaignInputs& inputs,
   RRP_CHECK(!config.suites.empty() && !config.arms.empty());
   RRP_CHECK(config.frames > 0 && config.faults_per_run >= 0);
 
+  RRP_SPAN_VAR(campaign_span, "faults.campaign");
+  campaign_span.add_items(
+      static_cast<std::int64_t>(config.suites.size() * config.arms.size()));
   FaultCampaignResult result;
   std::vector<SummaryAcc> acc(config.arms.size());
   // Faults mutate *inputs.net (and, via a corrupted golden store, what a
@@ -352,7 +361,10 @@ FaultCampaignResult run_fault_campaign(const CampaignInputs& inputs,
       rc.watchdog_overrun_frames = config.watchdog_overrun_frames;
       rc.noise_seed = suite_seed ^ 0x5DEECE66Dull;
 
+      RRP_SPAN_VAR(run_span, "faults.run");
       const RunResult run = run_scenario(scenario, controller, rc, &harness);
+      run_span.add_items(
+          static_cast<std::int64_t>(harness.injected.size()));
 
       for (const InjectedFault& inj : harness.injected) {
         FaultOutcome row;

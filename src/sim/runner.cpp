@@ -4,6 +4,8 @@
 
 #include "nn/loss.h"
 #include "util/checks.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rrp::sim {
 
@@ -80,7 +82,19 @@ RunResult run_scenario(const Scenario& scenario,
             config.sensor_blackout_prob <= 1.0);
   RRP_CHECK(config.scrub_period_frames >= 0);
   RRP_CHECK(config.watchdog_overrun_frames >= 0);
+  static metrics::Counter& frames_ctr = metrics::counter("runner.frames");
+  static metrics::Counter& misses_ctr =
+      metrics::counter("runner.deadline_misses");
+  metrics::Gauge& budget_gauge = metrics::gauge("runner.energy_budget_frac");
+  metrics::Histogram& frame_hist = metrics::histogram("runner.frame_ms");
+  metrics::Histogram& switch_hist = metrics::histogram("prune.switch_us");
   for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
+    // Frame span: every sub-span (control, render, infer, scrub...) nests
+    // under it, and its modeled_us is set to exactly the platform-model
+    // time the FrameRecord charges (latency + switch), so the span CSV
+    // reconciles with Telemetry to the bit (core/metrics.h).
+    trace::ScopedFrame frame_tag(static_cast<std::int64_t>(f));
+    RRP_SPAN_VAR(frame_span, "frame");
     const Scene& scene = scenario.scenes[f];
     const FrameFaults faults =
         injector.begin_frame(static_cast<std::int64_t>(f));
@@ -124,13 +138,16 @@ RunResult run_scenario(const Scenario& scenario,
     // unless this frame's decision is dropped by a fault, in which case the
     // provider coasts at its current level (still audited).
     core::ControlDecision d;
-    if (faults.drop_decision) {
-      d.requested_level = controller.provider().current_level();
-      d.enforced_level = d.requested_level;
-      if (monitor)
-        monitor->audit(input.frame, input.criticality, d.enforced_level);
-    } else {
-      d = controller.step(input);
+    {
+      RRP_SPAN("control");
+      if (faults.drop_decision) {
+        d.requested_level = controller.provider().current_level();
+        d.enforced_level = d.requested_level;
+        if (monitor)
+          monitor->audit(input.frame, input.criticality, d.enforced_level);
+      } else {
+        d = controller.step(input);
+      }
     }
 
     // Perceive: render the sensor frame (maybe lost) and run inference.
@@ -139,11 +156,18 @@ RunResult run_scenario(const Scenario& scenario,
                           faults.blackout;
     Scene sensed_view = scene;
     if (blackout) sensed_view.actors.clear();  // empty road, noise only
-    const nn::Tensor frame = render_scene(sensed_view, config.vision, noise);
-    nn::Shape batched = frame.shape();
-    batched.insert(batched.begin(), 1);
-    const nn::Tensor logits =
-        controller.provider().infer(frame.reshape(batched));
+    nn::Tensor frame;
+    {
+      RRP_SPAN("render");
+      frame = render_scene(sensed_view, config.vision, noise);
+    }
+    nn::Tensor logits;
+    {
+      RRP_SPAN("infer");
+      nn::Shape batched = frame.shape();
+      batched.insert(batched.begin(), 1);
+      logits = controller.provider().infer(frame.reshape(batched));
+    }
     const int pred = nn::argmax_rows(logits)[0];
     const int label = scene_label(scene);
     perceived = estimator.update(pred, logits.reshape({logits.size(-1)}));
@@ -248,6 +272,14 @@ RunResult run_scenario(const Scenario& scenario,
         monitor != nullptr &&
         rec.executed_level > monitor->certified_max(rec.criticality);
     result.telemetry.add(rec);
+
+    const double frame_ms = rec.latency_ms + rec.switch_us / 1000.0;
+    frame_span.add_modeled_us(rec.latency_ms * 1000.0 + rec.switch_us);
+    frames_ctr.add(1);
+    if (frame_ms > rec.deadline_ms) misses_ctr.add(1);
+    budget_gauge.set(input.energy_budget_frac);
+    frame_hist.observe(frame_ms);
+    if (rec.switch_us > 0.0) switch_hist.observe(rec.switch_us);
 
     energy_left -= rec.energy_mj;
 

@@ -24,14 +24,6 @@ ActorType actor_type_from(const std::string& name) {
   throw SerializationError("unknown actor type '" + name + "'");
 }
 
-std::vector<std::string> split_csv_line(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, ',')) fields.push_back(field);
-  return fields;
-}
-
 }  // namespace
 
 void write_scenario_csv(const Scenario& scenario, std::ostream& out) {
@@ -88,7 +80,9 @@ Scenario read_scenario_csv(std::istream& in) {
   std::size_t max_frame = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto fields = split_csv_line(line);
+    // RFC-4180 parse: a naive split-on-comma silently mis-reads quoted
+    // fields (e.g. a future actor label containing a comma).
+    const auto fields = parse_csv_line(line);
     if (fields.size() != 8)
       throw SerializationError("trace row has " +
                                std::to_string(fields.size()) + " fields");

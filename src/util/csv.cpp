@@ -21,6 +21,56 @@ std::string csv_escape(const std::string& field) {
   return out;
 }
 
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  int c = in.get();
+  if (c == std::char_traits<char>::eof()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  for (;; c = in.get()) {
+    if (c == std::char_traits<char>::eof()) {
+      if (in_quotes)
+        throw SerializationError("unterminated quoted CSV field");
+      fields.push_back(std::move(field));
+      return true;
+    }
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field += '"';  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;  // commas and newlines are literal inside quotes
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && in.peek() == '\n') in.get();  // CRLF
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field += ch;
+    }
+  }
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> fields;
+  if (!read_csv_record(is, fields)) return fields;  // empty input: no fields
+  if (is.peek() != std::char_traits<char>::eof())
+    throw SerializationError("CSV line holds more than one record: " + line);
+  return fields;
+}
+
 void CsvWriter::header(const std::vector<std::string>& names) {
   RRP_CHECK_MSG(arity_ == 0, "CSV header must be written first");
   arity_ = names.size();

@@ -15,6 +15,18 @@ namespace rrp {
 /// Escapes a single CSV field (quotes when it contains , " or newline).
 std::string csv_escape(const std::string& field);
 
+/// Reads one RFC-4180 record from `in` into `fields`: quoted fields may
+/// contain commas, doubled quotes ("" -> "), and embedded newlines (the
+/// record then spans physical lines).  Accepts LF and CRLF terminators.
+/// Returns false (fields empty) at end of input; throws SerializationError
+/// on an unterminated quoted field.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields);
+
+/// Parses a single line as one RFC-4180 record.  Throws SerializationError
+/// if the line is malformed (unterminated quote, or trailing content after
+/// a record terminator — i.e. more than one record on the line).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
 /// Streams rows of string fields as CSV. The header is optional but, once
 /// written, every row must have the same arity (checked).
 class CsvWriter {

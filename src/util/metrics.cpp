@@ -1,0 +1,151 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/checks.h"
+#include "util/thread_pool.h"
+
+namespace rrp::metrics {
+
+void Gauge::set(double v) {
+  // A last-write-wins double is only deterministic when the writes are
+  // ordered; drop writes from inside parallel regions so a fanned-out
+  // run records exactly what the serial run records.
+  if (ThreadPool::in_parallel_region()) return;
+  v_ = v;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(new std::atomic<std::int64_t>[bounds_.size() + 1]) {
+  RRP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    RRP_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  RRP_CHECK(i <= bounds_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::total() const {
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    n += counts_[i].load(std::memory_order_relaxed);
+  return n;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Registry() {
+  // Built-in schema: every name the instrumented hot paths touch, so
+  // worker-thread lookups never have to mutate the maps.  Keep sorted.
+  static const char* const kCounters[] = {
+      "bn.calibrations",        "bn.state_swaps",
+      "controller.level_switch", "controller.steps",
+      "controller.vetoes",      "conv.calls",
+      "depthwise.calls",        "depthwise.flops",
+      "faults.injected",        "gemm.calls",
+      "gemm.flops",             "integrity.findings",
+      "integrity.heal_bytes",   "integrity.heal_elems",
+      "integrity.scrub_elems",  "integrity.scrubs",
+      "pool.chunks",            "pool.jobs",
+      "prune.bytes_touched",    "prune.elements_touched",
+      "prune.restores",         "prune.transitions",
+      "runner.deadline_misses", "runner.frames",
+  };
+  for (const char* name : kCounters)
+    counters_.emplace(name, std::make_unique<Counter>());
+  gauges_.emplace("runner.energy_budget_frac", std::make_unique<Gauge>());
+  histograms_.emplace(
+      "prune.switch_us",
+      std::make_unique<Histogram>(std::vector<double>{
+          10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 20000.0}));
+  histograms_.emplace(
+      "runner.frame_ms",
+      std::make_unique<Histogram>(std::vector<double>{
+          2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 30.0, 50.0}));
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  RRP_CHECK_MSG(!ThreadPool::in_parallel_region(),
+                "new metric '" << name
+                               << "' registered inside a parallel region; "
+                                  "pre-register it in the Registry schema");
+  return *counters_.emplace(name, std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  RRP_CHECK_MSG(!ThreadPool::in_parallel_region(),
+                "new metric '" << name
+                               << "' registered inside a parallel region; "
+                                  "pre-register it in the Registry schema");
+  return *gauges_.emplace(name, std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const auto it = histograms_.find(name);
+  RRP_CHECK_MSG(it != histograms_.end(),
+                "histogram '" << name << "' is not registered (bounds are "
+                                         "required at first registration)");
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    RRP_CHECK_MSG(it->second->bounds() == bounds,
+                  "histogram '" << name << "' re-registered with different "
+                                           "bounds");
+    return *it->second;
+  }
+  RRP_CHECK_MSG(!ThreadPool::in_parallel_region(),
+                "new metric '" << name
+                               << "' registered inside a parallel region; "
+                                  "pre-register it in the Registry schema");
+  return *histograms_
+              .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+Histogram& histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+void reset_all() { Registry::instance().reset(); }
+
+}  // namespace rrp::metrics

@@ -1,0 +1,128 @@
+// metrics.h — process-wide metrics registry (DESIGN.md §8).
+//
+// Three primitive kinds, each chosen so that every value is byte-exact
+// across RRP_THREADS (the registry is a regression oracle, like the rest
+// of the observability layer):
+//
+//   * Counter   — monotonically added std::atomic<int64>.  Safe to add
+//                 from ANY thread, including pool chunk bodies: integer
+//                 addition is commutative, so the total is independent of
+//                 scheduling.
+//   * Gauge     — last-written double.  Writes are silently dropped
+//                 inside pool parallel regions (a racing "last write"
+//                 would be schedule-dependent); set it from the driving
+//                 thread only.
+//   * Histogram — fixed upper-bound buckets with atomic<int64> counts.
+//                 Safe from any thread for the same reason as Counter.
+//
+// Registration discipline: every hot-path metric name is pre-registered
+// by the Registry constructor, so lookups from worker threads never
+// mutate the name map.  Creating a NEW name (tests, ad-hoc tooling) is
+// only legal outside parallel regions (checked).  Call sites cache the
+// reference:
+//
+//   static metrics::Counter& c = metrics::counter("gemm.flops");
+//   c.add(2 * m * n * k);
+//
+// Snapshots / CSV / JSON export live one layer up in core/metrics.h.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rrp::metrics {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  /// No-op when called inside a pool parallel region (see header).
+  void set(double v);
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf
+  /// overflow bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Counts v into the first bucket with v <= bound (overflow otherwise).
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::int64_t bucket_count(std::size_t i) const;
+  std::int64_t total() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  // unique_ptr array because std::atomic is not movable.
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+};
+
+/// Name -> metric maps (std::map so iteration order is sorted == the
+/// deterministic export order).
+class Registry {
+ public:
+  /// The process-wide registry, with the built-in schema pre-registered.
+  static Registry& instance();
+
+  /// Look up (or, outside parallel regions only, create) by name.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Looks up an existing histogram (pre-registered or prior creation).
+  Histogram& histogram(const std::string& name);
+  /// Creates with explicit bounds, or returns the existing instance
+  /// (bounds then must match what was registered).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Zeroes every metric (counters, gauges, histogram buckets).
+  void reset();
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  Registry();  // pre-registers the built-in schema (metrics.cpp)
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands for Registry::instance().xxx(name).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Zeroes every metric in the process-wide registry.
+void reset_all();
+
+}  // namespace rrp::metrics

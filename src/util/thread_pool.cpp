@@ -7,12 +7,25 @@
 #include <string>
 
 #include "util/checks.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace rrp {
 
 namespace {
 
 thread_local bool tls_in_worker = false;
+// True while a chunk body runs on this thread via the inline serial path
+// (tls_in_worker covers the worker/drain paths).  Together they make
+// in_parallel_region() thread-count-invariant.
+thread_local bool tls_in_chunk = false;
+
+// RAII so an exception thrown by a chunk body cannot leave the flag set.
+struct ChunkFlagGuard {
+  ChunkFlagGuard() : saved(tls_in_chunk) { tls_in_chunk = true; }
+  ~ChunkFlagGuard() { tls_in_chunk = saved; }
+  bool saved;
+};
 
 int clamp_threads(int threads) { return std::max(1, threads); }
 
@@ -51,6 +64,8 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::in_worker() { return tls_in_worker; }
+
+bool ThreadPool::in_parallel_region() { return tls_in_worker || tls_in_chunk; }
 
 void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
   while (job_.next_chunk < job_.chunk_count) {
@@ -99,12 +114,22 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = (end - begin + grain - 1) / grain;
 
+  // Job/chunk counts depend only on (begin, end, grain), so these totals
+  // are byte-identical for any thread count.
+  static metrics::Counter& jobs = metrics::counter("pool.jobs");
+  static metrics::Counter& chunk_count = metrics::counter("pool.chunks");
+  jobs.add(1);
+  chunk_count.add(chunks);
+  RRP_SPAN_VAR(span, "pool.parallel_for");
+  span.add_items(chunks);
+
   // Serial paths: single chunk, single-thread pool, or a nested call from
   // inside a worker.  Running inline keeps pool size 1 byte-identical to
   // the legacy engine and makes nested parallel_for safe.
   if (chunks == 1 || threads_ == 1 || tls_in_worker) {
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t b = begin + c * grain;
+      ChunkFlagGuard in_chunk;
       fn(b, std::min(b + grain, end));
     }
     return;

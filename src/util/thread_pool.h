@@ -56,6 +56,14 @@ class ThreadPool {
   /// True when called from inside one of this pool's workers.
   static bool in_worker();
 
+  /// True while ANY parallel_for chunk body is executing on this thread —
+  /// worker chunks, chunks the caller drains itself, and the inline serial
+  /// path alike.  Unlike in_worker(), this is consistent across thread
+  /// counts (with RRP_THREADS=1 chunks run inline on the caller, which
+  /// in_worker() does not see), so the observability layer uses it to
+  /// suppress span recording deterministically (see util/trace.h).
+  static bool in_parallel_region();
+
   /// The process-wide pool (created on first use).
   static ThreadPool& global();
 

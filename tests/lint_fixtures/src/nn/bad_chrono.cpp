@@ -1,0 +1,13 @@
+// Fixture: R5 (determinism-chrono) triggers.  Never compiled —
+// test_rrp_lint.cpp asserts the exact lines that fire.
+#include <chrono>
+
+using raw_clock = std::chrono::steady_clock;
+using hr_clock = high_resolution_clock;
+std::chrono::milliseconds pause(5);
+
+// rrp-lint-allow(determinism-chrono): fixture demonstrates a documented exception
+using allowed_clock = std::chrono::steady_clock;
+
+// Tokens inside comments never fire: std::chrono::steady_clock.
+const char* doc = "high_resolution_clock in a string stays silent";

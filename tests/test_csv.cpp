@@ -44,6 +44,66 @@ TEST(Csv, NumFormatsFixedPrecision) {
   EXPECT_EQ(CsvWriter::num(1.23456, 2), "1.23");
 }
 
+TEST(CsvParse, PlainFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  EXPECT_EQ(parse_csv_line("a,,"), (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ(parse_csv_line(","), (std::vector<std::string>{"", ""}));
+}
+
+TEST(CsvParse, QuotedCommaAndQuote) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvParse, RoundTripsEscapedFields) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quotes\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(parse_csv_line(line), fields);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"open,never,closed"), SerializationError);
+}
+
+TEST(CsvParse, TrailingContentAfterRecordThrows) {
+  EXPECT_THROW(parse_csv_line("a,b\nc,d"), SerializationError);
+}
+
+TEST(CsvParse, RecordStreamHandlesEmbeddedNewlineAndCrlf) {
+  std::istringstream is("\"line\nbreak\",x\r\nsecond,row\n");
+  std::vector<std::string> fields;
+  ASSERT_TRUE(read_csv_record(is, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"line\nbreak", "x"}));
+  ASSERT_TRUE(read_csv_record(is, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"second", "row"}));
+  EXPECT_FALSE(read_csv_record(is, fields));
+}
+
+TEST(CsvParse, WriterOutputParsesBackExactly) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"name", "note"});
+  w.row({"a,b", "line\nbreak \"q\""});
+  std::istringstream is(os.str());
+  std::vector<std::string> fields;
+  ASSERT_TRUE(read_csv_record(is, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"name", "note"}));
+  ASSERT_TRUE(read_csv_record(is, fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "line\nbreak \"q\""}));
+  EXPECT_FALSE(read_csv_record(is, fields));
+}
+
 TEST(Table, PrintsAlignedTable) {
   TableFormatter t({"name", "value"});
   t.row({"x", "1"});

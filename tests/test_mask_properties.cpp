@@ -1,0 +1,178 @@
+// test_mask_properties.cpp — seeded randomized property sweep over the
+// mask / level-ladder / reversible-transition invariants.
+//
+// The targeted tests in test_mask.cpp and test_reversible.cpp pin the
+// invariants on a handful of hand-picked ladders; this file drives the
+// same three properties across ~100 randomly generated configurations
+// (net topology x ladder shape x structured/unstructured x walk order),
+// all derived from one fixed seed so a failure reproduces exactly:
+//
+//   P1  monotone containment — pruned(level j) ⊆ pruned(level k) for
+//       every j < k, not just adjacent pairs, and pruned_count is
+//       non-decreasing in the level index;
+//   P2  prune→restore round trip — after any level walk, restoring
+//       level 0 leaves every parameter bit-exactly equal to golden;
+//   P3  O(Δ) accounting — each transition's elements_changed equals the
+//       mask set-difference |pruned(from) Δ pruned(to)| and
+//       bytes_written covers exactly those elements.
+#include <gtest/gtest.h>
+
+#include "core/reversible_pruner.h"
+#include "prune/levels.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::random_tensor;
+using rrp::testing::tiny_bn_net;
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_input_shape;
+using rrp::testing::tiny_residual_net;
+
+/// One randomly drawn configuration: which tiny net, which ladder, and
+/// whether levels are structured (channel) or unstructured (element).
+struct Config {
+  int net_kind = 0;  // 0 conv, 1 bn, 2 residual
+  std::uint64_t net_seed = 0;
+  std::vector<double> ratios;
+  bool structured = false;
+};
+
+Config draw_config(Rng& rng) {
+  Config c;
+  c.net_kind = rng.uniform_int(0, 2);
+  c.net_seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+  c.structured = rng.uniform_int(0, 1) == 1;
+  // Strictly increasing ladder starting at 0, 2–5 pruned levels, capped
+  // below 0.9 so structured levels keep >= 1 channel per layer.
+  const int pruned_levels = rng.uniform_int(2, 5);
+  double r = 0.0;
+  c.ratios.push_back(0.0);
+  for (int k = 0; k < pruned_levels; ++k) {
+    r += 0.05 + (0.85 - r) * rng.uniform() * 0.45;
+    c.ratios.push_back(r);
+  }
+  return c;
+}
+
+nn::Network make_net(const Config& c) {
+  switch (c.net_kind) {
+    case 0: return tiny_conv_net(c.net_seed);
+    case 1: return tiny_bn_net(c.net_seed);
+    default: return tiny_residual_net(c.net_seed);
+  }
+}
+
+prune::PruneLevelLibrary make_lib(const Config& c, nn::Network& net) {
+  if (c.structured)
+    return prune::PruneLevelLibrary::build_structured(net, c.ratios,
+                                                      tiny_input_shape());
+  return prune::PruneLevelLibrary::build_unstructured(net, c.ratios);
+}
+
+std::string describe(const Config& c, std::size_t idx) {
+  std::string s = "config " + std::to_string(idx) +
+                  " kind=" + std::to_string(c.net_kind) +
+                  " seed=" + std::to_string(c.net_seed) +
+                  (c.structured ? " structured" : " unstructured") +
+                  " ratios=";
+  for (double r : c.ratios) s += std::to_string(r) + ",";
+  return s;
+}
+
+constexpr int kConfigs = 100;
+constexpr std::uint64_t kSweepSeed = 0x5EEDFACEull;
+
+TEST(MaskProperties, MonotoneContainmentAcrossAllLevelPairs) {
+  Rng rng(kSweepSeed);
+  for (int i = 0; i < kConfigs; ++i) {
+    const Config c = draw_config(rng);
+    nn::Network net = make_net(c);
+    const prune::PruneLevelLibrary lib = make_lib(c, net);
+    ASSERT_TRUE(lib.verify_nested()) << describe(c, i);
+    // verify_nested() checks adjacent pairs; containment must hold for
+    // EVERY j < k (transitively implied, asserted directly here).
+    for (int j = 0; j < lib.level_count(); ++j) {
+      for (int k = j + 1; k < lib.level_count(); ++k) {
+        EXPECT_TRUE(lib.mask(j).nested_within(lib.mask(k)))
+            << describe(c, i) << " levels " << j << " -> " << k;
+        EXPECT_LE(lib.mask(j).pruned_count(), lib.mask(k).pruned_count())
+            << describe(c, i) << " levels " << j << " -> " << k;
+        // Under nesting the symmetric difference collapses to the count
+        // difference — the O(Δ) cost model's central identity.
+        EXPECT_EQ(lib.mask(j).diff_count(lib.mask(k)),
+                  lib.mask(k).pruned_count() - lib.mask(j).pruned_count())
+            << describe(c, i) << " levels " << j << " -> " << k;
+      }
+    }
+  }
+}
+
+TEST(MaskProperties, PruneRestoreRoundTripIsBitExact) {
+  Rng rng(kSweepSeed + 1);
+  for (int i = 0; i < kConfigs; ++i) {
+    const Config c = draw_config(rng);
+    nn::Network net = make_net(c);
+    std::vector<nn::Tensor> golden;
+    for (auto& p : net.params()) golden.push_back(*p.value);
+
+    {
+      ReversiblePruner rp(net, make_lib(c, net));
+      const int walk_len = rng.uniform_int(3, 12);
+      for (int s = 0; s < walk_len; ++s)
+        rp.set_level(rng.uniform_int(0, rp.level_count() - 1));
+      rp.restore_full();
+      auto after = net.params();
+      for (std::size_t p = 0; p < after.size(); ++p)
+        EXPECT_TRUE(after[p].value->equals(golden[p]))
+            << describe(c, i) << " param " << after[p].name;
+    }
+    // The pruner's destructor must ALSO leave the net as found (the
+    // provider-swap contract), even after a non-zero final level.
+    auto after = net.params();
+    for (std::size_t p = 0; p < after.size(); ++p)
+      EXPECT_TRUE(after[p].value->equals(golden[p]))
+          << describe(c, i) << " param " << after[p].name << " post-dtor";
+  }
+}
+
+TEST(MaskProperties, TransitionCostEqualsMaskSetDifference) {
+  Rng rng(kSweepSeed + 2);
+  for (int i = 0; i < kConfigs; ++i) {
+    const Config c = draw_config(rng);
+    nn::Network net = make_net(c);
+    prune::PruneLevelLibrary lib = make_lib(c, net);
+    // Keep an owning copy of the masks: the pruner takes the library.
+    std::vector<std::int64_t> pruned_at;
+    std::vector<prune::NetworkMask> masks;
+    for (int k = 0; k < lib.level_count(); ++k) {
+      pruned_at.push_back(lib.mask(k).pruned_count());
+      masks.push_back(lib.mask(k));
+    }
+    ReversiblePruner rp(net, std::move(lib));
+    int from = 0;
+    const int walk_len = rng.uniform_int(4, 10);
+    for (int s = 0; s < walk_len; ++s) {
+      const int to = rng.uniform_int(0, rp.level_count() - 1);
+      const TransitionStats st = rp.set_level(to);
+      const std::int64_t delta =
+          masks[static_cast<std::size_t>(from)].diff_count(
+              masks[static_cast<std::size_t>(to)]);
+      EXPECT_EQ(st.elements_changed, delta)
+          << describe(c, i) << " " << from << " -> " << to;
+      // No BN states installed in this sweep: every written byte is a
+      // float element of the symmetric difference.
+      EXPECT_EQ(st.bytes_written,
+                delta * static_cast<std::int64_t>(sizeof(float)))
+          << describe(c, i) << " " << from << " -> " << to;
+      EXPECT_EQ(st.is_restore, to < from)
+          << describe(c, i) << " " << from << " -> " << to;
+      from = to;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrp::core

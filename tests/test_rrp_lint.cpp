@@ -46,10 +46,40 @@ TEST(RrpLint, DeterminismRandomRule) {
   EXPECT_TRUE(has(v, 7, "determinism-random")) << "std::random_device";
   EXPECT_TRUE(has(v, 8, "determinism-random")) << "system_clock::now()";
   EXPECT_TRUE(has(v, 11, "determinism-random")) << "rand()";
+  // The raw system_clock read trips the chrono rule too (R5 closes the
+  // steady/high_resolution gap; system_clock is banned by both).
+  EXPECT_TRUE(has(v, 8, "determinism-chrono"));
   // Banned names inside comments or string literals never fire.
   EXPECT_FALSE(has(v, 14, "determinism-random"));
   EXPECT_FALSE(has(v, 15, "determinism-random"));
-  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(RrpLint, DeterminismChronoRule) {
+  const auto v = fired("src/nn/bad_chrono.cpp");
+  EXPECT_TRUE(has(v, 3, "determinism-chrono")) << "#include <chrono>";
+  EXPECT_TRUE(has(v, 5, "determinism-chrono")) << "std::chrono::steady_clock";
+  EXPECT_TRUE(has(v, 6, "determinism-chrono")) << "bare high_resolution_clock";
+  EXPECT_TRUE(has(v, 7, "determinism-chrono")) << "std::chrono duration type";
+  // A documented suppression silences its line; comments and string
+  // literals never fire.
+  EXPECT_FALSE(has(v, 10, "determinism-chrono"));
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(RrpLint, ChronoWhitelistCoversTimeFacades) {
+  // The Timer facade, the span tracer's wall capture, the pool's timed
+  // waits and telemetry's timestamps are the sanctioned chrono users.
+  EXPECT_TRUE(
+      rrp::lint::lint_file("src/util/timer.h", "#include <chrono>\n").empty());
+  EXPECT_TRUE(rrp::lint::lint_file("src/util/trace.cpp",
+                                   "using c = std::chrono::steady_clock;\n")
+                  .empty());
+  // Everyone else goes through Timer.
+  const auto v =
+      rrp::lint::lint_file("src/core/controller.cpp", "#include <chrono>\n");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "determinism-chrono");
 }
 
 // The fault-injection layer is intentionally not random-whitelisted: it

@@ -1,0 +1,186 @@
+// test_trace.cpp — deterministic span tracer unit tests (util/trace.h).
+//
+// The tracer's contract is that its output is a pure function of the
+// instrumented code path: timestamps are event-sequence ticks, spans are
+// suppressed inside pool parallel regions, and wall-clock capture is an
+// explicit opt-in that forfeits byte-identity.  These tests pin each of
+// those properties in isolation; the cross-thread byte-identity of whole
+// runs is covered by test_observability_parity.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace rrp::trace {
+namespace {
+
+/// Arms a clean tracer for one test and disarms it after.
+struct TraceGuard {
+  TraceGuard() {
+    set_enabled(false);
+    reset();
+    set_enabled(true);
+  }
+  ~TraceGuard() {
+    set_enabled(false);
+    set_wall_clock(false);
+    reset();
+  }
+};
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  set_enabled(false);
+  reset();
+  {
+    RRP_SPAN("off");
+  }
+  EXPECT_TRUE(spans().empty());
+  EXPECT_EQ(dropped_spans(), 0);
+}
+
+TEST(Trace, NestedSpansGetDepthAndSequentialTicks) {
+  TraceGuard g;
+  {
+    RRP_SPAN("outer");
+    {
+      RRP_SPAN("inner");
+    }
+  }
+  ASSERT_EQ(spans().size(), 2u);
+  const SpanRecord& outer = spans()[0];  // records in begin order
+  const SpanRecord& inner = spans()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  // Each begin/end consumes one tick: outer opens at 0, inner spans
+  // [1, 2], outer closes at 3.  No wall clock anywhere.
+  EXPECT_EQ(outer.begin_seq, 0);
+  EXPECT_EQ(inner.begin_seq, 1);
+  EXPECT_EQ(inner.end_seq, 2);
+  EXPECT_EQ(outer.end_seq, 3);
+  EXPECT_EQ(outer.wall_us, 0.0);
+}
+
+TEST(Trace, ScopedFrameTagsSpansAndRestores) {
+  TraceGuard g;
+  EXPECT_EQ(current_frame(), -1);
+  {
+    ScopedFrame frame(7);
+    EXPECT_EQ(current_frame(), 7);
+    RRP_SPAN("tagged");
+  }
+  {
+    RRP_SPAN("untagged");
+  }
+  ASSERT_EQ(spans().size(), 2u);
+  EXPECT_EQ(spans()[0].frame, 7);
+  EXPECT_EQ(spans()[1].frame, -1);
+  EXPECT_EQ(current_frame(), -1);
+}
+
+TEST(Trace, ModeledTimeAndItemsAccumulate) {
+  TraceGuard g;
+  {
+    RRP_SPAN_VAR(span, "work");
+    span.add_modeled_us(1.5);
+    span.add_modeled_us(2.25);
+    span.add_items(10);
+    span.add_items(5);
+  }
+  ASSERT_EQ(spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(spans()[0].modeled_us, 3.75);
+  EXPECT_EQ(spans()[0].items, 15);
+}
+
+TEST(Trace, SpansAreSuppressedInsideParallelChunks) {
+  // The suppression must be IDENTICAL whether chunks run inline on the
+  // caller (pool of 1) or on workers — that is the whole point of
+  // in_parallel_region() (DESIGN.md invariant 11).
+  for (int threads : {1, 3}) {
+    ThreadCountGuard pool(threads);
+    TraceGuard g;
+    parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+      RRP_SPAN("chunk");  // must not record
+      set_frame(42);      // must not stick
+    });
+    // Only the pool's own top-level fan-out span records.
+    ASSERT_EQ(spans().size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(spans()[0].name, "pool.parallel_for");
+    EXPECT_EQ(spans()[0].items, 8);  // chunk count
+    EXPECT_EQ(current_frame(), -1) << "threads=" << threads;
+  }
+}
+
+TEST(Trace, ResetMidSpanLeavesDanglingSpanInert) {
+  TraceGuard g;
+  {
+    RRP_SPAN_VAR(span, "interrupted");
+    reset();                  // generation bump
+    span.add_modeled_us(9.9); // must not touch the new epoch
+    span.add_items(3);
+  }                           // dtor must not write either
+  EXPECT_TRUE(spans().empty());
+}
+
+TEST(Trace, ChromeTraceExportShape) {
+  TraceGuard g;
+  {
+    ScopedFrame frame(3);
+    RRP_SPAN_VAR(span, "say \"hi\"");
+    span.add_items(2);
+  }
+  const std::string json = chrome_trace_string();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"say \\\"hi\\\"\""), std::string::npos)
+      << "names must be JSON-escaped";
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"frame\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"event-sequence\""), std::string::npos);
+  // Wall clock is off: the field must be absent entirely.
+  EXPECT_EQ(json.find("wall_us"), std::string::npos);
+}
+
+TEST(Trace, SpanCsvShapeAndWallClockOptIn) {
+  TraceGuard g;
+  {
+    RRP_SPAN("a");
+  }
+  const std::string csv = span_csv_string();
+  EXPECT_EQ(csv.rfind("id,frame,depth,name,begin_seq,end_seq,modeled_us,items",
+                      0),
+            0u);
+  EXPECT_EQ(csv.find("wall_us"), std::string::npos);
+
+  // Opting into wall capture adds the column (and forfeits byte-identity
+  // across runs — which is why it is off by default).
+  reset();
+  set_wall_clock(true);
+  {
+    RRP_SPAN("b");
+  }
+  const std::string wall_csv = span_csv_string();
+  EXPECT_NE(wall_csv.find("wall_us"), std::string::npos);
+  ASSERT_EQ(spans().size(), 1u);
+  EXPECT_GE(spans()[0].wall_us, 0.0);
+}
+
+TEST(Trace, SequenceRestartsAfterReset) {
+  TraceGuard g;
+  {
+    RRP_SPAN("first");
+  }
+  reset();
+  {
+    RRP_SPAN("second");
+  }
+  ASSERT_EQ(spans().size(), 1u);
+  EXPECT_EQ(spans()[0].name, "second");
+  EXPECT_EQ(spans()[0].begin_seq, 0);
+  EXPECT_EQ(spans()[0].end_seq, 1);
+}
+
+}  // namespace
+}  // namespace rrp::trace

@@ -11,9 +11,12 @@
 #       so a robustness regression is called out by name;
 #   (d) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
 #       parallel provisioning);
-#   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all.
+#   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all;
+#   (f) a line-coverage summary of the unit tests (-DRRP_COVERAGE=ON +
+#       gcovr or llvm-cov), skipped gracefully when no coverage tool is
+#       installed — informational, not a gate.
 # Build trees are kept per-configuration (build-check, build-check-tsan,
-# build-check-ubsan) so re-runs are incremental.
+# build-check-ubsan, build-check-cov) so re-runs are incremental.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +44,44 @@ step "(e) UndefinedBehaviorSanitizer unit tests"
 cmake -B build-check-ubsan -S . -DRRP_SANITIZE=undefined
 cmake --build build-check-ubsan -j "$JOBS" --target rrp_tests
 ./build-check-ubsan/tests/rrp_tests
+
+step "(f) line coverage (informational)"
+if command -v gcovr >/dev/null 2>&1; then
+  COV_TOOL="gcovr"
+elif command -v gcov >/dev/null 2>&1; then
+  COV_TOOL="gcov"
+elif command -v llvm-cov >/dev/null 2>&1; then
+  COV_TOOL="llvm-cov gcov"
+else
+  COV_TOOL=""
+fi
+if [ -n "$COV_TOOL" ]; then
+  cmake -B build-check-cov -S . -DRRP_COVERAGE=ON
+  cmake --build build-check-cov -j "$JOBS" --target rrp_tests
+  (cd build-check-cov && ./tests/rrp_tests >/dev/null)
+  if [ "$COV_TOOL" = "gcovr" ]; then
+    gcovr --root . --filter 'src/' build-check-cov \
+      --print-summary 2>/dev/null | tail -3
+  else
+    # gcov / llvm-cov-gcov print "Lines executed:NN.NN% of M" per file;
+    # aggregate the library-wide line percentage ourselves.  Only src/
+    # objects count (tests and gtest are not the measured surface).
+    (cd build-check-cov &&
+     find src -name '*.gcda' -exec $COV_TOOL -n {} + 2>/dev/null |
+     awk '/^Lines executed:/ {
+            split($2, a, ":"); pct = a[2]; gsub(/%/, "", pct);
+            covered += $4 * pct / 100; total += $4
+          }
+          END {
+            if (total > 0)
+              printf "src/ line coverage: %.1f%% (%.0f of %d lines)\n",
+                     100 * covered / total, covered, total
+            else print "no coverage data produced"
+          }')
+  fi
+else
+  echo "gcovr / gcov / llvm-cov not found: skipping coverage summary"
+fi
 
 echo
 echo "check.sh: all gates passed"

@@ -14,6 +14,16 @@
 //        --trace FILE      replay a recorded trace instead of a suite
 //        --export-trace F  save the generated scenario as a trace CSV
 //        --assurance FILE  export the safety-case evidence as JSON
+//   rrp_cli trace <model> <suite> [opts]   closed-loop run with the span
+//                                          tracer + metrics registry armed
+//        --policy greedy|fixed<K>   (default greedy)
+//        --frames N      (default 900)
+//        --seed S        (default 20240325)
+//        --json FILE     Chrome trace_event JSON (default trace.json)
+//        --spans FILE    per-frame span CSV (default trace_spans.csv)
+//        --metrics FILE  metrics snapshot CSV (default trace_metrics.csv)
+//        --wall 1        also capture wall-clock per span (forfeits
+//                        byte-identity; never used by tests)
 //   rrp_cli faults <model> [opts]          seeded fault-injection campaign
 //        --suites a,b,c  (default cut_in,urban)
 //        --arms a,b      reversible|reload-memory|reload-disk
@@ -39,6 +49,7 @@
 #include <optional>
 
 #include "core/assurance_export.h"
+#include "core/metrics.h"
 #include "core/reversible_pruner.h"
 #include "models/trained_cache.h"
 #include "nn/serialize.h"
@@ -50,6 +61,7 @@
 #include "util/csv.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 using namespace rrp;
 
@@ -70,6 +82,9 @@ int usage() {
          "  rrp_cli run <model> <highway|urban|cut_in|degraded|intersection> "
          "[--policy greedy|hybrid|oracle|fixed<K>] [--frames N] [--seed S] "
          "[--hysteresis K] [--csv FILE]\n"
+         "  rrp_cli trace <model> <highway|urban|cut_in|degraded|"
+         "intersection> [--policy greedy|fixed<K>] [--frames N] [--seed S] "
+         "[--json FILE] [--spans FILE] [--metrics FILE] [--wall 1]\n"
          "  rrp_cli faults <model> [--suites a,b,c] [--arms a,b] "
          "[--frames N] [--seed S] [--faults N] [--policy greedy|fixed<K>] "
          "[--csv FILE]\n"
@@ -273,6 +288,108 @@ int cmd_run(models::ModelKind kind, const std::string& suite, int frames,
   return 0;
 }
 
+struct TraceOutputs {
+  std::string json_path = "trace.json";
+  std::string spans_path = "trace_spans.csv";
+  std::string metrics_path = "trace_metrics.csv";
+  bool wall = false;
+};
+
+int cmd_trace(models::ModelKind kind, const std::string& suite, int frames,
+              std::uint64_t seed, const std::string& policy_name,
+              const TraceOutputs& io) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+
+  sim::Scenario scenario;
+  if (suite == "highway") scenario = sim::make_highway(frames, seed);
+  else if (suite == "urban") scenario = sim::make_urban(frames, seed);
+  else if (suite == "cut_in") scenario = sim::make_cut_in(frames, seed);
+  else if (suite == "degraded") scenario = sim::make_degraded(frames, seed);
+  else if (suite == "intersection")
+    scenario = sim::make_intersection(frames, seed);
+  else {
+    std::cerr << "unknown suite '" << suite << "'\n";
+    return 2;
+  }
+
+  core::SafetyConfig certified;
+  certified.max_level_for = {4, 3, 1, 0};
+  sim::RunConfig cfg;
+  cfg.deadline_ms = 12.0;
+  cfg.noise_seed = seed ^ 0xC0FFEEull;
+
+  core::ReversiblePruner provider = pm.make_pruner();
+  std::unique_ptr<core::Policy> policy;
+  if (policy_name == "greedy") {
+    policy = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, provider.level_count());
+  } else if (policy_name.rfind("fixed", 0) == 0) {
+    policy = std::make_unique<core::FixedPolicy>(
+        std::stoi(policy_name.substr(5)));
+  } else {
+    std::cerr << "unknown policy '" << policy_name
+              << "' (trace supports greedy|fixed<K>)\n";
+    return 2;
+  }
+
+  core::SafetyMonitor monitor(certified);
+  core::RuntimeController controller(*policy, provider, &monitor);
+
+  // Arm the observability layer only for the run itself, so provisioning
+  // noise never leaks into the exported snapshot.
+  core::reset_observability();
+  trace::set_wall_clock(io.wall);
+  trace::set_enabled(true);
+  const sim::RunResult result = sim::run_scenario(scenario, controller, cfg);
+  trace::set_enabled(false);
+
+  const core::FrameReconciliation rec =
+      core::reconcile_frame_spans(result.telemetry);
+  const core::MetricsSnapshot snap = core::capture_metrics();
+
+  auto write_file = [](const std::string& path, auto&& emit) {
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    emit(f);
+    return true;
+  };
+  if (!write_file(io.json_path,
+                  [](std::ostream& o) { trace::write_chrome_trace(o); }))
+    return 1;
+  if (!write_file(io.spans_path,
+                  [](std::ostream& o) { trace::write_span_csv(o); }))
+    return 1;
+  if (!write_file(io.metrics_path,
+                  [&](std::ostream& o) { snap.write_csv(o); }))
+    return 1;
+
+  TableFormatter table({"metric", "value"});
+  table.row({"scenario", result.scenario});
+  table.row({"frames", std::to_string(result.summary.frames)});
+  table.row({"spans", std::to_string(trace::spans().size())});
+  table.row({"dropped spans", std::to_string(trace::dropped_spans())});
+  table.row({"frames reconciled", std::to_string(rec.frames_compared)});
+  table.row({"missing frame spans", std::to_string(rec.missing_frame_spans)});
+  table.row({"max |telemetry - span| us",
+             CsvWriter::num(rec.max_abs_delta_us, 12)});
+  table.print(std::cout);
+  std::cout << "chrome trace written to " << io.json_path << "\n"
+            << "span csv written to " << io.spans_path << "\n"
+            << "metrics csv written to " << io.metrics_path << "\n";
+
+  if (!rec.ok()) {
+    std::cerr << "reconciliation FAILED: per-frame span modeled time "
+                 "diverges from Telemetry (> 1e-9 us)\n";
+    return 1;
+  }
+  std::cout << "reconciliation OK (<= 1e-9 us)\n";
+  return 0;
+}
+
 std::vector<std::string> split_csv_list(const std::string& value) {
   std::vector<std::string> out;
   std::string current;
@@ -426,6 +543,32 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_run(*kind, suite, frames, seed, policy, hysteresis, io);
+    }
+    if (cmd == "trace") {
+      if (argc < 4) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      const std::string suite = argv[3];
+      int frames = 900;
+      std::uint64_t seed = 20240325;
+      std::string policy = "greedy";
+      TraceOutputs io;
+      for (int i = 4; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--frames") frames = std::stoi(value);
+        else if (flag == "--seed") seed = std::stoull(value);
+        else if (flag == "--policy") policy = value;
+        else if (flag == "--json") io.json_path = value;
+        else if (flag == "--spans") io.spans_path = value;
+        else if (flag == "--metrics") io.metrics_path = value;
+        else if (flag == "--wall") io.wall = value != "0";
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_trace(*kind, suite, frames, seed, policy, io);
     }
     if (cmd == "faults") {
       if (argc < 3) return usage();

@@ -160,6 +160,15 @@ const char* const kThreadHeaders[] = {"thread",  "mutex",     "shared_mutex",
                                       "latch",   "condition_variable",
                                       "stop_token"};
 
+// R5: raw wall-clock access.  Everything time-shaped flows through the
+// Timer facade (util/timer.h) or the trace layer's opt-in wall capture;
+// a stray std::chrono read anywhere else silently breaks byte-identical
+// replay, so the tokens are banned at the source level.  (system_clock is
+// already covered by R1a; this closes the steady/high_resolution gap.)
+const char* const kChronoTokens[] = {"std::chrono", "steady_clock",
+                                     "high_resolution_clock"};
+const char* const kChronoHeaders[] = {"chrono"};
+
 // Whitelists, matched as rel-path prefixes.
 //
 // src/sim/faults.* is deliberately ABSENT from kRandomWhitelist: the
@@ -171,6 +180,12 @@ const char* const kRandomWhitelist[] = {"src/util/rng.", "src/util/timer.h",
                                         "src/core/telemetry."};
 const char* const kThreadWhitelist[] = {"src/util/thread_pool.",
                                         "src/util/log.cpp"};
+// Timer facade, span tracer (optional wall capture), pool (timed waits)
+// and telemetry (already random-whitelisted for timestamps) may touch
+// chrono; every other module uses Timer or modeled time.
+const char* const kChronoWhitelist[] = {"src/util/timer.h", "src/util/trace.",
+                                        "src/util/thread_pool.",
+                                        "src/core/telemetry."};
 
 bool whitelisted(const std::string& rel_path, const char* const* list,
                  std::size_t n) {
@@ -446,10 +461,10 @@ constexpr std::size_t len(const char* const (&)[N]) {
 
 std::vector<std::string> all_rule_ids() {
   return {"determinism-random",      "determinism-thread",
-          "float-accumulator",       "layering",
-          "hygiene-override",        "hygiene-using-namespace",
-          "hygiene-logging",         "top-level-blob",
-          "bad-suppression"};
+          "determinism-chrono",      "float-accumulator",
+          "layering",                "hygiene-override",
+          "hygiene-using-namespace", "hygiene-logging",
+          "top-level-blob",          "bad-suppression"};
 }
 
 FileView scan_file(const std::string& text) {
@@ -568,6 +583,8 @@ std::vector<Finding> lint_file(const std::string& rel_path,
       whitelisted(rel_path, kRandomWhitelist, len(kRandomWhitelist));
   const bool thread_ok =
       whitelisted(rel_path, kThreadWhitelist, len(kThreadWhitelist));
+  const bool chrono_ok =
+      whitelisted(rel_path, kChronoWhitelist, len(kChronoWhitelist));
   const bool logging_scope = starts_with(rel_path, "src/") &&
                              !starts_with(rel_path, "src/util/log.");
   const bool header = is_header(rel_path);
@@ -607,6 +624,20 @@ std::vector<Finding> lint_file(const std::string& rel_path,
                        "seeded rrp::Rng / util/timer instead (runs must be "
                        "bit-reproducible)"});
     }
+    if (!chrono_ok) {
+      for (std::size_t t = 0; t < len(kChronoTokens); ++t) {
+        if (has_token(s, kChronoTokens[t])) {
+          raw.push_back({rel_path, line, "determinism-chrono",
+                         std::string(kChronoTokens[t]) +
+                             " outside util/timer: clock reads go through "
+                             "the Timer facade (or the trace layer's "
+                             "opt-in wall capture) so modeled time stays "
+                             "the only decision input (DESIGN.md "
+                             "invariant 11)"});
+          break;
+        }
+      }
+    }
     if (header && has_token(s, "using") && has_token(s, "namespace") &&
         s.find("using") < s.find("namespace")) {
       raw.push_back({rel_path, line, "hygiene-using-namespace",
@@ -639,6 +670,11 @@ std::vector<Finding> lint_file(const std::string& rel_path,
                        "#include <" + inc.path +
                            ">: use the seeded rrp::Rng / util/timer "
                            "instead (runs must be bit-reproducible)"});
+      if (!chrono_ok && in_list(inc.path, kChronoHeaders, len(kChronoHeaders)))
+        raw.push_back({rel_path, inc.line, "determinism-chrono",
+                       "#include <" + inc.path +
+                           "> outside util/timer: clock reads go through "
+                           "the Timer facade (DESIGN.md invariant 11)"});
       continue;
     }
     if (rank < 0) continue;

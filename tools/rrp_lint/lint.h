@@ -35,7 +35,7 @@ struct Finding {
 /// Rule ids, in DESIGN.md order.  (R1) determinism-random,
 /// determinism-thread; (R2) float-accumulator; (R3) layering;
 /// (R4) hygiene-override, hygiene-using-namespace, hygiene-logging;
-/// plus top-level-blob and bad-suppression.
+/// (R5) determinism-chrono; plus top-level-blob and bad-suppression.
 std::vector<std::string> all_rule_ids();
 
 /// A source file split into a comment-and-literal-blanked code view plus
