@@ -5,13 +5,14 @@
 // pruning, and the co-trained shared-weight ladder (the deployed artifact)
 // recovers most of the structured gap.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
 
 namespace {
 
-void sweep(models::ModelKind kind) {
+void sweep(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
 
   // One-shot masks on the CO-TRAINED weights at a fine ratio grid.
@@ -55,7 +56,16 @@ void sweep(models::ModelKind kind) {
 
     table.row({fmt(grid[i], 2), fmt(acc_u, 3), fmt(acc_s, 3), ladder_acc,
                ladder_sparsity});
+
+    if (std::abs(grid[i] - 0.5) < 1e-9) {
+      const std::string base = std::string(models::model_kind_name(kind));
+      report.set(base + ".unstructured_acc@0.5", acc_u, "fraction");
+      report.set(base + ".structured_acc@0.5", acc_s, "fraction");
+    }
   }
+
+  report.set(std::string(models::model_kind_name(kind)) + ".dense_acc",
+             pm.level_accuracy[0], "fraction");
 
   std::cout << "\n[" << models::model_kind_name(kind)
             << "] dense eval accuracy = " << fmt(pm.level_accuracy[0], 3)
@@ -69,6 +79,9 @@ int main() {
   bench::print_banner("R-F1",
                       "accuracy vs pruning ratio (structured / unstructured / "
                       "co-trained ladder)");
-  for (models::ModelKind kind : models::all_model_kinds()) sweep(kind);
-  return 0;
+  bench::BenchReport report("f1");
+  report.config("mode", "full");
+  for (models::ModelKind kind : models::all_model_kinds())
+    sweep(kind, report);
+  return report.write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 //     masked execution alone does not buy wall-clock time on dense
 //     hardware, while compaction does.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -26,7 +27,7 @@ double measure_infer_ms(core::InferenceProvider& provider,
   return quantile(times, 0.5);
 }
 
-void sweep(models::ModelKind kind) {
+void sweep(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
   const nn::Shape in = models::zoo_input_shape();
   const sim::PlatformModel platform;
@@ -53,6 +54,13 @@ void sweep(models::ModelKind kind) {
                fmt(measure_infer_ms(masked, x, 15), 3),
                fmt(measure_infer_ms(compact, x, 15), 3),
                fmt(pm.level_accuracy[static_cast<std::size_t>(k)], 3)});
+
+    // Modeled (deterministic) view only — host wall times stay console-only.
+    const std::string base = std::string(models::model_kind_name(kind)) +
+                             ".l" + std::to_string(k) + ".";
+    report.set(base + "model_lat_ms", platform.latency_ms(macs), "ms");
+    report.set(base + "model_energy_mj", platform.energy_mj(macs), "mJ");
+    report.set(base + "eff_mmacs", static_cast<double>(macs) / 1e6, "MMAC");
   }
   std::cout << "\n[" << models::model_kind_name(kind) << "]\n";
   table.print(std::cout);
@@ -62,6 +70,9 @@ void sweep(models::ModelKind kind) {
 
 int main() {
   bench::print_banner("R-F2", "latency & energy vs pruning level");
-  for (models::ModelKind kind : models::all_model_kinds()) sweep(kind);
-  return 0;
+  bench::BenchReport report("f2");
+  report.config("mode", "full");
+  for (models::ModelKind kind : models::all_model_kinds())
+    sweep(kind, report);
+  return report.write() ? 0 : 1;
 }

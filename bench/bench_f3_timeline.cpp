@@ -6,6 +6,7 @@
 // delays re-pruning.  Printed as a downsampled series plus every frame
 // where the level changed.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -48,5 +49,15 @@ int main() {
             << " switches=" << s.level_switches
             << " violations=" << s.safety_violations
             << " mean_switch_us=" << fmt(s.mean_switch_us, 1) << "\n";
-  return 0;
+
+  bench::BenchReport report("f3");
+  report.config("mode", "full");
+  report.config("model", "lenet");
+  report.set("accuracy", s.accuracy, "fraction");
+  report.set("critical_accuracy", s.critical_accuracy, "fraction");
+  report.set("mean_level", s.mean_level, "level");
+  report.set("switches", static_cast<double>(s.level_switches), "count");
+  report.set("violations", static_cast<double>(s.safety_violations), "count");
+  report.set("mean_switch_us", s.mean_switch_us, "us");
+  return report.write() ? 0 : 1;
 }

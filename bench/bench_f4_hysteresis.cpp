@@ -6,7 +6,10 @@
 // parks at low levels and wastes energy.  Restores (safety direction) are
 // always immediate, so violations stay at zero throughout — the asymmetry
 // that makes the ablation safe to run.
+#include <sstream>
+
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -21,6 +24,9 @@ int main() {
   TableFormatter table({"hysteresis_frames", "switches", "mean_level",
                         "energy_mJ", "accuracy", "missed_crit_%",
                         "violations"});
+  bench::BenchReport report("f4");
+  report.config("mode", "full");
+  report.config("model", "lenet");
   for (int k : {1, 2, 4, 6, 10, 15, 30}) {
     core::ReversiblePruner provider = pm.make_pruner();
     core::CriticalityGreedyPolicy policy(certified, k,
@@ -33,7 +39,15 @@ int main() {
                fmt(s.mean_level, 2), fmt(s.total_energy_mj, 1),
                fmt(s.accuracy, 3), fmt(100.0 * s.missed_critical_rate, 1),
                std::to_string(s.safety_violations)});
+    // ostringstream (not operator+ chains) sidesteps a GCC 12 -Wrestrict
+    // false positive (PR105329) that trips the -Werror gate.
+    std::ostringstream base;
+    base << "h" << k << ".";
+    report.set(base.str() + "switches",
+               static_cast<double>(s.level_switches), "count");
+    report.set(base.str() + "energy_mj", s.total_energy_mj, "mJ");
+    report.set(base.str() + "accuracy", s.accuracy, "fraction");
   }
   table.print(std::cout);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 // reversible points dominate the static menu: more accuracy for the same
 // energy, because they only spend accuracy where the scene is calm.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -74,6 +75,11 @@ int main() {
     run_one("oracle", p, policy, true, cfg);
   }
 
+  bench::BenchReport report("f5");
+  report.config("mode", "full");
+  report.config("model", "resnetlite");
+  int pareto_count = 0;
+
   TableFormatter table({"config", "accuracy", "crit_accuracy", "energy_mJ",
                         "violations", "pareto"});
   for (const auto& pt : points) {
@@ -91,8 +97,14 @@ int main() {
     table.row({pt.config, fmt(pt.accuracy, 3), fmt(pt.crit_accuracy, 3),
                fmt(pt.energy_mj, 1), std::to_string(pt.violations),
                dominated ? "" : "*"});
+    if (!dominated) ++pareto_count;
+    report.set(pt.config + ".accuracy", pt.accuracy, "fraction");
+    report.set(pt.config + ".energy_mj", pt.energy_mj, "mJ");
+    report.set(pt.config + ".violations", static_cast<double>(pt.violations),
+               "count");
   }
   table.print(std::cout);
   std::cout << "(* = on the Pareto front)\n";
-  return 0;
+  report.set("pareto_points", static_cast<double>(pareto_count), "count");
+  return report.write() ? 0 : 1;
 }

@@ -4,19 +4,41 @@
 // justifies (a) which layers the planner may prune and (b) non-uniform
 // per-layer ratios.  Early conv layers and the classifier head are the
 // sensitive ones; wide mid layers absorb pruning almost for free.
+#include <cmath>
+#include <set>
+
 #include "bench_common.h"
+#include "bench_report.h"
 #include "prune/sensitivity.h"
 
 using namespace rrp;
 
 namespace {
 
-void run(models::ModelKind kind) {
+void run(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
   prune::SensitivityOptions opt;
   opt.ratios = {0.0, 0.25, 0.5, 0.75, 0.9};
   const auto points = prune::layer_sensitivity(
       pm.net, pm.eval_data, models::zoo_input_shape(), opt);
+
+  // Aggregate (deterministic) profile: mean accuracy across layers at the
+  // deepest probed ratio, plus how many prunable layers were profiled.
+  double deep_acc_sum = 0.0;
+  int deep_count = 0;
+  std::set<std::string> layers;
+  for (const auto& p : points) {
+    layers.insert(p.layer);
+    if (std::abs(p.ratio - opt.ratios.back()) < 1e-9) {
+      deep_acc_sum += p.accuracy;
+      ++deep_count;
+    }
+  }
+  const std::string base = std::string(models::model_kind_name(kind)) + ".";
+  report.set(base + "layers", static_cast<double>(layers.size()), "count");
+  if (deep_count > 0)
+    report.set(base + "mean_acc@" + fmt(opt.ratios.back(), 2),
+               deep_acc_sum / deep_count, "fraction");
 
   // Pivot: one row per layer, one column per ratio.
   std::vector<std::string> header{"layer"};
@@ -43,6 +65,9 @@ void run(models::ModelKind kind) {
 
 int main() {
   bench::print_banner("R-F6", "per-layer structured pruning sensitivity");
-  for (models::ModelKind kind : models::all_model_kinds()) run(kind);
-  return 0;
+  bench::BenchReport report("f6");
+  report.config("mode", "full");
+  for (models::ModelKind kind : models::all_model_kinds())
+    run(kind, report);
+  return report.write() ? 0 : 1;
 }

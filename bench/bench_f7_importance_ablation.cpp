@@ -5,13 +5,14 @@
 // (|w·∂L/∂w| over calibration batches).  Reported: one-shot accuracy per
 // ratio per metric (no co-training, isolating the ranking quality).
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
 
 namespace {
 
-void run(models::ModelKind kind) {
+void run(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
   const std::vector<double> ratios{0.0, 0.2, 0.4, 0.6, 0.8};
   const nn::Shape in = models::zoo_input_shape();
@@ -47,6 +48,12 @@ void run(models::ModelKind kind) {
                fmt(taylor[i], 3)});
   std::cout << "\n[" << models::model_kind_name(kind) << "]\n";
   table.print(std::cout);
+
+  const std::string base = std::string(models::model_kind_name(kind)) +
+                           ".acc@" + fmt(ratios.back(), 2) + ".";
+  report.set(base + "l1", l1.back(), "fraction");
+  report.set(base + "l2", l2.back(), "fraction");
+  report.set(base + "taylor", taylor.back(), "fraction");
 }
 
 }  // namespace
@@ -54,9 +61,11 @@ void run(models::ModelKind kind) {
 int main() {
   bench::print_banner("R-F7", "channel-importance metric ablation "
                               "(one-shot, no co-training)");
+  bench::BenchReport report("f7");
+  report.config("mode", "full");
   for (models::ModelKind kind :
        {models::ModelKind::LeNet, models::ModelKind::ResNetLite,
         models::ModelKind::DetNet})
-    run(kind);
-  return 0;
+    run(kind, report);
+  return report.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 // Comparison at (approximately) matched effective MACs: the non-uniform
 // ladder should retain more accuracy for the same compute.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 #include "prune/sensitivity.h"
 
@@ -13,7 +14,7 @@ using namespace rrp;
 
 namespace {
 
-void run(models::ModelKind kind) {
+void run(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
   const nn::Shape in = models::zoo_input_shape();
   const std::vector<double> ratios{0.0, 0.3, 0.5, 0.7, 0.85};
@@ -48,6 +49,14 @@ void run(models::ModelKind kind) {
     evaluate(nonuniform, k, &na, &nm);
     table.row({std::to_string(k), fmt(um / 1e6, 3), fmt(ua, 3),
                fmt(nm / 1e6, 3), fmt(na, 3), fmt(na - ua, 3)});
+    if (k == uniform.level_count() - 1) {
+      const std::string base = std::string(models::model_kind_name(kind)) +
+                               ".deepest.";
+      report.set(base + "uniform_acc", ua, "fraction");
+      report.set(base + "nonuniform_acc", na, "fraction");
+      report.set(base + "uniform_mmacs", um / 1e6, "MMAC");
+      report.set(base + "nonuniform_mmacs", nm / 1e6, "MMAC");
+    }
   }
   std::cout << "\n[" << models::model_kind_name(kind)
             << "] per-layer scales:";
@@ -63,8 +72,10 @@ int main() {
   bench::print_banner("R-F8",
                       "uniform vs sensitivity-guided non-uniform ladders "
                       "(one-shot)");
+  bench::BenchReport report("f8");
+  report.config("mode", "full");
   for (models::ModelKind kind :
        {models::ModelKind::LeNet, models::ModelKind::DetNet})
-    run(kind);
-  return 0;
+    run(kind, report);
+  return report.write() ? 0 : 1;
 }

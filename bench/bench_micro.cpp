@@ -1,9 +1,18 @@
 // Micro-benchmarks (google-benchmark): GEMM kernel, per-level inference of
 // the masked and compacted providers, and the raw level-switch primitives.
 // These are the numbers the platform model is sanity-checked against.
+//
+// `bench_micro --gate` skips the wall-clock benchmarks entirely and only
+// emits BENCH_micro.json with *modeled* metrics (platform-model latency,
+// switch touched-bytes, resident memory) — pure functions of the cached
+// detnet artifacts, so the numbers reproduce byte-identically and
+// tools/bench_gate.py can diff them against bench/baselines/.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 #include "nn/gemm.h"
 #include "util/thread_pool.h"
@@ -171,6 +180,55 @@ void BM_ReloadSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_ReloadSwitch)->DenseRange(1, 4);
 
+// Deterministic modeled metrics on detnet — everything here is a pure
+// function of the cached co-trained artifacts (no wall clocks), which is
+// what makes BENCH_micro.json gate-able against a committed baseline.
+int emit_report(const char* mode) {
+  auto& pm = detnet();
+  bench::BenchReport report("micro");
+  report.config("model", "detnet");
+  report.config("mode", mode);
+
+  const sim::PlatformModel platform;
+  const nn::Shape in = models::zoo_input_shape();
+  core::ReversiblePruner rp = pm.make_pruner();
+
+  std::vector<double> infer_us, switch_us;
+  for (int k = 0; k < rp.level_count(); ++k) {
+    rp.set_level(k);
+    const double us = platform.latency_ms(rp.active_macs(in)) * 1000.0;
+    report.set("infer_modeled_us.l" + std::to_string(k), us, "us");
+    infer_us.push_back(us);
+  }
+  rp.set_level(0);
+  for (int k = 1; k < rp.level_count(); ++k) {
+    const auto s = rp.set_level(k);
+    const double us = platform.switch_latency_us(s.bytes_written);
+    report.set("switch_touched_bytes.l" + std::to_string(k),
+               static_cast<double>(s.bytes_written), "bytes");
+    report.set("switch_modeled_us.l" + std::to_string(k), us, "us");
+    switch_us.push_back(us);
+    rp.set_level(0);
+  }
+  report.set("infer_modeled_us.median", quantile(infer_us, 0.5), "us");
+  report.set("switch_modeled_us.median", quantile(switch_us, 0.5), "us");
+  report.set("memory.resident_bytes",
+             static_cast<double>(rp.resident_weight_bytes()), "bytes");
+  report.set("memory.delta_index_bytes",
+             static_cast<double>(rp.delta_index_bytes()), "bytes");
+  report.set("memory.store_bytes",
+             static_cast<double>(rp.store().total_bytes()), "bytes");
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--gate") == 0) return emit_report("gate");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return emit_report("full");
+}

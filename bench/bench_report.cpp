@@ -1,0 +1,109 @@
+#include "bench_report.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.h"
+
+namespace rrp::bench {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::config(const std::string& key, const std::string& value) {
+  config_[key] = value;
+}
+
+void BenchReport::config(const std::string& key, std::int64_t value) {
+  config_[key] = std::to_string(value);
+}
+
+void BenchReport::set(const std::string& id, double value,
+                      const std::string& unit) {
+  metrics_[id] = Metric{value, unit};
+}
+
+void BenchReport::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"schema_version\": " << kBenchReportSchemaVersion << ",\n";
+  out << "  \"name\": \"" << json_escape(name_) << "\",\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(k) << "\": \""
+        << json_escape(v) << "\"";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+  out << "  \"metrics\": [";
+  first = true;
+  for (const auto& [id, m] : metrics_) {
+    out << (first ? "\n" : ",\n") << "    {\"id\": \"" << json_escape(id)
+        << "\", \"value\": " << CsvWriter::num(m.value, 6)
+        << ", \"unit\": \"" << json_escape(m.unit) << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n";
+  out << "}\n";
+}
+
+std::string BenchReport::path() const {
+  const char* dir = std::getenv("RRP_BENCH_OUT");
+  const std::string base = "BENCH_" + name_ + ".json";
+  if (dir != nullptr && *dir != '\0')
+    return std::string(dir) + "/" + base;
+  return base;
+}
+
+bool BenchReport::write() const {
+  const std::string p = path();
+  errno = 0;
+  std::ofstream f(p, std::ios::trunc);
+  if (!f) {
+    std::cerr << "bench_report: cannot open '" << p << "' for writing ("
+              << (errno != 0 ? std::strerror(errno) : "unknown error")
+              << ")\n";
+    return false;
+  }
+  write_json(f);
+  f.flush();
+  if (!f) {
+    std::cerr << "bench_report: write failed for '" << p << "'\n";
+    return false;
+  }
+  std::cout << "bench report written to " << p << "\n";
+  return true;
+}
+
+}  // namespace rrp::bench

@@ -1,0 +1,65 @@
+// bench_report.h — machine-readable results for every bench binary.
+//
+// Each bench_* binary builds one BenchReport, fills it with the headline
+// numbers it already prints as tables, and writes BENCH_<name>.json at
+// exit.  The JSON is schema-versioned and byte-deterministic (config and
+// metrics are emitted in sorted order, numbers in fixed-precision form),
+// so tools/bench_gate.py can diff a fresh run against the committed
+// baselines in bench/baselines/ with a relative tolerance band.
+//
+// Metrics fed to the regression gate must come from the *modeled* side of
+// the house (platform-model microseconds, touched bytes, accuracies) —
+// those are pure functions of the cached artifacts and reproduce exactly.
+// Wall-clock medians may be recorded too (they are useful context) but
+// belong in reports whose config marks them as unfit for gating.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace rrp::bench {
+
+/// Current layout of BENCH_<name>.json; bump when fields change shape.
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  /// `name` becomes the "name" field and the BENCH_<name>.json filename.
+  explicit BenchReport(std::string name);
+
+  /// Records a config key (model, mode, frames...).  Reports are only
+  /// comparable when their configs match, and bench_gate.py enforces it.
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, std::int64_t value);
+
+  /// Records one metric.  Re-setting an id overwrites it.
+  void set(const std::string& id, double value, const std::string& unit);
+
+  /// Deterministic JSON: sorted config, sorted metrics, fixed-precision
+  /// numbers — the same inputs always serialize to the same bytes.
+  void write_json(std::ostream& out) const;
+
+  /// Output path: $RRP_BENCH_OUT/BENCH_<name>.json when the environment
+  /// variable is set (and non-empty), else ./BENCH_<name>.json.
+  std::string path() const;
+
+  /// Writes path(); never throws.  On failure prints a diagnostic to the
+  /// stream of the caller's choice via the return value contract: false
+  /// means the file was not (fully) written.
+  bool write() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Metric {
+    double value = 0.0;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::map<std::string, std::string> config_;  // sorted -> deterministic
+  std::map<std::string, Metric> metrics_;      // sorted -> deterministic
+};
+
+}  // namespace rrp::bench

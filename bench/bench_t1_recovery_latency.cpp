@@ -13,6 +13,7 @@
 #include <filesystem>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 #include "nn/train.h"
 
@@ -33,7 +34,7 @@ double median_over(int reps, const std::function<double()>& once) {
   return quantile(xs, 0.5);
 }
 
-void run(models::ModelKind kind) {
+void run(models::ModelKind kind, bench::BenchReport& report) {
   models::ProvisionedModel pm = bench::provision(kind);
   const int deepest = pm.levels.level_count() - 1;
   const nn::Shape in = models::zoo_input_shape();
@@ -105,9 +106,17 @@ void run(models::ModelKind kind) {
   TableFormatter table({"recovery path", "median_us", "bytes_rewritten",
                         "vs reversible", "note"});
   const double base = results[0].median_us;
-  for (const auto& r : results)
+  for (const auto& r : results) {
     table.row({r.path, fmt(r.median_us, 1), std::to_string(r.bytes),
                fmt(r.median_us / base, 1) + "x", r.note});
+    // Bytes rewritten are a pure function of the level ladder and gate-able;
+    // median wall microseconds are context only (host dependent).
+    const std::string key = std::string(models::model_kind_name(kind)) + "." +
+                            r.path + ".";
+    report.set(key + "bytes_rewritten", static_cast<double>(r.bytes),
+               "bytes");
+    report.set(key + "median_wall_us", r.median_us, "us");
+  }
   std::cout << "\n[" << models::model_kind_name(kind)
             << "] recovery from level " << deepest << " to level 0\n";
   table.print(std::cout);
@@ -117,6 +126,9 @@ void run(models::ModelKind kind) {
 
 int main() {
   bench::print_banner("R-T1", "recovery latency back to full accuracy");
-  for (models::ModelKind kind : models::all_model_kinds()) run(kind);
-  return 0;
+  bench::BenchReport report("t1");
+  report.config("mode", "full");
+  for (models::ModelKind kind : models::all_model_kinds())
+    run(kind, report);
+  return report.write() ? 0 : 1;
 }

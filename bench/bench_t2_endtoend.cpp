@@ -13,10 +13,12 @@
 //
 // Columns are the reconstructed table's: perception accuracy, missed
 // critical detections, deadline misses, energy, switching behaviour.
+#include <cctype>
 #include <cstring>
 #include <fstream>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/metrics.h"
 #include "core/reversible_pruner.h"
 #include "util/thread_pool.h"
@@ -54,9 +56,23 @@ core::RunSummary average(const std::vector<core::RunSummary>& xs) {
   return m;
 }
 
+/// Metric-id-safe system key: "reversible (ours)" -> "reversible-ours".
+std::string system_key(const std::string& name) {
+  std::string key;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-') {
+      key.push_back(c);
+    } else if (!key.empty() && key.back() != '-') {
+      key.push_back('-');
+    }
+  }
+  while (!key.empty() && key.back() == '-') key.pop_back();
+  return key;
+}
+
 void run_suite(models::ProvisionedModel& pm,
                const std::vector<sim::Scenario>& replicas,
-               const sim::RunConfig& base_cfg) {
+               const sim::RunConfig& base_cfg, bench::BenchReport& report) {
   const core::SafetyConfig certified = bench::standard_certified();
   std::vector<SystemRow> rows;
 
@@ -157,6 +173,23 @@ void run_suite(models::ProvisionedModel& pm,
             << replicas.front().frame_count() << " frames x "
             << replicas.size() << " seeds, averaged) ---\n";
   table.print(std::cout);
+
+  // Machine-readable mirror of the table — everything is modeled
+  // (accuracy, deadline slack, energy from the platform model), so the
+  // values reproduce exactly and the regression gate can band them.
+  const std::string suite = replicas.front().name;
+  for (const auto& r : rows) {
+    const core::RunSummary& s = r.summary;
+    const std::string base = suite + "." + system_key(r.system) + ".";
+    report.set(base + "accuracy", s.accuracy, "fraction");
+    report.set(base + "missed_critical_rate", s.missed_critical_rate,
+               "fraction");
+    report.set(base + "deadline_miss_rate", s.deadline_miss_rate, "fraction");
+    report.set(base + "energy_mj", s.total_energy_mj, "mJ");
+    report.set(base + "mean_switch_us", s.mean_switch_us, "us");
+    report.set(base + "violations", static_cast<double>(s.safety_violations),
+               "count");
+  }
 }
 
 }  // namespace
@@ -166,9 +199,16 @@ int main(int argc, char** argv) {
   // Chrome trace_event file at exit.  Replica runs execute inside pool
   // chunks, so their spans are suppressed (deterministic); the trace shows
   // the top-level fan-out structure (pool.parallel_for per system).
+  //
+  // --gate 1: reduced recipe (cut_in suite only, 300 frames, 1 seed) for
+  // the bench-regression gate — small enough to run on every check.sh
+  // invocation, and marked mode=gate in BENCH_t2.json so baselines never
+  // get compared against full-recipe runs.
   std::string trace_path;
+  bool gate = false;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--gate") == 0) gate = argv[i + 1][0] == '1';
   }
 
   bench::print_banner("R-T2", "end-to-end safety/efficiency across suites");
@@ -182,16 +222,25 @@ int main(int argc, char** argv) {
     trace::set_enabled(true);
   }
 
+  const int frames = gate ? 300 : 900;
+  const int seeds = gate ? 1 : 3;
+  const int suites = gate ? 1 : 4;  // gate: cut_in only (index 2)
+  bench::BenchReport report("t2");
+  report.config("model", "resnetlite");
+  report.config("mode", gate ? "gate" : "full");
+  report.config("frames", frames);
+  report.config("seeds", seeds);
+
   const sim::RunConfig cfg = bench::standard_run_config();
-  constexpr int kSeeds = 3;
-  for (int suite = 0; suite < 4; ++suite) {
+  for (int suite = 0; suite < suites; ++suite) {
+    const std::size_t index = gate ? 2u : static_cast<std::size_t>(suite);
     std::vector<sim::Scenario> replicas;
-    for (int rep = 0; rep < kSeeds; ++rep)
+    for (int rep = 0; rep < seeds; ++rep)
       replicas.push_back(
-          sim::standard_suites(900, 20240325 + 1000ull * rep)[
-              static_cast<std::size_t>(suite)]);
-    run_suite(pm, replicas, cfg);
+          sim::standard_suites(frames, 20240325 + 1000ull * rep)[index]);
+    run_suite(pm, replicas, cfg, report);
   }
+  if (!report.write()) return 1;
 
   if (!trace_path.empty()) {
     trace::set_enabled(false);

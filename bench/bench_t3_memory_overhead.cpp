@@ -5,6 +5,7 @@
 // statistics (switchable BN), and — for comparison — the compact-cache
 // mode (all levels resident) and the reload baseline's artifacts.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -15,7 +16,7 @@ std::string kb(std::int64_t bytes) {
   return fmt(static_cast<double>(bytes) / 1024.0, 1);
 }
 
-void report(models::ModelKind kind) {
+void report_model(models::ModelKind kind, bench::BenchReport& out) {
   models::ProvisionedModel pm = bench::provision(kind);
   const nn::Shape in = models::zoo_input_shape();
 
@@ -47,6 +48,19 @@ void report(models::ModelKind kind) {
   row("TOTAL compact cache (all levels)", compact.resident_weight_bytes());
   row("reload artifacts (RAM mode)", artifact_bytes);
 
+  // Every number here is a pure function of the cached artifacts.
+  const std::string base = std::string(models::model_kind_name(kind)) + ".";
+  out.set(base + "model_bytes", static_cast<double>(model_bytes), "bytes");
+  out.set(base + "mask_bytes", static_cast<double>(mask_bytes), "bytes");
+  out.set(base + "bn_bytes", static_cast<double>(bn_bytes), "bytes");
+  out.set(base + "reversible_total_bytes",
+          static_cast<double>(masked.resident_weight_bytes() + bn_bytes),
+          "bytes");
+  out.set(base + "compact_total_bytes",
+          static_cast<double>(compact.resident_weight_bytes()), "bytes");
+  out.set(base + "reload_artifact_bytes",
+          static_cast<double>(artifact_bytes), "bytes");
+
   std::cout << "\n[" << models::model_kind_name(kind) << "] "
             << pm.net.param_count() << " parameters\n";
   table.print(std::cout);
@@ -56,6 +70,9 @@ void report(models::ModelKind kind) {
 
 int main() {
   bench::print_banner("R-T3", "memory overhead of reversibility");
-  for (models::ModelKind kind : models::all_model_kinds()) report(kind);
-  return 0;
+  bench::BenchReport report("t3");
+  report.config("mode", "full");
+  for (models::ModelKind kind : models::all_model_kinds())
+    report_model(kind, report);
+  return report.write() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // worst case, (b) prune and restore cost the same (same diff set), and
 // (c) reload cost is flat and orders of magnitude higher.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -34,6 +35,10 @@ int main() {
                               pm.bn_states);
   const int levels = masked.level_count();
 
+  bench::BenchReport report("t4");
+  report.config("mode", "full");
+  report.config("model", "resnetlite");
+
   TableFormatter table({"from", "to", "elements", "masked_us", "reload_us",
                         "speedup"});
   for (int from = 0; from < levels; ++from) {
@@ -46,6 +51,12 @@ int main() {
       table.row({std::to_string(from), std::to_string(to),
                  std::to_string(s.elements_changed), fmt(masked_us, 1),
                  fmt(reload_us, 1), fmt(reload_us / std::max(masked_us, 0.01), 0) + "x"});
+      // Elements touched are a pure function of the nested masks (the O(Δ)
+      // property itself); wall times stay console-only.
+      if (from < to)
+        report.set("elements." + std::to_string(from) + "to" +
+                       std::to_string(to),
+                   static_cast<double>(s.elements_changed), "count");
     }
   }
   table.print(std::cout);
@@ -58,5 +69,9 @@ int main() {
   std::cout << "\nprune 0->" << levels - 1 << " touched "
             << up.elements_changed << " elements; restore touched "
             << down.elements_changed << " (identical set)\n";
-  return 0;
+  report.set("symmetry.prune_elements",
+             static_cast<double>(up.elements_changed), "count");
+  report.set("symmetry.restore_elements",
+             static_cast<double>(down.elements_changed), "count");
+  return report.write() ? 0 : 1;
 }

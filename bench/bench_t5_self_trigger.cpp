@@ -14,6 +14,7 @@
 // self-triggered loop's hazard becomes visible).  This is the argument for
 // keeping the monitoring channel independent of the pruned network.
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/reversible_pruner.h"
 
 using namespace rrp;
@@ -21,7 +22,8 @@ using namespace rrp;
 namespace {
 
 void run_suite(models::ProvisionedModel& pm, const sim::Scenario& scenario,
-               const sim::RunConfig& base_cfg) {
+               const sim::RunConfig& base_cfg,
+               bench::BenchReport& report) {
   const core::SafetyConfig certified = bench::standard_certified();
   TableFormatter table({"criticality source", "accuracy", "missed_crit_%",
                         "energy_mJ", "mean_level", "sensed_violations",
@@ -41,6 +43,11 @@ void run_suite(models::ProvisionedModel& pm, const sim::Scenario& scenario,
                fmt(s.total_energy_mj, 1), fmt(s.mean_level, 2),
                std::to_string(s.safety_violations),
                std::to_string(s.true_safety_violations)});
+    const std::string base = scenario.name + "." + name + ".";
+    report.set(base + "accuracy", s.accuracy, "fraction");
+    report.set(base + "true_violations",
+               static_cast<double>(s.true_safety_violations), "count");
+    report.set(base + "energy_mj", s.total_energy_mj, "mJ");
   };
 
   row("gt-ttc", sim::CriticalitySource::GroundTruthTtc);
@@ -59,8 +66,11 @@ int main() {
                       "pruning level?");
   models::ProvisionedModel pm = bench::provision(models::ModelKind::ResNetLite);
   const sim::RunConfig cfg = bench::standard_run_config();
-  run_suite(pm, sim::make_cut_in(900, 71), cfg);
-  run_suite(pm, sim::make_urban(900, 72), cfg);
-  run_suite(pm, sim::make_intersection(900, 73), cfg);
-  return 0;
+  bench::BenchReport report("t5");
+  report.config("mode", "full");
+  report.config("model", "resnetlite");
+  run_suite(pm, sim::make_cut_in(900, 71), cfg, report);
+  run_suite(pm, sim::make_urban(900, 72), cfg, report);
+  run_suite(pm, sim::make_intersection(900, 73), cfg, report);
+  return report.write() ? 0 : 1;
 }

@@ -1,0 +1,139 @@
+#include "core/slo.h"
+
+#include <limits>
+#include <sstream>
+
+#include "util/checks.h"
+
+namespace rrp::core {
+
+const char* slo_kind_name(SloKind k) {
+  switch (k) {
+    case SloKind::RatioMax: return "ratio_max";
+    case SloKind::HistogramQuantileMax: return "histogram_quantile_max";
+  }
+  return "?";
+}
+
+double histogram_quantile(const metrics::Histogram& h, double q) {
+  RRP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::int64_t total = h.total();
+  if (total == 0) return 0.0;
+  // Smallest rank that covers the q-fraction; rank total at q == 1.
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    q * static_cast<double>(total) + 0.999999));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+    cum += h.bucket_count(i);
+    if (cum >= rank) return h.bounds()[i];
+  }
+  return std::numeric_limits<double>::infinity();  // overflow bucket
+}
+
+SloMonitor::SloMonitor(std::vector<SloSpec> specs)
+    : specs_(std::move(specs)), fired_(specs_.size(), false) {
+  for (const SloSpec& s : specs_)
+    RRP_CHECK_MSG(!s.id.empty(), "SloSpec needs a non-empty id");
+}
+
+void SloMonitor::push(Incident incident) {
+  if (incidents_.size() >= kMaxIncidents) {
+    ++dropped_;
+    return;
+  }
+  incidents_.push_back(std::move(incident));
+}
+
+void SloMonitor::evaluate(std::int64_t frame) {
+  metrics::Registry& reg = metrics::Registry::instance();
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (fired_[i]) continue;
+    const SloSpec& s = specs_[i];
+    double observed = 0.0;
+    std::ostringstream detail;
+    switch (s.kind) {
+      case SloKind::RatioMax: {
+        const std::int64_t den = reg.counter(s.denominator).value();
+        if (den < s.min_samples) continue;
+        const std::int64_t num = reg.counter(s.numerator).value();
+        observed = static_cast<double>(num) / static_cast<double>(den);
+        detail << s.numerator << "/" << s.denominator << " = " << num << "/"
+               << den;
+        break;
+      }
+      case SloKind::HistogramQuantileMax: {
+        const metrics::Histogram& h = reg.histogram(s.histogram);
+        if (h.total() < s.min_samples) continue;
+        observed = histogram_quantile(h, s.quantile);
+        detail << "p" << static_cast<int>(s.quantile * 100.0) << "("
+               << s.histogram << ") over " << h.total() << " samples";
+        break;
+      }
+    }
+    if (observed > s.threshold) {
+      fired_[i] = true;
+      Incident inc;
+      inc.frame = frame;
+      inc.slo_id = s.id;
+      inc.observed = observed;
+      inc.threshold = s.threshold;
+      inc.detail = detail.str();
+      push(std::move(inc));
+    }
+  }
+}
+
+void SloMonitor::note_event(std::int64_t frame, const std::string& id,
+                            double observed, const std::string& detail) {
+  Incident inc;
+  inc.frame = frame;
+  inc.slo_id = id;
+  inc.observed = observed;
+  inc.threshold = 0.0;
+  inc.detail = detail;
+  push(std::move(inc));
+}
+
+void SloMonitor::clear() {
+  fired_.assign(specs_.size(), false);
+  incidents_.clear();
+  dropped_ = 0;
+}
+
+std::vector<SloSpec> standard_slos() {
+  std::vector<SloSpec> v;
+  {
+    SloSpec s;
+    s.id = "slo.deadline_miss_rate";
+    s.kind = SloKind::RatioMax;
+    s.numerator = "runner.deadline_misses";
+    s.denominator = "runner.frames";
+    s.threshold = 0.05;
+    s.min_samples = 50;
+    v.push_back(s);
+  }
+  {
+    SloSpec s;
+    s.id = "slo.recovery_latency_p99_us";
+    s.kind = SloKind::HistogramQuantileMax;
+    s.histogram = "prune.switch_us";
+    s.quantile = 0.99;
+    s.threshold = 20000.0;
+    s.min_samples = 5;
+    v.push_back(s);
+  }
+  {
+    SloSpec s;
+    s.id = "slo.scrub_detect_latency_p99_frames";
+    s.kind = SloKind::HistogramQuantileMax;
+    s.histogram = "integrity.detect_latency_frames";
+    s.quantile = 0.99;
+    s.threshold = 50.0;
+    s.min_samples = 1;
+    v.push_back(s);
+  }
+  return v;
+}
+
+}  // namespace rrp::core

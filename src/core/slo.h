@@ -1,0 +1,109 @@
+// slo.h — declarative service-level objectives over the metrics registry.
+//
+// The observability layer (DESIGN.md §8) records what happened; this layer
+// decides whether what happened was ACCEPTABLE.  An SloSpec is a small,
+// serializable predicate over the process-wide metrics registry — a ratio
+// of two counters (deadline-miss rate), or an upper quantile of a fixed-
+// bound histogram (recovery-latency p99, scrub-detection latency) — with a
+// threshold and a minimum sample count.  An SloMonitor evaluates its specs
+// online (the runner calls it once per frame) and latches one structured
+// Incident per breached spec; direct safety events (certified-level
+// violations, watchdog degrades, integrity detections) are noted as
+// incidents too, via note_event.
+//
+// Incidents are the trigger for the black-box flight recorder's bundle
+// dump (core/flight_recorder.h): the monitor explains WHY a bundle exists,
+// the recorder explains WHAT led up to it.  Both are deterministic — the
+// registry's counters and histogram buckets are byte-exact for any
+// RRP_THREADS, so the same run always raises the same incidents at the
+// same frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace rrp::core {
+
+/// How an SloSpec is evaluated against the metrics registry.
+enum class SloKind : int {
+  RatioMax = 0,             ///< counter(numerator)/counter(denominator) <= threshold
+  HistogramQuantileMax = 1, ///< quantile(histogram, q) <= threshold
+};
+
+const char* slo_kind_name(SloKind k);
+
+/// One declarative objective.  Strings name registry metrics; the spec is
+/// serialized into incident bundles so replay re-evaluates the exact same
+/// predicates.
+struct SloSpec {
+  std::string id;            ///< stable identifier ("slo.deadline_miss_rate")
+  SloKind kind = SloKind::RatioMax;
+  std::string numerator;     ///< RatioMax: counter name
+  std::string denominator;   ///< RatioMax: counter name (also the sample count)
+  std::string histogram;     ///< HistogramQuantileMax: histogram name
+  double quantile = 0.99;    ///< HistogramQuantileMax only
+  double threshold = 0.0;    ///< breach when observed > threshold
+  std::int64_t min_samples = 1;  ///< do not evaluate below this sample count
+};
+
+/// One breach (or directly-noted safety event), in frame order.
+struct Incident {
+  std::int64_t frame = 0;
+  std::string slo_id;
+  double observed = 0.0;
+  double threshold = 0.0;
+  std::string detail;
+};
+
+/// Upper-bound quantile estimate from a fixed-bound histogram: the least
+/// bucket upper bound whose cumulative count reaches q * total.  Returns
+/// +inf when the quantile lands in the overflow bucket, 0 when empty.
+double histogram_quantile(const metrics::Histogram& h, double q);
+
+/// Evaluates a set of SloSpecs online.  Spec breaches latch: each spec
+/// raises at most one Incident per monitor lifetime (an SLO that stays
+/// breached for 500 frames is one incident, not 500).  Directly-noted
+/// events do not latch but are capped at kMaxIncidents total (the
+/// overflow count is retained so nothing is silently lost).
+class SloMonitor {
+ public:
+  /// Hard cap on stored incidents; note_event beyond it only counts.
+  static constexpr std::size_t kMaxIncidents = 64;
+
+  explicit SloMonitor(std::vector<SloSpec> specs);
+
+  /// Evaluates every spec against the current registry state.  Call from
+  /// the driving thread only (reads are relaxed; parallel work for the
+  /// frame has already joined when the runner calls this).
+  void evaluate(std::int64_t frame);
+
+  /// Notes a direct safety event (certified violation, watchdog degrade,
+  /// integrity detection) as an incident without a spec.
+  void note_event(std::int64_t frame, const std::string& id, double observed,
+                  const std::string& detail);
+
+  bool any_incident() const { return !incidents_.empty(); }
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  std::int64_t dropped_incidents() const { return dropped_; }
+  const std::vector<SloSpec>& specs() const { return specs_; }
+
+  /// Unlatches every spec and drops all incidents.
+  void clear();
+
+ private:
+  void push(Incident incident);
+
+  std::vector<SloSpec> specs_;
+  std::vector<bool> fired_;  ///< latch per spec, parallel to specs_
+  std::vector<Incident> incidents_;
+  std::int64_t dropped_ = 0;
+};
+
+/// The repo's standard objectives: deadline-miss rate <= 5% (>= 50 frames),
+/// recovery-latency p99 <= 20 ms, scrub-detection-latency p99 <= 50 frames.
+std::vector<SloSpec> standard_slos();
+
+}  // namespace rrp::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/flight_recorder.h"
+#include "core/slo.h"
 #include "nn/loss.h"
 #include "util/checks.h"
 #include "util/metrics.h"
@@ -88,7 +90,33 @@ RunResult run_scenario(const Scenario& scenario,
   metrics::Gauge& budget_gauge = metrics::gauge("runner.energy_budget_frac");
   metrics::Histogram& frame_hist = metrics::histogram("runner.frame_ms");
   metrics::Histogram& switch_hist = metrics::histogram("prune.switch_us");
+  metrics::Histogram& detect_hist =
+      metrics::histogram("integrity.detect_latency_frames");
+
+  // Black-box / SLO bookkeeping: per-frame deltas of the monitor's
+  // assurance counts, and detection-latency credit for injected flips.
+  core::FlightRecorder* recorder = config.flight_recorder;
+  core::SloMonitor* slo = config.slo;
+  std::int64_t prev_detects = monitor ? monitor->integrity_detect_count() : 0;
+  std::int64_t prev_repairs = monitor ? monitor->integrity_repair_count() : 0;
+  std::int64_t prev_degrades = monitor ? monitor->watchdog_degrade_count() : 0;
+  // First injected weight/store flip not yet credited to a detection; a
+  // scrub detection credits every applied flip up to that point (the
+  // scrub is exhaustive, so they are all detected at once).
+  std::size_t credit_idx = 0;
+  const auto credit_detect_latency = [&](std::int64_t at_frame) {
+    const std::vector<InjectedFault>& inj = injector.injected();
+    for (; credit_idx < inj.size(); ++credit_idx) {
+      const InjectedFault& fi = inj[credit_idx];
+      if ((fi.kind == FaultKind::WeightBitFlip ||
+           fi.kind == FaultKind::StoreBitFlip) &&
+          fi.applied)
+        detect_hist.observe(static_cast<double>(at_frame - fi.frame));
+    }
+  };
+
   for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
+    const std::size_t span_base = trace::spans().size();
     // Frame span: every sub-span (control, render, infer, scrub...) nests
     // under it, and its modeled_us is set to exactly the platform-model
     // time the FrameRecord charges (latency + switch), so the span CSV
@@ -200,6 +228,7 @@ RunResult run_scenario(const Scenario& scenario,
             harness->checker->scrub(*harness->targets.live_net, mask);
         scrub.frame = input.frame;
         if (!scrub.clean()) {
+          credit_detect_latency(input.frame);
           if (monitor)
             for (const core::IntegrityFinding& finding : scrub.findings)
               monitor->record_integrity_detect(
@@ -230,6 +259,7 @@ RunResult run_scenario(const Scenario& scenario,
             live_network_digest(*harness->targets.live_net);
         if (digest !=
             (*harness->reload_digests)[static_cast<std::size_t>(level)]) {
+          credit_detect_latency(input.frame);
           if (monitor)
             monitor->record_integrity_detect(
                 input.frame, 0,
@@ -310,6 +340,63 @@ RunResult run_scenario(const Scenario& scenario,
                                            from, forced);
         consecutive_overruns = 0;
       }
+    }
+
+    // Black box + SLOs, last so watchdog/integrity interventions of THIS
+    // frame land in this frame's record.  Pure bookkeeping on the driving
+    // thread; byte-identical across RRP_THREADS like the rest of the
+    // observability layer.
+    if (recorder != nullptr || slo != nullptr) {
+      const std::int64_t detects =
+          monitor ? monitor->integrity_detect_count() : 0;
+      const std::int64_t repairs =
+          monitor ? monitor->integrity_repair_count() : 0;
+      const std::int64_t degrades =
+          monitor ? monitor->watchdog_degrade_count() : 0;
+      if (recorder != nullptr) {
+        core::FlightRecord fr;
+        fr.frame = rec.frame;
+        fr.criticality = static_cast<std::int32_t>(input.criticality);
+        fr.true_criticality = static_cast<std::int32_t>(rec.criticality);
+        fr.requested_level = rec.requested_level;
+        fr.executed_level = rec.executed_level;
+        fr.latency_ms = rec.latency_ms;
+        fr.switch_us = rec.switch_us;
+        fr.deadline_ms = rec.deadline_ms;
+        fr.energy_mj = rec.energy_mj;
+        fr.flags = (rec.correct ? core::FlightRecord::kCorrect : 0u) |
+                   (rec.veto ? core::FlightRecord::kVeto : 0u) |
+                   (rec.violation ? core::FlightRecord::kViolation : 0u) |
+                   (rec.true_violation ? core::FlightRecord::kTrueViolation
+                                       : 0u);
+        fr.integrity_detects =
+            static_cast<std::int32_t>(detects - prev_detects);
+        fr.integrity_repairs =
+            static_cast<std::int32_t>(repairs - prev_repairs);
+        fr.watchdog_degrades =
+            static_cast<std::int32_t>(degrades - prev_degrades);
+        fr.span_digest =
+            trace::enabled() ? core::span_window_digest(span_base) : 0;
+        recorder->record(fr);
+      }
+      if (slo != nullptr) {
+        if (rec.violation)
+          slo->note_event(rec.frame, "safety.violation",
+                          static_cast<double>(rec.executed_level),
+                          "executed level above certified max");
+        if (degrades > prev_degrades)
+          slo->note_event(rec.frame, "safety.watchdog_degrade",
+                          static_cast<double>(degrades - prev_degrades),
+                          "deadline watchdog forced certified level");
+        if (detects > prev_detects)
+          slo->note_event(rec.frame, "integrity.detect",
+                          static_cast<double>(detects - prev_detects),
+                          "scrub detected weight divergence");
+        slo->evaluate(rec.frame);
+      }
+      prev_detects = detects;
+      prev_repairs = repairs;
+      prev_degrades = degrades;
     }
   }
   if (harness != nullptr) harness->injected = injector.injected();

@@ -15,6 +15,11 @@
 #include "sim/platform_model.h"
 #include "sim/vision_task.h"
 
+namespace rrp::core {
+class FlightRecorder;  // core/flight_recorder.h
+class SloMonitor;      // core/slo.h
+}  // namespace rrp::core
+
 namespace rrp::sim {
 
 /// Where the controller's criticality signal comes from.
@@ -61,6 +66,14 @@ struct RunConfig {
   CriticalityConfig criticality;
   VisionTaskConfig vision;
   std::uint64_t noise_seed = 1234;  ///< sensor-noise stream
+  /// Optional black-box flight recorder: fed one FlightRecord per frame
+  /// (criticality, levels, slack, assurance deltas, span digest).  Pure
+  /// driving-thread bookkeeping — no effect on the run itself.
+  core::FlightRecorder* flight_recorder = nullptr;
+  /// Optional SLO monitor: evaluated once per frame against the metrics
+  /// registry; certified-level violations, watchdog degrades and integrity
+  /// detections are additionally noted as direct incidents.
+  core::SloMonitor* slo = nullptr;
 };
 
 struct RunResult {

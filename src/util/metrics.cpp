@@ -82,6 +82,10 @@ Registry::Registry() {
       "runner.frame_ms",
       std::make_unique<Histogram>(std::vector<double>{
           2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 30.0, 50.0}));
+  histograms_.emplace(
+      "integrity.detect_latency_frames",
+      std::make_unique<Histogram>(std::vector<double>{
+          1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0}));
 }
 
 Counter& Registry::counter(const std::string& name) {

@@ -9,10 +9,11 @@
 // digest flip, under the plain build and the TSan/UBSan builds alike
 // (this file is compiled into rrp_tests AND rrp_tsan_smoke).
 //
-// BUMP PROCEDURE: when an intentional change shifts an export, run the
-// test once and copy the printed "actual" value over the pinned constant
-// below (one line per digest).  Do NOT bump for a diff you cannot
-// explain — that is the failure mode this test exists to catch.
+// BUMP PROCEDURE: when an intentional change shifts an export, run
+// `tools/bump_golden.sh` — it re-runs this test, copies the printed
+// digests over the pinned constants below, and re-verifies.  Do NOT bump
+// for a diff you cannot explain — that is the failure mode this test
+// exists to catch.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -102,10 +103,12 @@ TEST(GoldenTrace, LenetCutInExportsMatchPinnedDigests) {
   ASSERT_FALSE(span_csv.empty());
   EXPECT_EQ(digest(telemetry_csv), kTelemetryDigest)
       << "telemetry CSV drifted; if intentional, set kTelemetryDigest = "
-      << hex64(digest(telemetry_csv));
+      << hex64(digest(telemetry_csv))
+      << "\n  (or run the scripted bump: tools/bump_golden.sh)";
   EXPECT_EQ(digest(span_csv), kSpanTraceDigest)
       << "span trace CSV drifted; if intentional, set kSpanTraceDigest = "
-      << hex64(digest(span_csv));
+      << hex64(digest(span_csv))
+      << "\n  (or run the scripted bump: tools/bump_golden.sh)";
 }
 
 }  // namespace

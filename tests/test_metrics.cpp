@@ -8,6 +8,7 @@
 // they never collide with the built-in schema.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -164,6 +165,64 @@ TEST(Metrics, FrameReconciliationMatchesAndFlagsMissing) {
   EXPECT_DOUBLE_EQ(rec.max_abs_delta_us, 0.0);
   EXPECT_FALSE(rec.ok()) << "a missing frame span must fail the check";
   trace::reset();
+}
+
+TEST(Metrics, HistogramClampsOutOfRangeAtBothEnds) {
+  metrics::Histogram& h = metrics::Registry::instance().histogram(
+      "test.hist_clamp", std::vector<double>{0.0, 10.0});
+  h.reset();
+  // Below every bound (including -inf): counted into the FIRST bucket —
+  // out-of-range-low is clamped, never dropped.
+  h.observe(-1.0);
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(0.0);  // exactly the lowest bound is still the first bucket
+  EXPECT_EQ(h.bucket_count(0), 3);
+  // Above every bound (including +inf): the overflow bucket — clamped
+  // high, never dropped.
+  h.observe(10.0);  // exactly the highest finite bound: NOT overflow
+  h.observe(10.0000001);
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  // Every observation lands somewhere: total never undercounts.
+  EXPECT_EQ(h.total(), 6);
+}
+
+TEST(Metrics, CounterOverflowWrapsLikeTwosComplement) {
+  metrics::Counter& c = metrics::counter("test.overflow_counter");
+  c.reset();
+  // fetch_add on std::atomic<int64> is defined to wrap (no UB): a counter
+  // driven past INT64_MAX comes back around instead of trapping.  Nothing
+  // in the repo gets near this (gemm.flops would need ~centuries), but
+  // the behavior is pinned so a future reader knows it is not a crash.
+  c.add(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<std::int64_t>::max());
+  c.add(1);
+  EXPECT_EQ(c.value(), std::numeric_limits<std::int64_t>::min());
+  c.add(1);
+  EXPECT_EQ(c.value(), std::numeric_limits<std::int64_t>::min() + 1);
+  // Negative deltas are legal (used by nothing hot, but symmetric).
+  c.reset();
+  c.add(-7);
+  EXPECT_EQ(c.value(), -7);
+}
+
+TEST(Metrics, GaugeDropIsThreadCountInvariantUnderWidePool) {
+  // The drop-in-parallel-region contract must hold for EVERY pool size,
+  // including wider-than-core pools (RRP_THREADS=8): any chunk body —
+  // even one executed by the driving thread itself — is inside the
+  // region, so its writes are schedule-dependent and must vanish.
+  metrics::Gauge& g = metrics::gauge("test.par_gauge_wide");
+  for (int threads : {1, 2, 8}) {
+    ThreadCountGuard pool(threads);
+    g.set(3.75);
+    parallel_for(0, 64, 4, [&](std::int64_t begin, std::int64_t) {
+      g.set(static_cast<double>(begin));  // dropped, every chunk
+    });
+    EXPECT_DOUBLE_EQ(g.value(), 3.75) << "threads=" << threads;
+    g.set(static_cast<double>(threads));  // driving thread, outside: lands
+    EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(threads));
+  }
 }
 
 TEST(Metrics, ResetObservabilityClearsBothLayers) {

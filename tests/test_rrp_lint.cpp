@@ -82,6 +82,26 @@ TEST(RrpLint, ChronoWhitelistCoversTimeFacades) {
   EXPECT_EQ(v[0].rule, "determinism-chrono");
 }
 
+// The flight recorder's determinism contract is lint-enforced: a bundle's
+// bytes must be identical on every host, so core/flight_recorder.* and
+// core/slo.* stay OFF kChronoWhitelist (all record time is modeled
+// platform time or frame indices), and core may never reach up into sim
+// for scenario state (R3).
+TEST(RrpLint, FlightRecorderStaysOffTheChronoWhitelist) {
+  const auto v = fired("src/core/bad_recorder_chrono.cpp");
+  EXPECT_TRUE(has(v, 6, "determinism-chrono")) << "#include <chrono>";
+  EXPECT_TRUE(has(v, 7, "layering")) << "core -> sim is upward";
+  EXPECT_TRUE(has(v, 11, "determinism-chrono")) << "wall-clock timestamp";
+  EXPECT_EQ(v.size(), 3u);
+  // The contract holds for the real recorder/SLO translation units, not
+  // just the fixture name: any future <chrono> include there must fire.
+  EXPECT_FALSE(rrp::lint::lint_file("src/core/flight_recorder.cpp",
+                                    "#include <chrono>\n")
+                   .empty());
+  EXPECT_FALSE(
+      rrp::lint::lint_file("src/core/slo.cpp", "#include <chrono>\n").empty());
+}
+
 // The fault-injection layer is intentionally not random-whitelisted: it
 // must draw exclusively from the seeded rrp::Rng, so ambient entropy under
 // src/sim/ still fires R1a.

@@ -1,0 +1,176 @@
+// test_slo.cpp — declarative SLO monitor (core/slo.h): the histogram
+// quantile estimator, spec evaluation + latching, note_event capping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/slo.h"
+#include "util/metrics.h"
+
+namespace rrp::core {
+namespace {
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  metrics::Histogram h({10.0, 20.0, 50.0});
+  EXPECT_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(h, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, UpperBoundSemantics) {
+  metrics::Histogram h({10.0, 20.0, 50.0});
+  // 8 samples land in the <=10 bucket, 2 in the <=20 bucket.
+  for (int i = 0; i < 8; ++i) h.observe(5.0);
+  h.observe(15.0);
+  h.observe(15.0);
+  // Median rank 5 of 10 lands in the first bucket: its UPPER bound.
+  EXPECT_EQ(histogram_quantile(h, 0.5), 10.0);
+  // p90 (rank 9) needs the second bucket.
+  EXPECT_EQ(histogram_quantile(h, 0.9), 20.0);
+  // q = 1 is the max: still the second bucket's bound.
+  EXPECT_EQ(histogram_quantile(h, 1.0), 20.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketIsInfinity) {
+  metrics::Histogram h({10.0});
+  h.observe(5.0);
+  h.observe(1e9);  // overflow
+  EXPECT_EQ(histogram_quantile(h, 0.5), 10.0);
+  EXPECT_TRUE(std::isinf(histogram_quantile(h, 1.0)));
+}
+
+TEST(HistogramQuantile, P99NeedsOneInHundredToOverflow) {
+  metrics::Histogram h({10.0});
+  for (int i = 0; i < 99; ++i) h.observe(1.0);
+  h.observe(100.0);
+  // rank ceil(0.99 * 100) = 99 is still inside the first bucket.
+  EXPECT_EQ(histogram_quantile(h, 0.99), 10.0);
+  h.observe(100.0);  // 2 of 101 overflow: rank 100 crosses over
+  EXPECT_TRUE(std::isinf(histogram_quantile(h, 0.99)));
+}
+
+TEST(SloKindName, CoversEveryKind) {
+  EXPECT_STREQ(slo_kind_name(SloKind::RatioMax), "ratio_max");
+  EXPECT_STREQ(slo_kind_name(SloKind::HistogramQuantileMax),
+               "histogram_quantile_max");
+}
+
+// A registry-backed fixture: every test gets a zeroed registry and leaves
+// one behind (the test names below are test-only and created serially,
+// which the registry allows outside parallel regions).
+class SloMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::reset_all(); }
+  void TearDown() override { metrics::reset_all(); }
+};
+
+SloSpec ratio_spec() {
+  SloSpec s;
+  s.id = "test.slo.miss_rate";
+  s.kind = SloKind::RatioMax;
+  s.numerator = "test.slo.misses";
+  s.denominator = "test.slo.frames";
+  s.threshold = 0.10;
+  s.min_samples = 10;
+  return s;
+}
+
+TEST_F(SloMonitorTest, RatioBelowMinSamplesDoesNotEvaluate) {
+  SloMonitor monitor({ratio_spec()});
+  metrics::counter("test.slo.misses").add(5);
+  metrics::counter("test.slo.frames").add(5);  // 100% miss, but < 10 samples
+  monitor.evaluate(3);
+  EXPECT_FALSE(monitor.any_incident());
+}
+
+TEST_F(SloMonitorTest, RatioBreachLatchesOnce) {
+  SloMonitor monitor({ratio_spec()});
+  metrics::counter("test.slo.misses").add(5);
+  metrics::counter("test.slo.frames").add(20);  // 25% > 10%
+  monitor.evaluate(7);
+  monitor.evaluate(8);
+  monitor.evaluate(9);  // stays breached: still ONE incident
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  const Incident& inc = monitor.incidents()[0];
+  EXPECT_EQ(inc.frame, 7);
+  EXPECT_EQ(inc.slo_id, "test.slo.miss_rate");
+  EXPECT_NEAR(inc.observed, 0.25, 1e-12);
+  EXPECT_EQ(inc.threshold, 0.10);
+  EXPECT_NE(inc.detail.find("test.slo.misses"), std::string::npos);
+}
+
+TEST_F(SloMonitorTest, RatioWithinThresholdIsQuiet) {
+  SloMonitor monitor({ratio_spec()});
+  metrics::counter("test.slo.misses").add(1);
+  metrics::counter("test.slo.frames").add(50);  // 2% <= 10%
+  monitor.evaluate(1);
+  EXPECT_FALSE(monitor.any_incident());
+}
+
+TEST_F(SloMonitorTest, QuantileSpecFiresOnOverflowTail) {
+  SloSpec s;
+  s.id = "test.slo.latency_p99";
+  s.kind = SloKind::HistogramQuantileMax;
+  s.histogram = "test.slo.latency_us";
+  s.quantile = 0.99;
+  s.threshold = 100.0;
+  s.min_samples = 2;
+  metrics::Histogram& h =
+      metrics::Registry::instance().histogram("test.slo.latency_us",
+                                              {10.0, 100.0});
+  SloMonitor monitor({s});
+  h.observe(5.0);
+  monitor.evaluate(1);  // below min_samples
+  EXPECT_FALSE(monitor.any_incident());
+  h.observe(1e6);  // overflow: p99 becomes +inf > 100
+  monitor.evaluate(2);
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  EXPECT_EQ(monitor.incidents()[0].frame, 2);
+  EXPECT_TRUE(std::isinf(monitor.incidents()[0].observed));
+}
+
+TEST_F(SloMonitorTest, ClearUnlatchesSpecs) {
+  SloMonitor monitor({ratio_spec()});
+  metrics::counter("test.slo.misses").add(5);
+  metrics::counter("test.slo.frames").add(20);
+  monitor.evaluate(1);
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  monitor.clear();
+  EXPECT_FALSE(monitor.any_incident());
+  monitor.evaluate(2);  // re-fires after clear
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  EXPECT_EQ(monitor.incidents()[0].frame, 2);
+}
+
+TEST_F(SloMonitorTest, NoteEventsDoNotLatchAndCapAtMax) {
+  SloMonitor monitor({});
+  monitor.note_event(1, "integrity.detect", 3.0, "weight fault");
+  monitor.note_event(1, "integrity.detect", 1.0, "weight fault");
+  EXPECT_EQ(monitor.incidents().size(), 2u);  // same id, both kept
+  for (std::int64_t f = 2; f < 200; ++f)
+    monitor.note_event(f, "integrity.detect", 1.0, "flood");
+  EXPECT_EQ(monitor.incidents().size(), SloMonitor::kMaxIncidents);
+  EXPECT_EQ(monitor.dropped_incidents(),
+            static_cast<std::int64_t>(200 - SloMonitor::kMaxIncidents));
+  monitor.clear();
+  EXPECT_EQ(monitor.incidents().size(), 0u);
+  EXPECT_EQ(monitor.dropped_incidents(), 0);
+}
+
+TEST_F(SloMonitorTest, StandardSlosMatchDesignThresholds) {
+  const std::vector<SloSpec> v = standard_slos();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].id, "slo.deadline_miss_rate");
+  EXPECT_EQ(v[0].kind, SloKind::RatioMax);
+  EXPECT_EQ(v[0].numerator, "runner.deadline_misses");
+  EXPECT_EQ(v[0].denominator, "runner.frames");
+  EXPECT_EQ(v[0].threshold, 0.05);
+  EXPECT_EQ(v[1].id, "slo.recovery_latency_p99_us");
+  EXPECT_EQ(v[1].histogram, "prune.switch_us");
+  EXPECT_EQ(v[1].threshold, 20000.0);
+  EXPECT_EQ(v[2].id, "slo.scrub_detect_latency_p99_frames");
+  EXPECT_EQ(v[2].histogram, "integrity.detect_latency_frames");
+  EXPECT_EQ(v[2].threshold, 50.0);
+}
+
+}  // namespace
+}  // namespace rrp::core

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""bench_gate.py — bench-regression gate over BENCH_<name>.json reports.
+
+Every bench binary emits a schema-versioned, byte-deterministic
+BENCH_<name>.json (see bench/bench_report.h).  This gate re-runs the two
+cheap deterministic benches in their --gate modes and compares every metric
+against the committed baselines in bench/baselines/ with a relative
+tolerance band:
+
+    |current - baseline| / max(|baseline|, eps) > tolerance  ->  FAIL
+
+The gated metrics are *modeled* (platform-model microseconds, touched
+bytes, accuracies) — pure functions of the cached artifacts — so on an
+unmodified tree they reproduce exactly and any drift is a real behaviour
+change, not host noise.  The band exists to absorb intentional small
+recalibrations without a baseline churn on every PR.
+
+Usage:
+    tools/bench_gate.py                 # run benches, compare, exit 0/1
+    tools/bench_gate.py --update        # refresh the committed baselines
+    tools/bench_gate.py --self-test     # gate logic check, no bench runs
+    tools/bench_gate.py --only micro    # restrict to one bench
+    tools/bench_gate.py --tolerance 0.1 # override the band (or
+                                        # RRP_BENCH_TOLERANCE)
+
+Wired into tools/check.sh as step (g) and into ctest under the `bench`
+label (self-test only, so plain `ctest` stays fast).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(REPO_ROOT, "bench", "baselines")
+SCHEMA_VERSION = 1
+EPS = 1e-12
+
+# Bench name -> command line (relative to --build-dir).  Only benches with
+# a deterministic gate mode belong here.
+GATE_BENCHES = {
+    "micro": ["bench/bench_micro", "--gate"],
+    "t2": ["bench/bench_t2_endtoend", "--gate", "1"],
+}
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "%s: schema_version %r != supported %d"
+            % (path, report.get("schema_version"), SCHEMA_VERSION)
+        )
+    for key in ("name", "config", "metrics"):
+        if key not in report:
+            raise ValueError("%s: missing %r field" % (path, key))
+    return report
+
+
+def metric_map(report):
+    return {m["id"]: m for m in report["metrics"]}
+
+
+def compare(baseline, current, tolerance):
+    """Returns (failures, warnings): lists of human-readable strings."""
+    failures, warnings = [], []
+    name = baseline.get("name", "?")
+
+    if baseline["config"] != current["config"]:
+        failures.append(
+            "%s: config mismatch (baseline %s vs current %s) — a changed "
+            "recipe needs fresh baselines: tools/bench_gate.py --update"
+            % (name, json.dumps(baseline["config"], sort_keys=True),
+               json.dumps(current["config"], sort_keys=True))
+        )
+        return failures, warnings
+
+    base_metrics = metric_map(baseline)
+    cur_metrics = metric_map(current)
+    for mid in sorted(base_metrics):
+        if mid not in cur_metrics:
+            failures.append("%s: metric '%s' missing from current run" % (name, mid))
+            continue
+        b = float(base_metrics[mid]["value"])
+        c = float(cur_metrics[mid]["value"])
+        rel = abs(c - b) / max(abs(b), EPS)
+        if rel > tolerance:
+            failures.append(
+                "%s: '%s' regressed beyond tolerance: baseline %.6f vs "
+                "current %.6f (rel diff %.4f > %.4f)"
+                % (name, mid, b, c, rel, tolerance)
+            )
+    for mid in sorted(cur_metrics):
+        if mid not in base_metrics:
+            warnings.append(
+                "%s: new metric '%s' has no baseline (run --update to pin it)"
+                % (name, mid)
+            )
+    return failures, warnings
+
+
+def run_gate_bench(name, build_dir, out_dir):
+    """Runs one gate bench with RRP_BENCH_OUT=out_dir; returns report path."""
+    cmd = [os.path.join(build_dir, GATE_BENCHES[name][0])]
+    cmd += GATE_BENCHES[name][1:]
+    if not os.path.isfile(cmd[0]):
+        raise FileNotFoundError(
+            "%s not built — run: cmake --build %s --target %s"
+            % (cmd[0], build_dir, os.path.basename(cmd[0]))
+        )
+    env = dict(os.environ)
+    env["RRP_BENCH_OUT"] = out_dir
+    # cwd = repo root so every bench shares the provisioned cache/.
+    proc = subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    if proc.returncode != 0:
+        sys.stdout.buffer.write(proc.stdout)
+        raise RuntimeError("%s exited %d" % (" ".join(cmd), proc.returncode))
+    return os.path.join(out_dir, "BENCH_%s.json" % name)
+
+
+def self_test():
+    """Gate-logic check with fabricated reports — no bench binaries run."""
+    base = {
+        "schema_version": 1,
+        "name": "selftest",
+        "config": {"mode": "gate"},
+        "metrics": [
+            {"id": "a", "value": 100.0, "unit": "us"},
+            {"id": "b", "value": 0.5, "unit": "fraction"},
+            {"id": "gone", "value": 1.0, "unit": "count"},
+        ],
+    }
+    regressed = {
+        "schema_version": 1,
+        "name": "selftest",
+        "config": {"mode": "gate"},
+        "metrics": [
+            {"id": "a", "value": 120.0, "unit": "us"},   # +20% > 5%
+            {"id": "b", "value": 0.5001, "unit": "fraction"},  # within band
+            {"id": "extra", "value": 2.0, "unit": "count"},    # warning only
+        ],
+    }
+    failures, warnings = compare(base, regressed, tolerance=0.05)
+    ok = (
+        len(failures) == 2  # 'a' out of band + 'gone' missing
+        and any("'a'" in f for f in failures)
+        and any("'gone'" in f for f in failures)
+        and len(warnings) == 1
+        and "'extra'" in warnings[0]
+    )
+    clean_failures, clean_warnings = compare(base, base, tolerance=0.05)
+    ok = ok and not clean_failures and not clean_warnings
+
+    mismatched = dict(base)
+    mismatched["config"] = {"mode": "full"}
+    cfg_failures, _ = compare(base, mismatched, tolerance=0.05)
+    ok = ok and len(cfg_failures) == 1 and "config mismatch" in cfg_failures[0]
+
+    print("bench_gate self-test:", "PASS" if ok else "FAIL")
+    if not ok:
+        for f in failures:
+            print("  unexpected failure set:", f)
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--baseline-dir", default=BASELINE_DIR)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("RRP_BENCH_TOLERANCE", "0.05")),
+        help="relative tolerance band (default 0.05, env RRP_BENCH_TOLERANCE)",
+    )
+    parser.add_argument("--only", action="append", choices=sorted(GATE_BENCHES))
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baselines from this run")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the gate logic itself; runs no benches")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    names = args.only or sorted(GATE_BENCHES)
+    all_failures, all_warnings = [], []
+    with tempfile.TemporaryDirectory(prefix="rrp_bench_gate_") as tmp:
+        for name in names:
+            print("== bench_gate: running '%s' gate bench ==" % name)
+            try:
+                report_path = run_gate_bench(name, args.build_dir, tmp)
+                current = load_report(report_path)
+            except (OSError, RuntimeError, ValueError) as e:
+                all_failures.append("%s: %s" % (name, e))
+                continue
+
+            if args.update:
+                os.makedirs(args.baseline_dir, exist_ok=True)
+                dest = os.path.join(args.baseline_dir, "BENCH_%s.json" % name)
+                with open(report_path, "r", encoding="utf-8") as src, open(
+                    dest, "w", encoding="utf-8"
+                ) as dst:
+                    dst.write(src.read())
+                print("baseline updated: %s" % os.path.relpath(dest, REPO_ROOT))
+                continue
+
+            baseline_path = os.path.join(
+                args.baseline_dir, "BENCH_%s.json" % name
+            )
+            if not os.path.isfile(baseline_path):
+                all_failures.append(
+                    "%s: no baseline at %s (create with --update)"
+                    % (name, os.path.relpath(baseline_path, REPO_ROOT))
+                )
+                continue
+            baseline = load_report(baseline_path)
+            failures, warnings = compare(baseline, current, args.tolerance)
+            n_metrics = len(metric_map(baseline))
+            print(
+                "%s: %d metric(s) vs baseline, %d failure(s), %d warning(s)"
+                % (name, n_metrics, len(failures), len(warnings))
+            )
+            all_failures += failures
+            all_warnings += warnings
+
+    for w in all_warnings:
+        print("warning:", w)
+    for f in all_failures:
+        print("FAIL:", f)
+    verdict = {
+        "ok": not all_failures,
+        "benches": names,
+        "tolerance": args.tolerance,
+        "failures": len(all_failures),
+        "warnings": len(all_warnings),
+        "updated": bool(args.update),
+    }
+    print("BENCH_GATE_RESULT " + json.dumps(verdict, sort_keys=True))
+    return 0 if not all_failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bump_golden.sh — script the golden-trace digest bump.
+#
+#   tools/bump_golden.sh [build_dir]    (default: build)
+#
+# When an INTENTIONAL change shifts the telemetry or span-trace export,
+# the GoldenTrace test fails and prints the new digests.  This script
+# automates the documented bump procedure in tests/test_golden_trace.cpp:
+#   1. rebuild rrp_tests and run the GoldenTrace suite;
+#   2. if green, stop — nothing to bump;
+#   3. otherwise parse the printed "set kTelemetryDigest/kSpanTraceDigest"
+#      values, rewrite the pinned constants in the test file;
+#   4. rebuild and re-run to confirm the bump closed the gap.
+#
+# Do NOT run this for a diff you cannot explain — an unexplained digest
+# flip is the regression this oracle exists to catch.  Review the test
+# file's diff before committing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TEST_FILE="tests/test_golden_trace.cpp"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [ ! -d "$BUILD" ]; then
+  echo "error: build dir '$BUILD' not found (run: cmake -B $BUILD -S .)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD" -j "$JOBS" --target rrp_tests
+
+echo "== running GoldenTrace suite =="
+set +e
+out="$("./$BUILD/tests/rrp_tests" --gtest_filter='GoldenTrace.*' 2>&1)"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+  echo "golden digests already match; nothing to bump"
+  exit 0
+fi
+
+# The failure messages embed the replacement constants verbatim.
+tel="$(printf '%s\n' "$out" |
+  sed -n 's/.*set kTelemetryDigest = \(0x[0-9a-f]\{16\}ull\).*/\1/p' | head -1)"
+span="$(printf '%s\n' "$out" |
+  sed -n 's/.*set kSpanTraceDigest = \(0x[0-9a-f]\{16\}ull\).*/\1/p' | head -1)"
+
+if [ -z "$tel" ] && [ -z "$span" ]; then
+  echo "error: GoldenTrace failed but printed no bumpable digests —" >&2
+  echo "this is NOT a digest drift; fix the underlying failure:" >&2
+  printf '%s\n' "$out" | tail -20 >&2
+  exit 1
+fi
+
+if [ -n "$tel" ]; then
+  sed -i "s/kTelemetryDigest = 0x[0-9a-f]\{16\}ull/kTelemetryDigest = $tel/" \
+    "$TEST_FILE"
+  echo "bumped kTelemetryDigest -> $tel"
+fi
+if [ -n "$span" ]; then
+  sed -i "s/kSpanTraceDigest = 0x[0-9a-f]\{16\}ull/kSpanTraceDigest = $span/" \
+    "$TEST_FILE"
+  echo "bumped kSpanTraceDigest -> $span"
+fi
+
+echo "== verifying the bump =="
+cmake --build "$BUILD" -j "$JOBS" --target rrp_tests
+"./$BUILD/tests/rrp_tests" --gtest_filter='GoldenTrace.*'
+echo
+echo "bump verified: review 'git diff $TEST_FILE' and explain it in the PR"

@@ -14,7 +14,11 @@
 #   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all;
 #   (f) a line-coverage summary of the unit tests (-DRRP_COVERAGE=ON +
 #       gcovr or llvm-cov), skipped gracefully when no coverage tool is
-#       installed — informational, not a gate.
+#       installed — informational, not a gate;
+#   (g) the bench-regression gate (tools/bench_gate.py): re-runs the
+#       deterministic --gate benches and compares every metric against
+#       bench/baselines/ within RRP_BENCH_TOLERANCE (default 0.05),
+#       skipped with a warning when python3 is unavailable.
 # Build trees are kept per-configuration (build-check, build-check-tsan,
 # build-check-ubsan, build-check-cov) so re-runs are incremental.
 set -euo pipefail
@@ -81,6 +85,15 @@ if [ -n "$COV_TOOL" ]; then
   fi
 else
   echo "gcovr / gcov / llvm-cov not found: skipping coverage summary"
+fi
+
+step "(g) bench-regression gate (tools/bench_gate.py)"
+if command -v python3 >/dev/null 2>&1; then
+  cmake --build build-check -j "$JOBS" --target bench_micro bench_t2_endtoend
+  python3 tools/bench_gate.py --build-dir build-check \
+    --tolerance "${RRP_BENCH_TOLERANCE:-0.05}"
+else
+  echo "warning: python3 not found: skipping bench-regression gate"
 fi
 
 echo

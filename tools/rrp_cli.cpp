@@ -34,6 +34,29 @@
 //        --policy P      greedy|fixed<K> (default greedy)
 //        --csv FILE      export the per-fault outcome table
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
+//   rrp_cli blackbox dump <model> <suite> [opts]
+//                                          closed-loop fault run with the
+//                                          flight recorder + SLO monitor
+//                                          armed; dumps an incident bundle
+//                                          (BASE.rrpb + BASE.csv) when any
+//                                          SLO incident fires
+//        --frames N      (default 600)
+//        --seed S        (default 20240325)
+//        --policy P      greedy|fixed<K> (default greedy)
+//        --hysteresis K  (default 6)
+//        --faults N      seeded random faults (default 10)
+//        --scrub N       scrub period frames (default 20)
+//        --watchdog N    watchdog overrun frames (default 8)
+//        --deadline MS   (default 12.0)
+//        --capacity N    recorder ring capacity (default 256)
+//        --trace 1       arm span tracing (span digests in the records)
+//        --out BASE      output basename (default blackbox_<model>_<suite>)
+//        --force 1       dump even when no incident fired
+//   rrp_cli blackbox inspect <bundle.rrpb> print a bundle's context,
+//                                          incidents and window extremes
+//   rrp_cli blackbox replay <bundle.rrpb>  re-run the recorded window from
+//                                          the bundle's seed/config and
+//                                          assert byte-identical telemetry
 //
 // Global flags (any command):
 //   --threads N    size of the process thread pool (1 = serial legacy
@@ -43,21 +66,25 @@
 //
 // Model caches are read/written in $RRP_CACHE_DIR (default "cache",
 // auto-created on first save).
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 
 #include "core/assurance_export.h"
+#include "core/flight_recorder.h"
 #include "core/metrics.h"
 #include "core/reversible_pruner.h"
 #include "models/trained_cache.h"
 #include "nn/serialize.h"
 #include "prune/sensitivity.h"
 #include "sim/faults.h"
+#include "sim/incident_replay.h"
 #include "sim/runner.h"
 #include "sim/suites.h"
 #include "sim/trace_io.h"
+#include "util/checks.h"
 #include "util/csv.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -70,6 +97,33 @@ namespace {
 std::string cache_dir() {
   const char* dir = std::getenv("RRP_CACHE_DIR");
   return dir != nullptr && *dir != '\0' ? dir : "cache";
+}
+
+/// Opens `path`, runs `emit`, flushes, and verifies the stream at every
+/// step.  Every output file the CLI writes goes through here, so an
+/// unwritable directory / full disk always yields a clear diagnostic
+/// (with the OS error) and a non-zero exit — never a silent truncation.
+template <typename Emit>
+bool write_output_file(const std::string& path, Emit&& emit,
+                       bool binary = false) {
+  errno = 0;
+  std::ofstream f(path, binary ? std::ios::binary | std::ios::trunc
+                               : std::ios::trunc);
+  if (!f) {
+    std::cerr << "error: cannot open '" << path << "' for writing ("
+              << (errno != 0 ? std::strerror(errno) : "unknown error")
+              << ")\n";
+    return false;
+  }
+  emit(f);
+  f.flush();
+  if (!f) {
+    std::cerr << "error: write failed for '" << path << "' ("
+              << (errno != 0 ? std::strerror(errno) : "unknown error")
+              << ")\n";
+    return false;
+  }
+  return true;
 }
 
 int usage() {
@@ -89,6 +143,12 @@ int usage() {
          "[--frames N] [--seed S] [--faults N] [--policy greedy|fixed<K>] "
          "[--csv FILE]\n"
          "  rrp_cli inspect <file.rrpn>\n"
+         "  rrp_cli blackbox dump <model> <suite> [--frames N] [--seed S] "
+         "[--policy greedy|fixed<K>] [--hysteresis K] [--faults N] "
+         "[--scrub N] [--watchdog N] [--deadline MS] [--capacity N] "
+         "[--trace 1] [--out BASE] [--force 1]\n"
+         "  rrp_cli blackbox inspect <bundle.rrpb>\n"
+         "  rrp_cli blackbox replay <bundle.rrpb>\n"
          "global flags: --threads N   (pool size; 1 = serial, default "
          "$RRP_THREADS or hardware)\n";
   return 2;
@@ -261,12 +321,10 @@ int cmd_run(models::ModelKind kind, const std::string& suite, int frames,
   table.print(std::cout);
 
   if (!io.csv_path.empty()) {
-    std::ofstream f(io.csv_path);
-    if (!f) {
-      std::cerr << "cannot write " << io.csv_path << "\n";
+    if (!write_output_file(io.csv_path, [&](std::ostream& o) {
+          result.telemetry.write_csv(o);
+        }))
       return 1;
-    }
-    result.telemetry.write_csv(f);
     std::cout << "telemetry written to " << io.csv_path << "\n";
   }
   if (!io.assurance_path.empty()) {
@@ -277,12 +335,10 @@ int cmd_run(models::ModelKind kind, const std::string& suite, int frames,
     report.certified = certified;
     report.summary = result.summary;
     report.log = monitor.log();
-    std::ofstream f(io.assurance_path);
-    if (!f) {
-      std::cerr << "cannot write " << io.assurance_path << "\n";
+    if (!write_output_file(io.assurance_path, [&](std::ostream& o) {
+          core::write_assurance_json(report, o);
+        }))
       return 1;
-    }
-    core::write_assurance_json(report, f);
     std::cout << "assurance report written to " << io.assurance_path << "\n";
   }
   return 0;
@@ -348,23 +404,14 @@ int cmd_trace(models::ModelKind kind, const std::string& suite, int frames,
       core::reconcile_frame_spans(result.telemetry);
   const core::MetricsSnapshot snap = core::capture_metrics();
 
-  auto write_file = [](const std::string& path, auto&& emit) {
-    std::ofstream f(path);
-    if (!f) {
-      std::cerr << "cannot write " << path << "\n";
-      return false;
-    }
-    emit(f);
-    return true;
-  };
-  if (!write_file(io.json_path,
-                  [](std::ostream& o) { trace::write_chrome_trace(o); }))
+  if (!write_output_file(io.json_path,
+                         [](std::ostream& o) { trace::write_chrome_trace(o); }))
     return 1;
-  if (!write_file(io.spans_path,
-                  [](std::ostream& o) { trace::write_span_csv(o); }))
+  if (!write_output_file(io.spans_path,
+                         [](std::ostream& o) { trace::write_span_csv(o); }))
     return 1;
-  if (!write_file(io.metrics_path,
-                  [&](std::ostream& o) { snap.write_csv(o); }))
+  if (!write_output_file(io.metrics_path,
+                         [&](std::ostream& o) { snap.write_csv(o); }))
     return 1;
 
   TableFormatter table({"metric", "value"});
@@ -435,14 +482,148 @@ int cmd_faults(models::ModelKind kind, const sim::FaultCampaignConfig& config,
             << " arm(s), seed " << config.seed << "\n";
 
   if (!csv_path.empty()) {
-    std::ofstream f(csv_path);
-    if (!f) {
-      std::cerr << "cannot write " << csv_path << "\n";
+    if (!write_output_file(csv_path, [&](std::ostream& o) {
+          sim::write_campaign_csv(result, o);
+        }))
       return 1;
-    }
-    sim::write_campaign_csv(result, f);
     std::cout << "campaign CSV written to " << csv_path << "\n";
   }
+  return 0;
+}
+
+struct BlackboxDumpOptions {
+  int frames = 600;
+  std::uint64_t seed = 20240325;
+  std::string policy = "greedy";
+  int hysteresis = 6;
+  int faults = 10;
+  int scrub = 20;
+  int watchdog = 8;
+  double deadline_ms = 12.0;
+  int capacity = 256;
+  bool trace = false;
+  bool force = false;
+  std::string out;  ///< basename; empty -> blackbox_<model>_<suite>
+};
+
+sim::CampaignInputs blackbox_inputs(models::ProvisionedModel& pm) {
+  sim::CampaignInputs inputs;
+  inputs.net = &pm.net;
+  inputs.levels = &pm.levels;
+  inputs.bn_states = pm.bn_states;
+  inputs.certified.max_level_for = {4, 3, 1, 0};
+  return inputs;
+}
+
+void print_incidents(const core::IncidentBundle& bundle) {
+  for (const core::Incident& inc : bundle.incidents)
+    std::cout << "incident frame=" << inc.frame << " id=" << inc.slo_id
+              << " observed=" << fmt(inc.observed, 4)
+              << " threshold=" << fmt(inc.threshold, 4)
+              << (inc.detail.empty() ? "" : " (" + inc.detail + ")") << "\n";
+  if (bundle.dropped_incidents > 0)
+    std::cout << "(" << bundle.dropped_incidents
+              << " further incidents dropped at the cap)\n";
+}
+
+int cmd_blackbox_dump(models::ModelKind kind, const std::string& suite,
+                      const BlackboxDumpOptions& opt) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+  sim::CampaignInputs inputs = blackbox_inputs(pm);
+
+  sim::BlackboxRunSpec spec;
+  spec.model = models::model_kind_name(kind);
+  spec.suite = suite;
+  spec.policy = opt.policy;
+  spec.frames = opt.frames;
+  spec.scenario_seed = opt.seed;
+  spec.noise_seed = opt.seed ^ 0x5DEECE66Dull;
+  spec.deadline_ms = opt.deadline_ms;
+  spec.hysteresis = opt.hysteresis;
+  spec.scrub_period_frames = opt.scrub;
+  spec.watchdog_overrun_frames = opt.watchdog;
+  spec.trace_enabled = opt.trace;
+  spec.recorder_capacity = static_cast<std::size_t>(opt.capacity);
+  if (opt.faults > 0)
+    spec.faults = sim::FaultPlan::random_plan(opt.seed ^ 0x9E3779B97F4A7C15ull,
+                                              opt.frames, opt.faults);
+
+  const sim::BlackboxRunResult res = sim::run_blackbox(spec, inputs);
+
+  const core::RunSummary& s = res.run.summary;
+  TableFormatter table({"metric", "value"});
+  table.row({"scenario", res.run.scenario});
+  table.row({"frames", std::to_string(s.frames)});
+  table.row({"accuracy", fmt(s.accuracy, 3)});
+  table.row({"deadline miss %", fmt(100.0 * s.deadline_miss_rate, 1)});
+  table.row({"safety violations", std::to_string(s.safety_violations)});
+  table.row({"incidents", std::to_string(res.bundle.incidents.size())});
+  table.row({"recorded frames",
+             std::to_string(res.bundle.records.size())});
+  table.print(std::cout);
+  print_incidents(res.bundle);
+
+  if (!res.incident && !opt.force) {
+    std::cout << "no SLO incident fired; nothing dumped (use --force 1 to "
+                 "dump anyway)\n";
+    return 0;
+  }
+  const std::string base =
+      opt.out.empty()
+          ? "blackbox_" + std::string(models::model_kind_name(kind)) + "_" +
+                suite
+          : opt.out;
+  if (!write_output_file(
+          base + ".rrpb",
+          [&](std::ostream& o) { core::write_incident_bundle(res.bundle, o); },
+          /*binary=*/true))
+    return 1;
+  if (!write_output_file(base + ".csv", [&](std::ostream& o) {
+        core::write_incident_csv(res.bundle, o);
+      }))
+    return 1;
+  std::cout << "incident bundle written to " << base << ".rrpb (+ " << base
+            << ".csv)\n";
+  return 0;
+}
+
+core::IncidentBundle load_bundle(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw rrp::SerializationError("cannot open incident bundle '" + path +
+                                  "'");
+  return core::read_incident_bundle(f);
+}
+
+int cmd_blackbox_inspect(const std::string& path) {
+  std::cout << core::incident_summary_string(load_bundle(path));
+  return 0;
+}
+
+int cmd_blackbox_replay(const std::string& path) {
+  const core::IncidentBundle bundle = load_bundle(path);
+  const auto kind = parse_model(bundle.context.model);
+  if (!kind) return 2;
+  models::ProvisionedModel pm =
+      models::get_provisioned(*kind, {}, {}, cache_dir());
+  sim::CampaignInputs inputs = blackbox_inputs(pm);
+
+  const sim::ReplayResult res = sim::replay_bundle(bundle, inputs);
+  TableFormatter table({"check", "result"});
+  table.row({"window records byte-identical",
+             res.records_match ? "yes" : "NO"});
+  table.row({"telemetry digest match", res.telemetry_match ? "yes" : "NO"});
+  table.row({"incidents match", res.incidents_match ? "yes" : "NO"});
+  table.row({"bundle bytes identical", res.match ? "yes" : "NO"});
+  table.print(std::cout);
+  if (!res.match) {
+    std::cerr << "replay MISMATCH: the re-run did not reproduce the recorded "
+                 "bundle (model weights changed, or a nondeterminism bug)\n";
+    return 1;
+  }
+  std::cout << "replay OK: " << bundle.records.size()
+            << " recorded frames reproduced byte-identically\n";
   return 0;
 }
 
@@ -516,6 +697,41 @@ int main(int argc, char** argv) {
       if (cmd == "provision") return cmd_provision(*kind);
       if (cmd == "evaluate") return cmd_evaluate(*kind);
       return cmd_sensitivity(*kind);
+    }
+    if (cmd == "blackbox") {
+      if (argc < 3) return usage();
+      const std::string sub = argv[2];
+      if (sub == "inspect" || sub == "replay") {
+        if (argc < 4) return usage();
+        return sub == "inspect" ? cmd_blackbox_inspect(argv[3])
+                                : cmd_blackbox_replay(argv[3]);
+      }
+      if (sub != "dump" || argc < 5) return usage();
+      const auto kind = parse_model(argv[3]);
+      if (!kind) return 2;
+      const std::string suite = argv[4];
+      BlackboxDumpOptions opt;
+      for (int i = 5; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--frames") opt.frames = std::stoi(value);
+        else if (flag == "--seed") opt.seed = std::stoull(value);
+        else if (flag == "--policy") opt.policy = value;
+        else if (flag == "--hysteresis") opt.hysteresis = std::stoi(value);
+        else if (flag == "--faults") opt.faults = std::stoi(value);
+        else if (flag == "--scrub") opt.scrub = std::stoi(value);
+        else if (flag == "--watchdog") opt.watchdog = std::stoi(value);
+        else if (flag == "--deadline") opt.deadline_ms = std::stod(value);
+        else if (flag == "--capacity") opt.capacity = std::stoi(value);
+        else if (flag == "--trace") opt.trace = value != "0";
+        else if (flag == "--out") opt.out = value;
+        else if (flag == "--force") opt.force = value != "0";
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_blackbox_dump(*kind, suite, opt);
     }
     if (cmd == "run") {
       if (argc < 4) return usage();

@@ -182,7 +182,11 @@ const char* const kThreadWhitelist[] = {"src/util/thread_pool.",
                                         "src/util/log.cpp"};
 // Timer facade, span tracer (optional wall capture), pool (timed waits)
 // and telemetry (already random-whitelisted for timestamps) may touch
-// chrono; every other module uses Timer or modeled time.
+// chrono; every other module uses Timer or modeled time.  In particular
+// core/flight_recorder.* and core/slo.* must stay OFF this list: incident
+// bundles are byte-identical replay oracles, so a wall-clock timestamp in
+// a record would break the determinism contract (DESIGN.md §8; enforced
+// by test_rrp_lint.cpp's FlightRecorderStaysOffTheChronoWhitelist).
 const char* const kChronoWhitelist[] = {"src/util/timer.h", "src/util/trace.",
                                         "src/util/thread_pool.",
                                         "src/core/telemetry."};
