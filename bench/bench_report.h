@@ -10,8 +10,10 @@
 // Metrics fed to the regression gate must come from the *modeled* side of
 // the house (platform-model microseconds, touched bytes, accuracies) —
 // those are pure functions of the cached artifacts and reproduce exactly.
-// Wall-clock medians may be recorded too (they are useful context) but
-// belong in reports whose config marks them as unfit for gating.
+// Measured wall-clock numbers go through set_wall() instead: they are
+// emitted under a separate "wall_metrics" key that bench_gate.py prints
+// informationally but NEVER compares — machine-dependent readings must not
+// be able to fail the deterministic gate.
 #pragma once
 
 #include <map>
@@ -21,7 +23,8 @@
 namespace rrp::bench {
 
 /// Current layout of BENCH_<name>.json; bump when fields change shape.
-inline constexpr int kBenchReportSchemaVersion = 1;
+/// v2: added the "wall_metrics" array (measured wall-clock, gate-exempt).
+inline constexpr int kBenchReportSchemaVersion = 2;
 
 class BenchReport {
  public:
@@ -35,6 +38,11 @@ class BenchReport {
 
   /// Records one metric.  Re-setting an id overwrites it.
   void set(const std::string& id, double value, const std::string& unit);
+
+  /// Records one MEASURED wall-clock metric.  These serialize under
+  /// "wall_metrics", which the regression gate treats as informational:
+  /// they can never fail a comparison and baselines need not contain them.
+  void set_wall(const std::string& id, double value, const std::string& unit);
 
   /// Deterministic JSON: sorted config, sorted metrics, fixed-precision
   /// numbers — the same inputs always serialize to the same bytes.
@@ -60,6 +68,7 @@ class BenchReport {
   std::string name_;
   std::map<std::string, std::string> config_;  // sorted -> deterministic
   std::map<std::string, Metric> metrics_;      // sorted -> deterministic
+  std::map<std::string, Metric> wall_metrics_; // measured; gate-exempt
 };
 
 }  // namespace rrp::bench

@@ -9,6 +9,8 @@
 //                         artifact reload; pays the full-model reload cost
 //                         on every hazard (deadline misses)
 //   reversible (ours)   — masked O(Δ) switching with safety monitor
+//   fastpath (ours)     — provisioned compacted ladder: O(1) level swap,
+//                         physically smaller math on the frame path
 //   oracle              — reversible with future knowledge (upper bound)
 //
 // Columns are the reconstructed table's: perception accuracy, missed
@@ -75,6 +77,8 @@ void run_suite(models::ProvisionedModel& pm,
                const sim::RunConfig& base_cfg, bench::BenchReport& report) {
   const core::SafetyConfig certified = bench::standard_certified();
   std::vector<SystemRow> rows;
+  std::vector<sim::WallStats> walls;  // aligned with rows; empty frames
+                                      // unless base_cfg.measure_wall
 
   // `make` rebuilds provider+policy fresh per replica (controllers are
   // stateful); results are averaged over scenario seeds.  Replica seeds fan
@@ -86,6 +90,7 @@ void run_suite(models::ProvisionedModel& pm,
     RRP_SPAN_VAR(sys_span, name.c_str());
     sys_span.add_items(static_cast<std::int64_t>(replicas.size()));
     std::vector<core::RunSummary> summaries(replicas.size());
+    std::vector<sim::WallStats> rep_walls(replicas.size());
     parallel_for(
         0, static_cast<std::int64_t>(replicas.size()), 1,
         [&](std::int64_t r_begin, std::int64_t r_end) {
@@ -97,11 +102,21 @@ void run_suite(models::ProvisionedModel& pm,
                 make(replicas[static_cast<std::size_t>(rep)], net);
             core::SafetyMonitor monitor(certified);
             core::RuntimeController ctl(*policy, *provider, &monitor);
-            summaries[static_cast<std::size_t>(rep)] =
+            sim::RunResult res =
                 sim::run_scenario(replicas[static_cast<std::size_t>(rep)], ctl,
-                                  cfg).summary;
+                                  cfg);
+            summaries[static_cast<std::size_t>(rep)] = res.summary;
+            rep_walls[static_cast<std::size_t>(rep)] = std::move(res.wall);
           }
         });
+    // Merge measured frames in replica order (deterministic layout; the
+    // readings themselves are machine-dependent and stay gate-exempt).
+    sim::WallStats merged;
+    merged.enabled = base_cfg.measure_wall;
+    for (auto& w : rep_walls)
+      merged.frames.insert(merged.frames.end(), w.frames.begin(),
+                           w.frames.end());
+    walls.push_back(std::move(merged));
     rows.push_back({name, average(summaries)});
   };
 
@@ -150,6 +165,15 @@ void run_suite(models::ProvisionedModel& pm,
         certified, 6, levels);
     return std::make_pair(std::move(p), std::move(pol));
   });
+  run_system("fastpath (ours)", [&](const sim::Scenario&, nn::Network& net) {
+    // Provisioned compacted ladder: O(1) swap, physically smaller math on
+    // the frame path, masked golden arm riding along for scrub/restore.
+    ProviderPtr p = std::make_unique<core::CompactedLadderProvider>(
+        net, pm.levels, sim::input_shape(base_cfg.vision), pm.bn_states);
+    PolicyPtr pol = std::make_unique<core::CriticalityGreedyPolicy>(
+        certified, 6, levels);
+    return std::make_pair(std::move(p), std::move(pol));
+  });
   run_system("oracle", [&](const sim::Scenario& sc, nn::Network& net) {
     ProviderPtr p = make_pruner(net);
     PolicyPtr pol = std::make_unique<core::OraclePolicy>(
@@ -190,6 +214,41 @@ void run_suite(models::ProvisionedModel& pm,
     report.set(base + "violations", static_cast<double>(s.safety_violations),
                "count");
   }
+
+  // Measured wall-clock mirror (gate-exempt): mean per-frame inference
+  // wall time per system, plus the per-level breakdown where a level
+  // actually executed frames.
+  if (base_cfg.measure_wall) {
+    for (std::size_t ri = 0; ri < rows.size(); ++ri) {
+      const std::string base = suite + "." + system_key(rows[ri].system) + ".";
+      report.set_wall(base + "wall_infer_mean_us", walls[ri].mean_infer_us(),
+                      "us");
+      for (int k = 0; k < levels; ++k) {
+        const double us = walls[ri].mean_infer_us(k);
+        if (us > 0.0)
+          report.set_wall(base + "wall_infer_us.l" + std::to_string(k), us,
+                          "us");
+      }
+    }
+    const auto mean_of = [&](const std::string& name) -> double {
+      for (std::size_t ri = 0; ri < rows.size(); ++ri)
+        if (rows[ri].system == name) return walls[ri].mean_infer_us();
+      return 0.0;
+    };
+    const double fast = mean_of("fastpath (ours)");
+    const double noprune = mean_of("no-prune");
+    const double masked = mean_of("reversible (ours)");
+    if (fast > 0.0 && noprune > 0.0 && masked > 0.0) {
+      report.set_wall(suite + ".wall_speedup_fastpath_vs_noprune",
+                      noprune / fast, "x");
+      report.set_wall(suite + ".wall_speedup_fastpath_vs_masked",
+                      masked / fast, "x");
+      std::cout << "measured wall: fastpath " << fmt(fast, 1)
+                << " us/frame vs no-prune " << fmt(noprune, 1) << " ("
+                << fmt(noprune / fast, 2) << "x) vs reversible-masked "
+                << fmt(masked, 1) << " (" << fmt(masked / fast, 2) << "x)\n";
+    }
+  }
 }
 
 }  // namespace
@@ -204,11 +263,17 @@ int main(int argc, char** argv) {
   // the bench-regression gate — small enough to run on every check.sh
   // invocation, and marked mode=gate in BENCH_t2.json so baselines never
   // get compared against full-recipe runs.
+  //
+  // --wall 1: the gate recipe with per-frame MEASURED inference wall-clock
+  // on (RunConfig::measure_wall).  One seed so replicas never contend for
+  // cores; measured numbers land under the gate-exempt wall_metrics key.
   std::string trace_path;
   bool gate = false;
+  bool wall = false;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
     if (std::strcmp(argv[i], "--gate") == 0) gate = argv[i + 1][0] == '1';
+    if (std::strcmp(argv[i], "--wall") == 0) wall = argv[i + 1][0] == '1';
   }
 
   bench::print_banner("R-T2", "end-to-end safety/efficiency across suites");
@@ -222,18 +287,20 @@ int main(int argc, char** argv) {
     trace::set_enabled(true);
   }
 
-  const int frames = gate ? 300 : 900;
-  const int seeds = gate ? 1 : 3;
-  const int suites = gate ? 1 : 4;  // gate: cut_in only (index 2)
+  const bool reduced = gate || wall;
+  const int frames = reduced ? 300 : 900;
+  const int seeds = reduced ? 1 : 3;
+  const int suites = reduced ? 1 : 4;  // reduced: cut_in only (index 2)
   bench::BenchReport report("t2");
   report.config("model", "resnetlite");
-  report.config("mode", gate ? "gate" : "full");
+  report.config("mode", gate ? "gate" : (wall ? "wall" : "full"));
   report.config("frames", frames);
   report.config("seeds", seeds);
 
-  const sim::RunConfig cfg = bench::standard_run_config();
+  sim::RunConfig cfg = bench::standard_run_config();
+  cfg.measure_wall = wall;
   for (int suite = 0; suite < suites; ++suite) {
-    const std::size_t index = gate ? 2u : static_cast<std::size_t>(suite);
+    const std::size_t index = reduced ? 2u : static_cast<std::size_t>(suite);
     std::vector<sim::Scenario> replicas;
     for (int rep = 0; rep < seeds; ++rep)
       replicas.push_back(

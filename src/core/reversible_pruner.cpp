@@ -162,6 +162,79 @@ std::int64_t ReversiblePruner::resident_weight_bytes() {
          delta_index_bytes();
 }
 
+CompactedLadderProvider::CompactedLadderProvider(
+    nn::Network& net, prune::PruneLevelLibrary levels,
+    const nn::Shape& input_shape, std::vector<BnState> bn_states)
+    : masked_(net, std::move(levels)) {
+  const prune::PruneLevelLibrary& lv = masked_.levels();
+  RRP_CHECK_MSG(lv.structured(),
+                "fast path requires a structured level library");
+  RRP_CHECK_MSG(bn_states.empty() ||
+                    static_cast<int>(bn_states.size()) == lv.level_count(),
+                "need exactly one BnState per level");
+  // The ladder is built exactly once, here.  prune.ladder_rebuilds staying
+  // flat afterwards is the "no rebuild on the frame path" acceptance
+  // signal (test_fast_path.cpp).
+  static metrics::Counter& rebuilds = metrics::counter("prune.ladder_rebuilds");
+  ladder_.reserve(static_cast<std::size_t>(lv.level_count()));
+  for (int k = 0; k < lv.level_count(); ++k) {
+    // masked_ sits at level 0, so `net` still carries the golden weights;
+    // bake the level's calibrated BN statistics in BEFORE compaction so
+    // the channel gather keeps the right per-channel entries.
+    if (bn_states.empty()) {
+      ladder_.push_back(
+          prune::compact_network(net, lv.channel_masks(k), input_shape));
+    } else {
+      nn::Network staged = net.clone();
+      apply_bn_state(staged, bn_states[static_cast<std::size_t>(k)]);
+      ladder_.push_back(
+          prune::compact_network(staged, lv.channel_masks(k), input_shape));
+    }
+    rebuilds.add(1);
+  }
+  if (!bn_states.empty()) masked_.set_bn_states(std::move(bn_states));
+}
+
+nn::Tensor CompactedLadderProvider::infer(const nn::Tensor& x) {
+  return ladder_[static_cast<std::size_t>(current_level_)].forward(x, false);
+}
+
+TransitionStats CompactedLadderProvider::set_level(int level) {
+  RRP_CHECK_MSG(level >= 0 && level < level_count(),
+                "level " << level << " outside [0, " << level_count() << ")");
+  Timer timer;
+  TransitionStats stats;
+  stats.from_level = current_level_;
+  stats.to_level = level;
+  stats.is_restore = level < current_level_;
+  current_level_ = level;  // index swap — no rebuild, no weight traffic
+  stats.wall_us = timer.elapsed_us();
+  if (level != stats.from_level) {
+    static metrics::Counter& swaps = metrics::counter("prune.ladder_swaps");
+    swaps.add(1);
+  }
+  return stats;
+}
+
+std::int64_t CompactedLadderProvider::active_macs(
+    const nn::Shape& input_shape) {
+  return ladder_[static_cast<std::size_t>(current_level_)].macs(input_shape);
+}
+
+std::int64_t CompactedLadderProvider::resident_weight_bytes() {
+  // Fast path pays for BOTH arms: the resident compacted ladder plus the
+  // masked golden arm (live net + store + masks + delta indices).
+  std::int64_t total = masked_.resident_weight_bytes();
+  for (auto& n : ladder_)
+    total += n.param_count() * static_cast<std::int64_t>(sizeof(float));
+  return total;
+}
+
+nn::Network& CompactedLadderProvider::network_at(int level) {
+  RRP_CHECK(level >= 0 && level < level_count());
+  return ladder_[static_cast<std::size_t>(level)];
+}
+
 CompactedLevelCache::CompactedLevelCache(const nn::Network& net,
                                          const prune::PruneLevelLibrary& levels,
                                          const nn::Shape& input_shape,

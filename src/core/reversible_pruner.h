@@ -119,6 +119,70 @@ class ReversiblePruner : public InferenceProvider {
   std::vector<TransitionStats> history_;
 };
 
+/// The sparsity-realizing fast path: a provisioned compacted-network
+/// ladder for the frame path PLUS a masked golden arm for safety.
+///
+/// At construction the full ladder is materialized once (one
+/// compact_network clone per level, that level's calibrated BN statistics
+/// baked in) next to a ReversiblePruner over the golden weights.  After
+/// that:
+///
+///  * infer() runs the ACTIVE COMPACTED network — physically smaller
+///    tensors, so pruning buys real cycles, not just modeled ones;
+///  * set_level() swaps an index — O(1), no rebuild, no weight copy, no
+///    allocation on the frame path (prune.ladder_rebuilds stays flat and
+///    parameter storage addresses are stable; see test_fast_path.cpp);
+///  * the masked golden arm keeps the paper's prune→restore bit-exactness
+///    and gives the integrity scrub its golden ⊙ mask reference.  It LAGS
+///    the active level and is aligned by sync_masked() — an O(Δ) delta
+///    walk that runs on the scrub cadence (or before restore), never per
+///    frame.
+///
+/// Numerically the compacted ladder matches the masked network to the
+/// tolerance of DESIGN.md invariant 13 (exact for Linear/Conv gathers; BN
+/// folding of pruned channels reorders no surviving arithmetic).
+class CompactedLadderProvider : public InferenceProvider {
+ public:
+  /// Snapshots `net` (level-0 golden) and materializes the ladder.
+  /// `bn_states`, when present, must hold one state per level; each
+  /// level's compacted clone bakes its own statistics in and the masked
+  /// arm gets switchable BN as usual.
+  CompactedLadderProvider(nn::Network& net, prune::PruneLevelLibrary levels,
+                          const nn::Shape& input_shape,
+                          std::vector<BnState> bn_states = {});
+
+  const std::string& name() const override { return name_; }
+  nn::Tensor infer(const nn::Tensor& x) override;
+  /// O(1): swaps the active-network index.  TransitionStats reports zero
+  /// elements/bytes — the modeled switch cost is the platform's fixed
+  /// overhead only — and the masked arm is deliberately NOT walked here.
+  TransitionStats set_level(int level) override;
+  int current_level() const override { return current_level_; }
+  int level_count() const override {
+    return static_cast<int>(ladder_.size());
+  }
+  std::int64_t active_macs(const nn::Shape& input_shape) override;
+  std::int64_t resident_weight_bytes() override;
+
+  /// Aligns the masked golden arm to current_level() with the usual O(Δ)
+  /// delta walk.  Off the frame path by contract: call it on the scrub
+  /// cadence or before handing the masked network to restore/repair.
+  TransitionStats sync_masked() { return masked_.set_level(current_level_); }
+
+  /// The masked golden arm (scrub target, fault-injection backdoor,
+  /// "back to the future" restore).
+  ReversiblePruner& masked() { return masked_; }
+  const ReversiblePruner& masked() const { return masked_; }
+
+  nn::Network& network_at(int level);
+
+ private:
+  std::string name_ = "reversible-fastpath";
+  ReversiblePruner masked_;
+  std::vector<nn::Network> ladder_;
+  int current_level_ = 0;
+};
+
 /// Compact-mode reversible pruning: every level pre-compacted and resident.
 /// Only valid for structured level libraries.
 class CompactedLevelCache : public InferenceProvider {

@@ -167,4 +167,9 @@ core::ReversiblePruner ProvisionedModel::make_pruner() {
   return pruner;
 }
 
+core::CompactedLadderProvider ProvisionedModel::make_fast_provider(
+    const nn::Shape& input_shape) {
+  return core::CompactedLadderProvider(net, levels, input_shape, bn_states);
+}
+
 }  // namespace rrp::models

@@ -63,6 +63,12 @@ struct ProvisionedModel {
 
   /// Builds a masked-mode provider with switchable BN installed.
   core::ReversiblePruner make_pruner();
+
+  /// Builds the sparsity-realizing fast-path provider: the provisioned
+  /// compacted ladder on the frame path plus the masked golden arm, with
+  /// per-level BN statistics baked into each compacted clone.
+  core::CompactedLadderProvider make_fast_provider(
+      const nn::Shape& input_shape);
 };
 
 /// Dense-train (cached) → build nested levels → co-train (cached).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/gemm_kernels.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -26,10 +27,6 @@ struct GemmScope {
   }
   trace::Span span;
 };
-// Cache-blocking tile sizes; modest because models here are small.
-constexpr std::int64_t kTileM = 64;
-constexpr std::int64_t kTileN = 64;
-constexpr std::int64_t kTileK = 64;
 
 // Minimum FMAs per parallel chunk: below this the dispatch overhead beats
 // the win.  Row-block grain is derived from it so small GEMMs stay on the
@@ -41,69 +38,10 @@ std::int64_t row_grain(std::int64_t n, std::int64_t k) {
   return std::max<std::int64_t>(1, kMinFlopsPerChunk / flops_per_row);
 }
 
-// Rows [i_begin, i_end) of the no-transpose kernel.  Per-row accumulation
-// order (k0 tiles ascending, kk ascending) is independent of the row block
-// bounds, so any row partition produces bit-identical C.
-void gemm_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, std::int64_t lda,
-               const float* b, std::int64_t ldb, float beta, float* c,
-               std::int64_t ldc) {
-  // Scale C by beta first so the accumulation loop is pure FMA.
-  for (std::int64_t i = i_begin; i < i_end; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
-    else if (beta != 1.0f)
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-  }
-  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
-    const std::int64_t imax = std::min(i0 + kTileM, i_end);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
-      const std::int64_t kmax = std::min(k0 + kTileK, k);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
-        const std::int64_t jmax = std::min(j0 + kTileN, n);
-        for (std::int64_t i = i0; i < imax; ++i) {
-          const float* arow = a + i * lda;
-          float* crow = c + i * ldc;
-          for (std::int64_t kk = k0; kk < kmax; ++kk) {
-            const float av = alpha * arow[kk];
-            if (av == 0.0f) continue;  // pruned weights short-circuit
-            const float* brow = b + kk * ldb;
-            for (std::int64_t j = j0; j < jmax; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-// Rows [i_begin, i_end) of the A-transposed kernel.  The serial engine
-// iterates kk outer / i inner; restricting i to a block keeps each row's
-// kk-ascending accumulation order intact.
-void gemm_at_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
-                  std::int64_t k, float alpha, const float* a,
-                  std::int64_t lda, const float* b, std::int64_t ldb,
-                  float beta, float* c, std::int64_t ldc) {
-  for (std::int64_t i = i_begin; i < i_end; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
-    else if (beta != 1.0f)
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-  }
-  // A is [K, M]; traverse K-major so both A and B rows stream.
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * lda;
-    const float* brow = b + kk * ldb;
-    for (std::int64_t i = i_begin; i < i_end; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * ldc;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
 // Rows [i_begin, i_end) of the B-transposed kernel; rows are fully
-// independent dot-product sweeps.
+// independent dot-product sweeps.  Stays scalar in every RRP_SIMD
+// configuration: its contract accumulates each dot product in DOUBLE and
+// rounds once, which a j-lane float vectorization cannot reproduce.
 void gemm_bt_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
                   std::int64_t k, float alpha, const float* a,
                   std::int64_t lda, const float* b, std::int64_t ldb,
@@ -128,10 +66,14 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc) {
   GemmScope scope("gemm", m, n, k);
+  // Row-range micro-kernel selected once by the RRP_SIMD configuration;
+  // every variant is bit-identical (nn/gemm_kernels.h), so the choice is
+  // invisible to traces, goldens and bench baselines.
+  const kernels::GemmRowsFn rows = kernels::active_gemm_rows();
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
-                 gemm_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta,
-                           c, ldc);
+                 rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta, c,
+                      ldc);
                });
 }
 
@@ -139,10 +81,11 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, std::int64_t lda, const float* b,
              std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
   GemmScope scope("gemm_at", m, n, k);
+  const kernels::GemmRowsFn rows = kernels::active_gemm_at_rows();
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
-                 gemm_at_rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb,
-                              beta, c, ldc);
+                 rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta, c,
+                      ldc);
                });
 }
 

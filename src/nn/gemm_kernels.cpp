@@ -1,0 +1,234 @@
+#include "nn/gemm_kernels.h"
+
+#include <algorithm>
+
+namespace rrp::nn::kernels {
+
+namespace {
+
+// Cache-blocking tile sizes; modest because models here are small.  The
+// bit-exactness argument never depends on them (each C element's k-terms
+// are added in ascending order no matter how the tiles cut the loops), so
+// the variants are free to tile differently.
+constexpr std::int64_t kTileM = 64;
+constexpr std::int64_t kTileN = 64;
+constexpr std::int64_t kTileK = 64;
+
+// Register tile of the blocked kernels: kRegM C-rows x kRegN C-columns
+// accumulate in a local array across one k-tile before being stored back.
+// A float's round trip through the array is exact, so the store/reload at
+// k-tile boundaries is invisible in the result.
+constexpr std::int64_t kRegM = 4;
+constexpr std::int64_t kRegN = 16;
+
+void scale_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+                float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
+    else if (beta != 1.0f)
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// reference — the original scalar loops from nn/gemm.cpp, kept verbatim as
+// the oracle the optimized variants are compared against bit-for-bit.
+// ---------------------------------------------------------------------------
+
+void gemm_rows_reference(std::int64_t i_begin, std::int64_t i_end,
+                         std::int64_t n, std::int64_t k, float alpha,
+                         const float* a, std::int64_t lda, const float* b,
+                         std::int64_t ldb, float beta, float* c,
+                         std::int64_t ldc) {
+  // Scale C by beta first so the accumulation loop is pure multiply-add.
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
+    const std::int64_t imax = std::min(i0 + kTileM, i_end);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::int64_t kmax = std::min(k0 + kTileK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const std::int64_t jmax = std::min(j0 + kTileN, n);
+        for (std::int64_t i = i0; i < imax; ++i) {
+          const float* arow = a + i * lda;
+          float* crow = c + i * ldc;
+          for (std::int64_t kk = k0; kk < kmax; ++kk) {
+            const float av = alpha * arow[kk];
+            if (av == 0.0f) continue;  // pruned weights short-circuit
+            const float* brow = b + kk * ldb;
+            for (std::int64_t j = j0; j < jmax; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_at_rows_reference(std::int64_t i_begin, std::int64_t i_end,
+                            std::int64_t n, std::int64_t k, float alpha,
+                            const float* a, std::int64_t lda, const float* b,
+                            std::int64_t ldb, float beta, float* c,
+                            std::int64_t ldc) {
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  // A is [K, M]; traverse K-major so both A and B rows stream.
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * lda;
+    const float* brow = b + kk * ldb;
+    for (std::int64_t i = i_begin; i < i_end; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// blocked — register-tiled portable micro-kernels.  The accumulator tile
+// acc[kRegM][kRegN] stays in registers (or baseline vector lanes) across a
+// whole k-tile, so C is loaded and stored once per tile instead of once
+// per k-step; the per-element arithmetic sequence is unchanged.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void micro_tile(std::int64_t i, std::int64_t ri, std::int64_t j,
+                std::int64_t jn, std::int64_t k0, std::int64_t kmax,
+                float alpha, const float* a, std::int64_t lda, const float* b,
+                std::int64_t ldb, float* c, std::int64_t ldc) {
+  float acc[kRegM][kRegN];
+  for (std::int64_t r = 0; r < ri; ++r)
+    for (std::int64_t jj = 0; jj < jn; ++jj)
+      acc[r][jj] = c[(i + r) * ldc + j + jj];
+  for (std::int64_t kk = k0; kk < kmax; ++kk) {
+    const float* brow = b + kk * ldb + j;
+    for (std::int64_t r = 0; r < ri; ++r) {
+      const float av = alpha * a[(i + r) * lda + kk];
+      if (av == 0.0f) continue;  // pruned weights short-circuit
+      for (std::int64_t jj = 0; jj < jn; ++jj) acc[r][jj] += av * brow[jj];
+    }
+  }
+  for (std::int64_t r = 0; r < ri; ++r)
+    for (std::int64_t jj = 0; jj < jn; ++jj)
+      c[(i + r) * ldc + j + jj] = acc[r][jj];
+}
+
+// Same register tile for the A-transposed layout (A is [K, M]); only the
+// A-element addressing differs.
+void micro_tile_at(std::int64_t i, std::int64_t ri, std::int64_t j,
+                   std::int64_t jn, std::int64_t k, float alpha,
+                   const float* a, std::int64_t lda, const float* b,
+                   std::int64_t ldb, float* c, std::int64_t ldc) {
+  float acc[kRegM][kRegN];
+  for (std::int64_t r = 0; r < ri; ++r)
+    for (std::int64_t jj = 0; jj < jn; ++jj)
+      acc[r][jj] = c[(i + r) * ldc + j + jj];
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * lda;
+    const float* brow = b + kk * ldb + j;
+    for (std::int64_t r = 0; r < ri; ++r) {
+      const float av = alpha * arow[i + r];
+      if (av == 0.0f) continue;
+      for (std::int64_t jj = 0; jj < jn; ++jj) acc[r][jj] += av * brow[jj];
+    }
+  }
+  for (std::int64_t r = 0; r < ri; ++r)
+    for (std::int64_t jj = 0; jj < jn; ++jj)
+      c[(i + r) * ldc + j + jj] = acc[r][jj];
+}
+
+}  // namespace
+
+void gemm_rows_blocked(std::int64_t i_begin, std::int64_t i_end,
+                       std::int64_t n, std::int64_t k, float alpha,
+                       const float* a, std::int64_t lda, const float* b,
+                       std::int64_t ldb, float beta, float* c,
+                       std::int64_t ldc) {
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
+    const std::int64_t imax = std::min(i0 + kTileM, i_end);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::int64_t kmax = std::min(k0 + kTileK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const std::int64_t jmax = std::min(j0 + kTileN, n);
+        for (std::int64_t i = i0; i < imax; i += kRegM) {
+          const std::int64_t ri = std::min(kRegM, imax - i);
+          for (std::int64_t j = j0; j < jmax; j += kRegN) {
+            const std::int64_t jn = std::min(kRegN, jmax - j);
+            micro_tile(i, ri, j, jn, k0, kmax, alpha, a, lda, b, ldb, c,
+                       ldc);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_at_rows_blocked(std::int64_t i_begin, std::int64_t i_end,
+                          std::int64_t n, std::int64_t k, float alpha,
+                          const float* a, std::int64_t lda, const float* b,
+                          std::int64_t ldb, float beta, float* c,
+                          std::int64_t ldc) {
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  // Register tile across the FULL k extent (no k-tiling: A is walked
+  // column-wise here, so the win is keeping C resident, not A reuse).
+  for (std::int64_t i = i_begin; i < i_end; i += kRegM) {
+    const std::int64_t ri = std::min(kRegM, i_end - i);
+    for (std::int64_t j = 0; j < n; j += kRegN) {
+      const std::int64_t jn = std::min(kRegN, n - j);
+      micro_tile_at(i, ri, j, jn, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+bool avx2_usable() {
+#if defined(RRP_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+GemmRowsFn active_gemm_rows() {
+#if defined(RRP_SIMD)
+#if defined(RRP_HAVE_AVX2)
+  static const GemmRowsFn fn =
+      avx2_usable() ? &gemm_rows_avx2 : &gemm_rows_blocked;
+#else
+  static const GemmRowsFn fn = &gemm_rows_blocked;
+#endif
+  return fn;
+#else
+  return &gemm_rows_reference;
+#endif
+}
+
+GemmRowsFn active_gemm_at_rows() {
+#if defined(RRP_SIMD)
+#if defined(RRP_HAVE_AVX2)
+  static const GemmRowsFn fn =
+      avx2_usable() ? &gemm_at_rows_avx2 : &gemm_at_rows_blocked;
+#else
+  static const GemmRowsFn fn = &gemm_at_rows_blocked;
+#endif
+  return fn;
+#else
+  return &gemm_at_rows_reference;
+#endif
+}
+
+const char* active_variant() {
+#if defined(RRP_SIMD)
+  return avx2_usable() ? "avx2" : "blocked";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace rrp::nn::kernels

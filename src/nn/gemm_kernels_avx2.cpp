@@ -1,0 +1,107 @@
+// AVX2 micro-kernels.  This translation unit is the only one compiled with
+// -mavx2 (and -ffp-contract=off so mul+add never fuses into FMA); callers
+// reach it through kernels::active_gemm_rows() after a runtime CPU check.
+//
+// Bit-exactness with the scalar reference: the j-axis is split into 8-wide
+// lanes that never interact — each C element still sees its k-terms in
+// ascending order, one _mm256_mul_ps then one _mm256_add_ps per term, which
+// round exactly like the scalar `crow[j] += av * brow[j]`.  Scalar tail
+// loops use the identical expression.
+#include "nn/gemm_kernels.h"
+
+#if defined(RRP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace rrp::nn::kernels {
+
+namespace {
+
+constexpr std::int64_t kTileM = 64;
+constexpr std::int64_t kTileN = 64;
+constexpr std::int64_t kTileK = 64;
+
+void scale_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+                float beta, float* c, std::int64_t ldc) {
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) std::fill(crow, crow + n, 0.0f);
+    else if (beta != 1.0f)
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+  }
+}
+
+// One C row x [j, j+jn) columns, accumulated over [k0, kmax) with the row's
+// 8-wide accumulators held in ymm registers.  `a_at(kk)` abstracts the A
+// layout (row-major vs transposed) so both public kernels share this body.
+template <typename AtFn>
+inline void row_tile(std::int64_t jn, std::int64_t k0, std::int64_t kmax,
+                     float alpha, AtFn a_at, const float* b, std::int64_t ldb,
+                     std::int64_t j, float* crow) {
+  // Up to kTileN/8 = 8 vector accumulators plus a scalar tail.
+  __m256 acc[kTileN / 8];
+  const std::int64_t vn = jn / 8;       // full 8-lanes
+  const std::int64_t tail = jn - vn * 8;
+  float* cj = crow + j;
+  for (std::int64_t v = 0; v < vn; ++v) acc[v] = _mm256_loadu_ps(cj + v * 8);
+  for (std::int64_t kk = k0; kk < kmax; ++kk) {
+    const float av = alpha * a_at(kk);
+    if (av == 0.0f) continue;  // pruned weights short-circuit
+    const float* brow = b + kk * ldb + j;
+    const __m256 vav = _mm256_set1_ps(av);
+    for (std::int64_t v = 0; v < vn; ++v)
+      acc[v] = _mm256_add_ps(acc[v],
+                             _mm256_mul_ps(vav, _mm256_loadu_ps(brow + v * 8)));
+    for (std::int64_t t = 0; t < tail; ++t)
+      cj[vn * 8 + t] += av * brow[vn * 8 + t];
+  }
+  for (std::int64_t v = 0; v < vn; ++v) _mm256_storeu_ps(cj + v * 8, acc[v]);
+}
+
+}  // namespace
+
+void gemm_rows_avx2(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const float* b, std::int64_t ldb,
+                    float beta, float* c, std::int64_t ldc) {
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  for (std::int64_t i0 = i_begin; i0 < i_end; i0 += kTileM) {
+    const std::int64_t imax = std::min(i0 + kTileM, i_end);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::int64_t kmax = std::min(k0 + kTileK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const std::int64_t jmax = std::min(j0 + kTileN, n);
+        const std::int64_t jn = jmax - j0;
+        for (std::int64_t i = i0; i < imax; ++i) {
+          const float* arow = a + i * lda;
+          row_tile(jn, k0, kmax, alpha,
+                   [arow](std::int64_t kk) { return arow[kk]; }, b, ldb, j0,
+                   c + i * ldc);
+        }
+      }
+    }
+  }
+}
+
+void gemm_at_rows_avx2(std::int64_t i_begin, std::int64_t i_end,
+                       std::int64_t n, std::int64_t k, float alpha,
+                       const float* a, std::int64_t lda, const float* b,
+                       std::int64_t ldb, float beta, float* c,
+                       std::int64_t ldc) {
+  scale_rows(i_begin, i_end, n, beta, c, ldc);
+  // A is [K, M]: A elements for row i sit at a[kk * lda + i].
+  for (std::int64_t i = i_begin; i < i_end; ++i) {
+    for (std::int64_t j0 = 0; j0 < n; j0 += kTileN) {
+      const std::int64_t jn = std::min(kTileN, n - j0);
+      row_tile(jn, 0, k, alpha,
+               [a, lda, i](std::int64_t kk) { return a[kk * lda + i]; }, b,
+               ldb, j0, c + i * ldc);
+    }
+  }
+}
+
+}  // namespace rrp::nn::kernels
+
+#endif  // RRP_HAVE_AVX2

@@ -22,6 +22,7 @@
 
 #include "core/baselines.h"
 #include "core/integrity.h"
+#include "core/reversible_pruner.h"
 #include "core/safety_monitor.h"
 #include "sim/scenario.h"
 
@@ -147,6 +148,11 @@ struct FaultHarness {
   /// Reversible arm: scrub against golden ⊙ mask and self-heal.
   core::IntegrityChecker* checker = nullptr;
   const prune::PruneLevelLibrary* levels = nullptr;
+  /// Fast-path arm only: the provider whose masked golden arm lags the
+  /// active compacted level.  The runner calls sync_masked() right before
+  /// each scrub so the golden ⊙ mask reference matches the active level —
+  /// the O(Δ) walk rides the scrub cadence, never the frame path.
+  core::CompactedLadderProvider* ladder = nullptr;
   /// Reload arm: expected per-level digests of a cleanly-loaded network;
   /// divergence of the active network triggers reload_current().
   core::ReloadProvider* reload = nullptr;

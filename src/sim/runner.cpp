@@ -7,9 +7,21 @@
 #include "nn/loss.h"
 #include "util/checks.h"
 #include "util/metrics.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace rrp::sim {
+
+double WallStats::mean_infer_us(int level) const {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (const WallFrame& w : frames)
+    if (level < 0 || w.level == level) {
+      sum += w.infer_us;
+      ++n;
+    }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
 
 double provider_accuracy(core::InferenceProvider& provider,
                          const nn::Dataset& data, int batch) {
@@ -190,11 +202,21 @@ RunResult run_scenario(const Scenario& scenario,
       frame = render_scene(sensed_view, config.vision, noise);
     }
     nn::Tensor logits;
+    double infer_wall_us = 0.0;
     {
       RRP_SPAN("infer");
       nn::Shape batched = frame.shape();
       batched.insert(batched.begin(), 1);
-      logits = controller.provider().infer(frame.reshape(batched));
+      if (config.measure_wall) {
+        // Measured wall-clock rides NEXT TO the deterministic pipeline:
+        // the reading lands only in RunResult::wall, never in telemetry,
+        // metrics or trace.
+        Timer wall;
+        logits = controller.provider().infer(frame.reshape(batched));
+        infer_wall_us = wall.elapsed_us();
+      } else {
+        logits = controller.provider().infer(frame.reshape(batched));
+      }
     }
     const int pred = nn::argmax_rows(logits)[0];
     const int label = scene_label(scene);
@@ -220,6 +242,10 @@ RunResult run_scenario(const Scenario& scenario,
     // to this frame's switch budget.
     if (harness != nullptr && config.scrub_period_frames > 0 &&
         (f + 1) % static_cast<std::size_t>(config.scrub_period_frames) == 0) {
+      // Fast-path arm: the masked golden arm lags the active compacted
+      // level; align it here (O(Δ), scrub cadence) so golden ⊙ mask below
+      // references the level actually executing.
+      if (harness->ladder != nullptr) harness->ladder->sync_masked();
       if (harness->checker != nullptr && harness->levels != nullptr &&
           harness->targets.live_net != nullptr) {
         const prune::NetworkMask& mask =
@@ -302,6 +328,9 @@ RunResult run_scenario(const Scenario& scenario,
         monitor != nullptr &&
         rec.executed_level > monitor->certified_max(rec.criticality);
     result.telemetry.add(rec);
+    if (config.measure_wall)
+      result.wall.frames.push_back({rec.frame, rec.executed_level,
+                                    infer_wall_us, rec.latency_ms * 1000.0});
 
     const double frame_ms = rec.latency_ms + rec.switch_us / 1000.0;
     frame_span.add_modeled_us(rec.latency_ms * 1000.0 + rec.switch_us);
@@ -400,6 +429,7 @@ RunResult run_scenario(const Scenario& scenario,
     }
   }
   if (harness != nullptr) harness->injected = injector.injected();
+  result.wall.enabled = config.measure_wall;
   result.summary = result.telemetry.summarize();
   return result;
 }

@@ -62,6 +62,10 @@ struct RunConfig {
   /// runner forces the certified max level for the sensed criticality and
   /// records a WatchdogDegrade assurance record.  0 disables.
   int watchdog_overrun_frames = 0;
+  /// Record MEASURED per-frame inference wall-clock into RunResult::wall
+  /// next to the platform-model numbers.  Purely additive: telemetry,
+  /// metrics and trace output are byte-identical either way.
+  bool measure_wall = false;
   PlatformConfig platform;
   CriticalityConfig criticality;
   VisionTaskConfig vision;
@@ -76,12 +80,34 @@ struct RunConfig {
   core::SloMonitor* slo = nullptr;
 };
 
+/// Measured wall-clock of one frame's inference (util/timer.h facade).
+/// Wall numbers are machine-dependent by nature, so they are kept strictly
+/// OUT of Telemetry, metrics and trace — the deterministic observability
+/// artifacts stay byte-identical whether or not measurement is on.
+struct WallFrame {
+  std::int64_t frame = 0;
+  int level = 0;           ///< executed level during the measured inference
+  double infer_us = 0.0;   ///< measured wall-clock of provider.infer()
+  double modeled_us = 0.0; ///< platform-model latency charged to the frame
+};
+
+/// Per-run collection of measured frames (empty unless
+/// RunConfig::measure_wall).
+struct WallStats {
+  bool enabled = false;
+  std::vector<WallFrame> frames;
+  /// Mean measured inference µs over frames executed at `level`
+  /// (level == -1: all frames).  Returns 0 when nothing matched.
+  double mean_infer_us(int level = -1) const;
+};
+
 struct RunResult {
   std::string scenario;
   std::string provider;
   std::string policy;
   core::Telemetry telemetry;
   core::RunSummary summary;
+  WallStats wall;  ///< measured wall-clock channel (see WallStats)
 };
 
 /// Runs the full closed loop over one scenario.

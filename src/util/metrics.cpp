@@ -68,6 +68,7 @@ Registry::Registry() {
       "integrity.scrub_elems",  "integrity.scrubs",
       "pool.chunks",            "pool.jobs",
       "prune.bytes_touched",    "prune.elements_touched",
+      "prune.ladder_rebuilds",  "prune.ladder_swaps",
       "prune.restores",         "prune.transitions",
       "runner.deadline_misses", "runner.frames",
   };

@@ -1,0 +1,16 @@
+// Fixture: R2 (float-accumulator) on a micro-kernel TU.  The file name
+// contains "kernel" but deliberately NOT gemm/conv/depthwise, proving the
+// kernel-substring extension of is_kernel_file catches new micro-kernel
+// files on its own.
+
+float row_sum_bad(const float* row, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += row[i];
+  return acc;
+}
+
+// Register-tile style accumulation into C memory (one rounded add per
+// term) is the sanctioned contract and must stay silent:
+void axpy_ok(float av, const float* b, float* c, int n) {
+  for (int j = 0; j < n; ++j) c[j] += av * b[j];
+}

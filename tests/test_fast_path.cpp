@@ -1,0 +1,348 @@
+// test_fast_path.cpp — the sparsity-realizing fast path: the
+// CompactedLadderProvider (provisioned compacted-network ladder + masked
+// golden arm) and the GEMM micro-kernel variants behind nn/gemm.cpp.
+//
+// Seeded randomized property sweep in the test_mask_properties.cpp style
+// (~100 configurations from one fixed seed, arch x ladder x net seed):
+//
+//   F1  compacted ≡ masked — at every ladder level the active compacted
+//       network's forward matches the masked golden network within the
+//       DESIGN.md invariant-13 tolerance, including Residual nets whose
+//       identity shortcut pins channel widths;
+//   F2  ladder-swap-then-restore round trip — any level walk on the fast
+//       path, synced to the masked arm and restored, leaves every golden
+//       parameter bit-exact;
+//   F3  O(1) level swap — switching levels performs no rebuild and no
+//       weight copy on the frame path: rebuild/byte counters stay flat
+//       and parameter storage addresses are stable across swaps;
+//   F4  kernel variants are bit-identical — reference / blocked / avx2
+//       produce byte-equal C for any row partition, and the public gemm
+//       entry points are bit-exact across thread counts (1/2/8).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reversible_pruner.h"
+#include "nn/gemm.h"
+#include "nn/gemm_kernels.h"
+#include "prune/levels.h"
+#include "test_support.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rrp::core {
+namespace {
+
+using rrp::testing::random_tensor;
+using rrp::testing::tiny_bn_net;
+using rrp::testing::tiny_conv_net;
+using rrp::testing::tiny_input_shape;
+using rrp::testing::tiny_residual_net;
+
+/// One randomly drawn configuration.  The ladder is always structured:
+/// the compacted fast path is only defined for channel pruning.
+struct Config {
+  int net_kind = 0;  // 0 conv, 1 bn, 2 residual
+  std::uint64_t net_seed = 0;
+  std::vector<double> ratios;
+};
+
+Config draw_config(Rng& rng) {
+  Config c;
+  c.net_kind = rng.uniform_int(0, 2);
+  c.net_seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20));
+  // Strictly increasing ladder starting at 0, 2–4 pruned levels, capped
+  // below 0.9 so every layer keeps >= 1 channel.
+  const int pruned_levels = rng.uniform_int(2, 4);
+  double r = 0.0;
+  c.ratios.push_back(0.0);
+  for (int k = 0; k < pruned_levels; ++k) {
+    r += 0.05 + (0.85 - r) * rng.uniform() * 0.45;
+    c.ratios.push_back(r);
+  }
+  return c;
+}
+
+nn::Network make_net(const Config& c) {
+  switch (c.net_kind) {
+    case 0: return tiny_conv_net(c.net_seed);
+    case 1: return tiny_bn_net(c.net_seed);
+    default: return tiny_residual_net(c.net_seed);
+  }
+}
+
+std::string describe(const Config& c, int idx) {
+  std::string s = "config " + std::to_string(idx) +
+                  " kind=" + std::to_string(c.net_kind) +
+                  " seed=" + std::to_string(c.net_seed) + " ratios=";
+  for (double r : c.ratios) s += std::to_string(r) + ",";
+  return s;
+}
+
+constexpr int kConfigs = 100;
+constexpr std::uint64_t kSweepSeed = 0xFA57FA57ull;
+
+/// Forward-equivalence tolerance of DESIGN.md invariant 13: the compacted
+/// gather reorders no surviving arithmetic, so only BN folding noise at
+/// the 1e-4 scale is admissible.
+constexpr float kEquivTolerance = 1e-4f;
+
+TEST(FastPath, CompactedMatchesMaskedAtEveryLevel) {
+  Rng rng(kSweepSeed);
+  for (int i = 0; i < kConfigs; ++i) {
+    const Config c = draw_config(rng);
+    nn::Network net = make_net(c);
+    prune::PruneLevelLibrary lib = prune::PruneLevelLibrary::build_structured(
+        net, c.ratios, tiny_input_shape());
+    std::vector<prune::NetworkMask> masks;
+    for (int k = 0; k < lib.level_count(); ++k) masks.push_back(lib.mask(k));
+
+    CompactedLadderProvider fast(net, std::move(lib), tiny_input_shape());
+    const nn::Tensor x = random_tensor({2, 1, 8, 8}, c.net_seed + 1);
+    for (int k = 0; k < fast.level_count(); ++k) {
+      fast.set_level(k);
+      const nn::Tensor yc = fast.infer(x);
+      // The masked arm lags at level 0, so `net` still holds golden
+      // weights: the masked reference is a fresh clone + mask apply.
+      nn::Network masked = net.clone();
+      masks[static_cast<std::size_t>(k)].apply(masked);
+      const nn::Tensor ym = masked.forward(x, false);
+      ASSERT_EQ(ym.shape(), yc.shape()) << describe(c, i) << " level " << k;
+      EXPECT_LT(ym.max_abs_diff(yc), kEquivTolerance)
+          << describe(c, i) << " level " << k;
+      if (c.net_kind == 2) {
+        // Residual identity shortcut pins the block output width: the
+        // compacted clone must keep it at full width at EVERY level.
+        auto* conv2 = dynamic_cast<nn::Conv2D*>(
+            fast.network_at(k).find("block.conv2"));
+        ASSERT_NE(conv2, nullptr) << describe(c, i);
+        EXPECT_EQ(conv2->out_channels(), 6)
+            << describe(c, i) << " level " << k;
+      }
+    }
+  }
+}
+
+TEST(FastPath, LadderSwapThenRestoreRoundTripIsBitExact) {
+  Rng rng(kSweepSeed + 1);
+  for (int i = 0; i < kConfigs; ++i) {
+    const Config c = draw_config(rng);
+    nn::Network net = make_net(c);
+    std::vector<nn::Tensor> golden;
+    for (auto& p : net.params()) golden.push_back(*p.value);
+
+    {
+      CompactedLadderProvider fast(
+          net,
+          prune::PruneLevelLibrary::build_structured(net, c.ratios,
+                                                     tiny_input_shape()),
+          tiny_input_shape());
+      const int walk_len = rng.uniform_int(3, 10);
+      for (int s = 0; s < walk_len; ++s) {
+        fast.set_level(rng.uniform_int(0, fast.level_count() - 1));
+        // Occasionally align the masked golden arm mid-walk, as the
+        // runner does on the scrub cadence.
+        if (rng.uniform_int(0, 2) == 0) fast.sync_masked();
+      }
+      fast.sync_masked();
+      fast.masked().restore_full();
+      auto after = net.params();
+      for (std::size_t p = 0; p < after.size(); ++p)
+        EXPECT_TRUE(after[p].value->equals(golden[p]))
+            << describe(c, i) << " param " << after[p].name;
+    }
+    // Provider destruction must also leave the net as found, even after
+    // a walk that never synced (the masked arm restores level 0).
+    auto after = net.params();
+    for (std::size_t p = 0; p < after.size(); ++p)
+      EXPECT_TRUE(after[p].value->equals(golden[p]))
+          << describe(c, i) << " param " << after[p].name << " post-dtor";
+  }
+}
+
+TEST(FastPath, LevelSwapIsO1OnTheFramePath) {
+  nn::Network net = tiny_conv_net(33);
+  CompactedLadderProvider fast(
+      net,
+      prune::PruneLevelLibrary::build_structured(net, {0.0, 0.3, 0.6, 0.8},
+                                                 tiny_input_shape()),
+      tiny_input_shape());
+
+  // Parameter storage addresses of every ladder network, pre-walk.
+  std::vector<const float*> addrs;
+  for (int k = 0; k < fast.level_count(); ++k)
+    for (auto& p : fast.network_at(k).params())
+      addrs.push_back(p.value->data().data());
+
+  metrics::Counter& rebuilds = metrics::counter("prune.ladder_rebuilds");
+  metrics::Counter& bytes = metrics::counter("prune.bytes_touched");
+  metrics::Counter& swaps = metrics::counter("prune.ladder_swaps");
+  const std::int64_t rebuilds0 = rebuilds.value();
+  const std::int64_t bytes0 = bytes.value();
+  const std::int64_t swaps0 = swaps.value();
+
+  const nn::Tensor x = random_tensor({1, 1, 8, 8}, 34);
+  Rng rng(35);
+  int level_changes = 0;
+  int level = fast.current_level();
+  for (int s = 0; s < 50; ++s) {
+    const int to = rng.uniform_int(0, fast.level_count() - 1);
+    const TransitionStats st = fast.set_level(to);
+    EXPECT_EQ(st.elements_changed, 0) << "swap " << s;
+    EXPECT_EQ(st.bytes_written, 0) << "swap " << s;
+    if (to != level) ++level_changes;
+    level = to;
+    fast.infer(x);
+  }
+
+  // No rebuild, no weight copy: the counters are flat and every ladder
+  // parameter still lives at its original address.
+  EXPECT_EQ(rebuilds.value(), rebuilds0);
+  EXPECT_EQ(bytes.value(), bytes0);
+  EXPECT_EQ(swaps.value(), swaps0 + level_changes);
+  std::size_t a = 0;
+  for (int k = 0; k < fast.level_count(); ++k)
+    for (auto& p : fast.network_at(k).params())
+      EXPECT_EQ(addrs[a++], p.value->data().data())
+          << "level " << k << " param " << p.name;
+}
+
+// ---------------------------------------------------------------------------
+// F4: micro-kernel bit-exactness.
+// ---------------------------------------------------------------------------
+
+/// Odd sizes exercise every register-tile and vector-lane tail path.
+constexpr std::int64_t kM = 13, kN = 37, kK = 29;
+
+std::vector<float> random_matrix(std::int64_t elems, std::uint64_t seed,
+                                 double zero_frac) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(elems));
+  for (float& x : v)
+    x = rng.uniform() < zero_frac
+            ? 0.0f
+            : static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+void expect_bits_equal(const std::vector<float>& want,
+                       const std::vector<float>& got, const char* label) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(want[i], got[i]) << label << " element " << i;
+}
+
+TEST(FastPath, KernelVariantsAreBitIdentical) {
+  // ~30% zeros in A exercises the zero-skip short-circuit every variant
+  // must share for masked-sparsity bit-exactness.
+  const std::vector<float> a = random_matrix(kM * kK, 40, 0.3);
+  const std::vector<float> at = random_matrix(kK * kM, 41, 0.3);
+  const std::vector<float> b = random_matrix(kK * kN, 42, 0.0);
+  const std::vector<float> c0 = random_matrix(kM * kN, 43, 0.0);
+
+  for (float alpha : {1.0f, 1.3f}) {
+    for (float beta : {0.0f, 1.0f, 0.5f}) {
+      const std::string tag =
+          "alpha=" + std::to_string(alpha) + " beta=" + std::to_string(beta);
+      std::vector<float> ref = c0, blk = c0;
+      nn::kernels::gemm_rows_reference(0, kM, kN, kK, alpha, a.data(), kK,
+                                       b.data(), kN, beta, ref.data(), kN);
+      nn::kernels::gemm_rows_blocked(0, kM, kN, kK, alpha, a.data(), kK,
+                                     b.data(), kN, beta, blk.data(), kN);
+      expect_bits_equal(ref, blk, (tag + " blocked").c_str());
+
+      std::vector<float> ref_at = c0, blk_at = c0;
+      nn::kernels::gemm_at_rows_reference(0, kM, kN, kK, alpha, at.data(),
+                                          kM, b.data(), kN, beta,
+                                          ref_at.data(), kN);
+      nn::kernels::gemm_at_rows_blocked(0, kM, kN, kK, alpha, at.data(), kM,
+                                        b.data(), kN, beta, blk_at.data(),
+                                        kN);
+      expect_bits_equal(ref_at, blk_at, (tag + " blocked_at").c_str());
+
+#if defined(RRP_HAVE_AVX2)
+      if (nn::kernels::avx2_usable()) {
+        std::vector<float> vec = c0, vec_at = c0;
+        nn::kernels::gemm_rows_avx2(0, kM, kN, kK, alpha, a.data(), kK,
+                                    b.data(), kN, beta, vec.data(), kN);
+        expect_bits_equal(ref, vec, (tag + " avx2").c_str());
+        nn::kernels::gemm_at_rows_avx2(0, kM, kN, kK, alpha, at.data(), kM,
+                                       b.data(), kN, beta, vec_at.data(),
+                                       kN);
+        expect_bits_equal(ref_at, vec_at, (tag + " avx2_at").c_str());
+      }
+#endif
+    }
+  }
+}
+
+TEST(FastPath, KernelsAreRowPartitionInvariant) {
+  // The pool splits GEMM over row ranges; any partition must be invisible
+  // in the result.  Also covers the active dispatch against the oracle.
+  const std::vector<float> a = random_matrix(kM * kK, 44, 0.3);
+  const std::vector<float> b = random_matrix(kK * kN, 45, 0.0);
+  const std::vector<float> c0 = random_matrix(kM * kN, 46, 0.0);
+
+  std::vector<float> whole = c0;
+  nn::kernels::gemm_rows_reference(0, kM, kN, kK, 1.1f, a.data(), kK,
+                                   b.data(), kN, 0.5f, whole.data(), kN);
+
+  const nn::kernels::GemmRowsFn fns[] = {
+      nn::kernels::gemm_rows_reference,
+      nn::kernels::gemm_rows_blocked,
+      nn::kernels::active_gemm_rows(),
+  };
+  const std::int64_t cuts[] = {0, 3, 4, 9, kM};
+  for (const auto fn : fns) {
+    std::vector<float> split = c0;
+    for (std::size_t s = 0; s + 1 < std::size(cuts); ++s)
+      fn(cuts[s], cuts[s + 1], kN, kK, 1.1f, a.data(), kK, b.data(), kN,
+         0.5f, split.data(), kN);
+    expect_bits_equal(whole, split, "row partition");
+  }
+}
+
+TEST(FastPath, PublicGemmIsBitExactAcrossThreadCounts) {
+  // Larger shapes so parallel_for actually fans out.
+  const std::int64_t m = 96, n = 80, k = 72;
+  const std::vector<float> a = random_matrix(m * k, 47, 0.3);
+  const std::vector<float> at = random_matrix(k * m, 48, 0.3);
+  const std::vector<float> bt = random_matrix(n * k, 49, 0.0);
+  const std::vector<float> b = random_matrix(k * n, 50, 0.0);
+  const std::vector<float> c0 = random_matrix(m * n, 51, 0.0);
+
+  std::vector<std::vector<float>> gemm_out, at_out, bt_out;
+  for (int threads : {1, 2, 8}) {
+    ThreadCountGuard guard(threads);
+    std::vector<float> c1 = c0, c2 = c0, c3 = c0;
+    nn::gemm(m, n, k, 1.0f, a.data(), k, b.data(), n, 0.25f, c1.data(), n);
+    nn::gemm_at(m, n, k, 1.0f, at.data(), m, b.data(), n, 0.25f, c2.data(),
+                n);
+    nn::gemm_bt(m, n, k, 1.0f, a.data(), k, bt.data(), k, 0.25f, c3.data(),
+                n);
+    gemm_out.push_back(std::move(c1));
+    at_out.push_back(std::move(c2));
+    bt_out.push_back(std::move(c3));
+  }
+  for (std::size_t t = 1; t < gemm_out.size(); ++t) {
+    expect_bits_equal(gemm_out[0], gemm_out[t], "gemm threads");
+    expect_bits_equal(at_out[0], at_out[t], "gemm_at threads");
+    expect_bits_equal(bt_out[0], bt_out[t], "gemm_bt threads");
+  }
+}
+
+TEST(FastPath, ActiveDispatchIsCoherent) {
+  const std::string v = nn::kernels::active_variant();
+  EXPECT_TRUE(v == "scalar" || v == "blocked" || v == "avx2") << v;
+  if (v == "avx2") {
+    EXPECT_TRUE(nn::kernels::avx2_usable());
+  }
+  EXPECT_NE(nn::kernels::active_gemm_rows(), nullptr);
+  EXPECT_NE(nn::kernels::active_gemm_at_rows(), nullptr);
+}
+
+}  // namespace
+}  // namespace rrp::core

@@ -1,0 +1,75 @@
+// test_perf_smoke.cpp — `ctest -L perf`: pruning must save REAL cycles.
+//
+// The modeled ladder (platform_model) says deeper levels are cheaper; the
+// sparsity-realizing fast path claims the same in wall-clock terms.  This
+// smoke measures it: the deepest compacted level of a detection-grade
+// model must run measurably faster than the masked dense network.  The
+// assertion is deliberately weak (the full methodology with warmup +
+// median-of-repeats and the modeled-fit tolerance lives in
+// bench/bench_micro.cpp --wall); the measured margin is ~6x, the gate here
+// is 1.25x, so host noise cannot flip it while a fast path that stopped
+// saving cycles still fails loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/reversible_pruner.h"
+#include "models/zoo.h"
+#include "prune/levels.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rrp {
+namespace {
+
+nn::Tensor random_input(const nn::Shape& shape, std::uint64_t seed) {
+  nn::Tensor x(shape);
+  Rng rng(seed);
+  for (float& v : x.data()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+/// Median over `repeats` timed blocks of `iters` inferences each.
+template <typename F>
+double median_block_us(F&& body, int iters, int repeats) {
+  std::vector<double> samples;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) body();
+    samples.push_back(t.elapsed_us() / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+TEST(PerfSmoke, DeepCompactedLevelBeatsMaskedDense) {
+  Rng rng(202406);
+  nn::Network net = models::build_model(models::ModelKind::DetNet, rng);
+  const nn::Shape in = models::zoo_input_shape();
+  core::CompactedLadderProvider fast(
+      net, prune::PruneLevelLibrary::build_structured(net, {0.0, 0.5, 0.85},
+                                                      in),
+      in);
+  const nn::Tensor x = random_input(in, 7);
+
+  core::ReversiblePruner& dense = fast.masked();  // lagging arm at level 0
+  fast.set_level(fast.level_count() - 1);
+
+  // Warmup (page-in, frequency ramp), then median-of-5 blocks each.
+  for (int i = 0; i < 3; ++i) {
+    dense.infer(x);
+    fast.infer(x);
+  }
+  const double dense_us =
+      median_block_us([&] { dense.infer(x); }, 10, 5);
+  const double fast_us = median_block_us([&] { fast.infer(x); }, 10, 5);
+
+  EXPECT_GT(dense_us / fast_us, 1.25)
+      << "deepest compacted level " << fast_us
+      << " us/frame vs masked dense " << dense_us
+      << " us/frame — the fast path stopped realizing sparsity";
+}
+
+}  // namespace
+}  // namespace rrp

@@ -130,6 +130,26 @@ TEST(RrpLint, FloatAccumulatorRule) {
   EXPECT_EQ(v.size(), 1u);
 }
 
+TEST(RrpLint, FloatAccumulatorCoversMicroKernelFiles) {
+  // "kernel" in the file name is enough — no gemm/conv/depthwise needed —
+  // so new SIMD micro-kernel TUs are covered the day they are added.
+  const auto v = fired("src/nn/bad_kernels.cpp");
+  EXPECT_TRUE(has(v, 8, "float-accumulator")) << "float acc += in loop";
+  // Per-term accumulation into C memory (the sanctioned micro-kernel
+  // contract) stays silent.
+  EXPECT_EQ(v.size(), 1u);
+  // The real micro-kernel TUs are in scope for R2 by name:
+  const auto real = rrp::lint::lint_file(
+      "src/nn/gemm_kernels_avx2.cpp",
+      "float f(const float* a, int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) s += a[i];\n"
+      "  return s;\n"
+      "}\n");
+  ASSERT_EQ(real.size(), 1u);
+  EXPECT_EQ(real[0].rule, "float-accumulator");
+}
+
 TEST(RrpLint, FloatAccumulatorScopedToKernels) {
   // The same float-accumulator pattern outside gemm/conv/depthwise files
   // is not part of the contract.  bad_logging.cpp is an nn file but not a

@@ -15,6 +15,11 @@ unmodified tree they reproduce exactly and any drift is a real behaviour
 change, not host noise.  The band exists to absorb intentional small
 recalibrations without a baseline churn on every PR.
 
+Reports may also carry a "wall_metrics" section (schema v2): MEASURED
+wall-clock numbers from the same run.  Those are machine-dependent by
+nature, so the gate prints them informationally and NEVER compares them —
+they cannot fail the gate, and baselines are free to contain stale ones.
+
 Usage:
     tools/bench_gate.py                 # run benches, compare, exit 0/1
     tools/bench_gate.py --update        # refresh the committed baselines
@@ -36,7 +41,7 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(REPO_ROOT, "bench", "baselines")
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 EPS = 1e-12
 
 # Bench name -> command line (relative to --build-dir).  Only benches with
@@ -58,11 +63,27 @@ def load_report(path):
     for key in ("name", "config", "metrics"):
         if key not in report:
             raise ValueError("%s: missing %r field" % (path, key))
+    report.setdefault("wall_metrics", [])
     return report
 
 
 def metric_map(report):
     return {m["id"]: m for m in report["metrics"]}
+
+
+def print_wall_info(report):
+    """Informational dump of a report's measured wall-clock section.
+
+    Wall metrics are machine-dependent and are deliberately NEVER part of
+    the pass/fail comparison — this is display only.
+    """
+    wall = report.get("wall_metrics") or []
+    if not wall:
+        return
+    print("%s: %d wall metric(s) (informational, never gated):"
+          % (report.get("name", "?"), len(wall)))
+    for m in wall:
+        print("  wall  %-40s %14.3f %s" % (m["id"], float(m["value"]), m["unit"]))
 
 
 def compare(baseline, current, tolerance):
@@ -128,7 +149,7 @@ def run_gate_bench(name, build_dir, out_dir):
 def self_test():
     """Gate-logic check with fabricated reports — no bench binaries run."""
     base = {
-        "schema_version": 1,
+        "schema_version": 2,
         "name": "selftest",
         "config": {"mode": "gate"},
         "metrics": [
@@ -136,15 +157,24 @@ def self_test():
             {"id": "b", "value": 0.5, "unit": "fraction"},
             {"id": "gone", "value": 1.0, "unit": "count"},
         ],
+        "wall_metrics": [
+            {"id": "wall_x", "value": 437.2, "unit": "us"},
+        ],
     }
     regressed = {
-        "schema_version": 1,
+        "schema_version": 2,
         "name": "selftest",
         "config": {"mode": "gate"},
         "metrics": [
             {"id": "a", "value": 120.0, "unit": "us"},   # +20% > 5%
             {"id": "b", "value": 0.5001, "unit": "fraction"},  # within band
             {"id": "extra", "value": 2.0, "unit": "count"},    # warning only
+        ],
+        # Wildly different wall reading AND a new wall id: informational
+        # only — must contribute zero failures and zero warnings.
+        "wall_metrics": [
+            {"id": "wall_x", "value": 9999.0, "unit": "us"},
+            {"id": "wall_new", "value": 1.0, "unit": "x"},
         ],
     }
     failures, warnings = compare(base, regressed, tolerance=0.05)
@@ -154,6 +184,8 @@ def self_test():
         and any("'gone'" in f for f in failures)
         and len(warnings) == 1
         and "'extra'" in warnings[0]
+        and not any("wall" in f for f in failures)
+        and not any("wall" in w for w in warnings)
     )
     clean_failures, clean_warnings = compare(base, base, tolerance=0.05)
     ok = ok and not clean_failures and not clean_warnings
@@ -223,6 +255,7 @@ def main():
                 continue
             baseline = load_report(baseline_path)
             failures, warnings = compare(baseline, current, args.tolerance)
+            print_wall_info(current)
             n_metrics = len(metric_map(baseline))
             print(
                 "%s: %d metric(s) vs baseline, %d failure(s), %d warning(s)"

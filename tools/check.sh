@@ -18,9 +18,14 @@
 #   (g) the bench-regression gate (tools/bench_gate.py): re-runs the
 #       deterministic --gate benches and compares every metric against
 #       bench/baselines/ within RRP_BENCH_TOLERANCE (default 0.05),
-#       skipped with a warning when python3 is unavailable.
+#       skipped with a warning when python3 is unavailable;
+#   (h) an -DRRP_SIMD=OFF build of the unit + perf tests — the micro-kernel
+#       variants are bit-identical by contract (DESIGN.md invariant 13), so
+#       the scalar-dispatch build must pass the exact same suite, golden
+#       traces included, with no baseline churn.
 # Build trees are kept per-configuration (build-check, build-check-tsan,
-# build-check-ubsan, build-check-cov) so re-runs are incremental.
+# build-check-ubsan, build-check-cov, build-check-nosimd) so re-runs are
+# incremental.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -95,6 +100,12 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "warning: python3 not found: skipping bench-regression gate"
 fi
+
+step "(h) RRP_SIMD=OFF build (scalar kernel dispatch, same suite)"
+cmake -B build-check-nosimd -S . -DRRP_SIMD=OFF -DRRP_WERROR=ON
+cmake --build build-check-nosimd -j "$JOBS" --target rrp_tests rrp_perf_smoke
+./build-check-nosimd/tests/rrp_tests
+./build-check-nosimd/tests/rrp_perf_smoke
 
 echo
 echo "check.sh: all gates passed"

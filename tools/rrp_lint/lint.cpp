@@ -202,11 +202,15 @@ bool is_header(const std::string& rel_path) {
   return ends_with(rel_path, ".h") || ends_with(rel_path, ".hpp");
 }
 
-/// R2 applies to the deterministic reduction kernels only.
+/// R2 applies to the deterministic reduction kernels only.  Any nn file
+/// named *kernel* is covered too, so the micro-kernel TUs (gemm_kernels,
+/// gemm_kernels_avx2, and future SIMD variants) inherit the accumulation
+/// contract without a whitelist edit per file.
 bool is_kernel_file(const std::string& rel_path) {
   if (!starts_with(rel_path, "src/nn/")) return false;
   return rel_path.find("gemm") != kNpos || rel_path.find("conv") != kNpos ||
-         rel_path.find("depthwise") != kNpos;
+         rel_path.find("depthwise") != kNpos ||
+         rel_path.find("kernel") != kNpos;
 }
 
 // ---------------------------------------------------------------------------
