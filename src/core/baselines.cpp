@@ -131,6 +131,10 @@ nn::Network ReloadProvider::load_with_retry(int level, TransitionStats& stats) {
       " attempts — " + last_error);
 }
 
+// rrp-frame-path-stop: the reload baseline is the paper's measured
+// comparison arm, not a certified frame path — load_with_retry does
+// full-artifact IO, allocates a fresh network, and throws
+// SerializationError when the store is corrupt by design.
 TransitionStats ReloadProvider::set_level(int level) {
   RRP_CHECK_MSG(level >= 0 && level < level_count(),
                 "level " << level << " outside [0, " << level_count() << ")");
@@ -148,6 +152,8 @@ TransitionStats ReloadProvider::set_level(int level) {
   return stats;
 }
 
+// rrp-frame-path-stop: recovery-by-reload arm — same full-artifact
+// IO/allocation/throw surface as ReloadProvider::set_level above.
 TransitionStats ReloadProvider::reload_current() {
   TransitionStats stats;
   stats.from_level = current_level_;

@@ -12,6 +12,8 @@ RuntimeController::RuntimeController(Policy& policy,
                                      SafetyMonitor* monitor)
     : policy_(&policy), provider_(&provider), monitor_(monitor) {}
 
+// rrp-frame-path: the per-frame plan/screen/execute control step — the
+// decision latency the paper's deadline analysis certifies.
 ControlDecision RuntimeController::step(const ControlInput& input) {
   ControlDecision d;
   const int current = provider_->current_level();

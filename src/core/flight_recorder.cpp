@@ -99,8 +99,11 @@ FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(capacity_);
 }
 
+// rrp-frame-path: the black-box append runs once per frame; it must
+// never become the reason a deadline slips.
 void FlightRecorder::record(const FlightRecord& r) {
   if (ring_.size() < capacity_) {
+    // rrp-lint-allow(frame-path-alloc): push_back below the capacity reserved in the constructor never reallocates; once full, the ring branch below overwrites in place.
     ring_.push_back(r);
   } else {
     ring_[next_] = r;

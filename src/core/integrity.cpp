@@ -58,6 +58,8 @@ inline bool same_bits(float a, float b) {
 
 }  // namespace
 
+// rrp-frame-path: the periodic bit-level scrub runs on the mission
+// loop's scrub cadence inside the frame budget (DESIGN.md invariant 10).
 ScrubReport IntegrityChecker::scrub(nn::Network& net,
                                     const prune::NetworkMask& mask) const {
   RRP_SPAN_VAR(span, "integrity.scrub");
@@ -74,7 +76,6 @@ ScrubReport IntegrityChecker::scrub(nn::Network& net,
     report.elements_checked += n;
 
     IntegrityFinding finding;
-    finding.param = p.name;
     finding.store_corrupt = !store_ok;
     for (std::int64_t i = 0; i < n; ++i) {
       const float expect =
@@ -86,8 +87,13 @@ ScrubReport IntegrityChecker::scrub(nn::Network& net,
         ++finding.diverged_elements;
       }
     }
-    if (finding.diverged_elements > 0 || finding.store_corrupt)
+    if (finding.diverged_elements > 0 || finding.store_corrupt) {
+      // Populate the name only on the detection path: the clean-scrub
+      // fast path must not copy a std::string per parameter.
+      finding.param = p.name;
+      // rrp-lint-allow(frame-path-alloc): detection path only — corruption was found, the frame yields to recovery and the report is bounded by the parameter count.
       report.findings.push_back(std::move(finding));
+    }
   }
   static metrics::Counter& scrubs = metrics::counter("integrity.scrubs");
   static metrics::Counter& elems = metrics::counter("integrity.scrub_elems");
@@ -99,6 +105,8 @@ ScrubReport IntegrityChecker::scrub(nn::Network& net,
   return report;
 }
 
+// rrp-frame-path: the O(Δ) self-heal runs inside the frame that
+// detected corruption (time-to-recovery is a certified SLO).
 RepairReport IntegrityChecker::repair(nn::Network& net,
                                       const prune::NetworkMask& mask,
                                       const ScrubReport& report) const {
@@ -116,6 +124,7 @@ RepairReport IntegrityChecker::repair(nn::Network& net,
     if (finding->store_corrupt) {
       // The golden copy itself diverged from its snapshot digest: copying
       // from it would launder the corruption into "repaired" state.
+      // rrp-lint-allow(frame-path-alloc): store-corrupt exceptional path — the run is already degrading, and the list is bounded by the parameter count.
       out.unrepairable.push_back(p.name);
       continue;
     }

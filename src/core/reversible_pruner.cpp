@@ -15,6 +15,10 @@ ReversiblePruner::ReversiblePruner(nn::Network& net,
   RRP_CHECK_MSG(levels_.verify_nested(),
                 "level library violates the nesting invariant");
   build_deltas();
+  // The transition history is a bounded ring: capacity is reserved once
+  // here so the frame-path append in set_level never reallocates (R6,
+  // DESIGN.md invariant 14).
+  history_.reserve(kHistoryCapacity);
   // Level 0 == golden weights; nothing to apply.
 }
 
@@ -33,7 +37,8 @@ ReversiblePruner::ReversiblePruner(ReversiblePruner&& other) noexcept
       levels_(std::move(other.levels_)),
       bn_states_(std::move(other.bn_states_)),
       current_level_(other.current_level_),
-      history_(std::move(other.history_)) {
+      history_(std::move(other.history_)),
+      history_next_(other.history_next_) {
   other.net_ = nullptr;  // disarm the moved-from destructor
   // Delta lists hold raw pointers into net_ (unchanged) and into our own
   // store_, whose map nodes are stable under move — but rebuild defensively
@@ -83,6 +88,8 @@ nn::Tensor ReversiblePruner::infer(const nn::Tensor& x) {
   return net_->forward(x, /*training=*/false);
 }
 
+// rrp-frame-path: the masked O(Δ) prune/restore arm runs inside the
+// perception frame loop (and on the fast path's scrub-cadence sync).
 TransitionStats ReversiblePruner::set_level(int level) {
   RRP_CHECK_MSG(level >= 0 && level < level_count(),
                 "level " << level << " outside [0, " << level_count() << ")");
@@ -130,7 +137,16 @@ TransitionStats ReversiblePruner::set_level(int level) {
 
   stats.wall_us = timer.elapsed_us();
   current_level_ = level;
-  history_.push_back(stats);
+  // Bounded history ring (capacity reserved at construction): below
+  // capacity this appends in place, at capacity it overwrites the oldest
+  // slot, so a long mission never grows the frame path's footprint.
+  if (history_.size() < kHistoryCapacity) {
+    // rrp-lint-allow(frame-path-alloc): push_back below the capacity reserved in the constructor never reallocates; once full, the ring branch below takes over.
+    history_.push_back(stats);
+  } else {
+    history_[history_next_] = stats;
+    history_next_ = (history_next_ + 1) % kHistoryCapacity;
+  }
 
   static metrics::Counter& transitions = metrics::counter("prune.transitions");
   static metrics::Counter& restores = metrics::counter("prune.restores");
@@ -199,6 +215,8 @@ nn::Tensor CompactedLadderProvider::infer(const nn::Tensor& x) {
   return ladder_[static_cast<std::size_t>(current_level_)].forward(x, false);
 }
 
+// rrp-frame-path: the O(1) ladder swap is THE per-frame transition
+// (invariant 13 — no rebuild, no weight traffic, no allocation).
 TransitionStats CompactedLadderProvider::set_level(int level) {
   RRP_CHECK_MSG(level >= 0 && level < level_count(),
                 "level " << level << " outside [0, " << level_count() << ")");
@@ -266,6 +284,8 @@ nn::Tensor CompactedLevelCache::infer(const nn::Tensor& x) {
   return nets_[static_cast<std::size_t>(current_level_)].forward(x, false);
 }
 
+// rrp-frame-path: pointer-swap transition of the cached-compaction
+// baseline; measured against the ladder on the same frame loop.
 TransitionStats CompactedLevelCache::set_level(int level) {
   RRP_CHECK_MSG(level >= 0 && level < level_count(),
                 "level " << level << " outside [0, " << level_count() << ")");

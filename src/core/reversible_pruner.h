@@ -92,7 +92,13 @@ class ReversiblePruner : public InferenceProvider {
   /// Never used by runtime control paths.
   WeightStore& mutable_store() { return store_; }
   const prune::PruneLevelLibrary& levels() const { return levels_; }
+  /// The last kHistoryCapacity transitions.  Below capacity this is
+  /// append-ordered; once full it becomes a ring and the oldest slot
+  /// (at index history_ring_next()) is overwritten first, so the frame
+  /// path never reallocates (R6, DESIGN.md invariant 14).
   const std::vector<TransitionStats>& history() const { return history_; }
+  std::size_t history_ring_next() const { return history_next_; }
+  static constexpr std::size_t kHistoryCapacity = 256;
 
   /// Bytes spent on the precomputed delta index lists (overhead report).
   std::int64_t delta_index_bytes() const;
@@ -116,7 +122,8 @@ class ReversiblePruner : public InferenceProvider {
   std::vector<std::vector<ParamDelta>> deltas_;  // [level] -> param deltas
   std::vector<BnState> bn_states_;
   int current_level_ = 0;
-  std::vector<TransitionStats> history_;
+  std::vector<TransitionStats> history_;  // bounded ring, see history()
+  std::size_t history_next_ = 0;          // overwrite cursor once full
 };
 
 /// The sparsity-realizing fast path: a provisioned compacted-network
@@ -165,8 +172,9 @@ class CompactedLadderProvider : public InferenceProvider {
   std::int64_t resident_weight_bytes() override;
 
   /// Aligns the masked golden arm to current_level() with the usual O(Δ)
-  /// delta walk.  Off the frame path by contract: call it on the scrub
-  /// cadence or before handing the masked network to restore/repair.
+  /// delta walk.  Runs on the scrub cadence inside the mission loop, so
+  /// it carries the same real-time certification as set_level.
+  // rrp-frame-path: scrub-cadence alignment of the masked golden arm.
   TransitionStats sync_masked() { return masked_.set_level(current_level_); }
 
   /// The masked golden arm (scrub target, fault-injection backdoor,

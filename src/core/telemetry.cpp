@@ -8,6 +8,9 @@
 
 namespace rrp::core {
 
+// rrp-frame-path-stop: host-side experiment collector — the runner
+// records frames outside the certified loop; reached by the analyzer
+// only through receiver-blind matching of metrics Counter::add sites.
 void Telemetry::add(const FrameRecord& record) { records_.push_back(record); }
 
 RunSummary Telemetry::summarize() const {

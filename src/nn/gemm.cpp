@@ -62,6 +62,7 @@ void gemm_bt_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
 
 }  // namespace
 
+// rrp-frame-path: every per-frame inference lands here.
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc) {
@@ -72,11 +73,13 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   const kernels::GemmRowsFn rows = kernels::active_gemm_rows();
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
+                 // rrp-lint-allow(frame-path-unresolved): 'rows' resolves at provision time to one of the annotated gemm_rows_* variants in nn/gemm_kernels*.cpp, each certified.
                  rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta, c,
                       ldc);
                });
 }
 
+// rrp-frame-path: A-transposed variant of the per-frame GEMM.
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, std::int64_t lda, const float* b,
              std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
@@ -84,11 +87,13 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   const kernels::GemmRowsFn rows = kernels::active_gemm_at_rows();
   parallel_for(0, m, row_grain(n, k),
                [&](std::int64_t i_begin, std::int64_t i_end) {
+                 // rrp-lint-allow(frame-path-unresolved): 'rows' resolves at provision time to one of the annotated gemm_at_rows_* variants in nn/gemm_kernels*.cpp, each certified.
                  rows(i_begin, i_end, n, k, alpha, a, lda, b, ldb, beta, c,
                       ldc);
                });
 }
 
+// rrp-frame-path: B-transposed variant of the per-frame GEMM.
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, std::int64_t lda, const float* b,
              std::int64_t ldb, float beta, float* c, std::int64_t ldc) {

@@ -38,6 +38,7 @@ void scale_rows(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
 // the oracle the optimized variants are compared against bit-for-bit.
 // ---------------------------------------------------------------------------
 
+// rrp-frame-path: scalar reference micro-kernel (the bit-exactness oracle).
 void gemm_rows_reference(std::int64_t i_begin, std::int64_t i_end,
                          std::int64_t n, std::int64_t k, float alpha,
                          const float* a, std::int64_t lda, const float* b,
@@ -66,6 +67,7 @@ void gemm_rows_reference(std::int64_t i_begin, std::int64_t i_end,
   }
 }
 
+// rrp-frame-path: scalar reference micro-kernel, A-transposed.
 void gemm_at_rows_reference(std::int64_t i_begin, std::int64_t i_end,
                             std::int64_t n, std::int64_t k, float alpha,
                             const float* a, std::int64_t lda, const float* b,
@@ -141,6 +143,7 @@ void micro_tile_at(std::int64_t i, std::int64_t ri, std::int64_t j,
 
 }  // namespace
 
+// rrp-frame-path: register-tiled cache-blocked micro-kernel.
 void gemm_rows_blocked(std::int64_t i_begin, std::int64_t i_end,
                        std::int64_t n, std::int64_t k, float alpha,
                        const float* a, std::int64_t lda, const float* b,
@@ -166,6 +169,7 @@ void gemm_rows_blocked(std::int64_t i_begin, std::int64_t i_end,
   }
 }
 
+// rrp-frame-path: register-tiled cache-blocked micro-kernel, A-transposed.
 void gemm_at_rows_blocked(std::int64_t i_begin, std::int64_t i_end,
                           std::int64_t n, std::int64_t k, float alpha,
                           const float* a, std::int64_t lda, const float* b,

@@ -62,6 +62,7 @@ inline void row_tile(std::int64_t jn, std::int64_t k0, std::int64_t kmax,
 
 }  // namespace
 
+// rrp-frame-path: hand-vectorized AVX2 micro-kernel (runtime-dispatched).
 void gemm_rows_avx2(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
                     std::int64_t k, float alpha, const float* a,
                     std::int64_t lda, const float* b, std::int64_t ldb,
@@ -85,6 +86,7 @@ void gemm_rows_avx2(std::int64_t i_begin, std::int64_t i_end, std::int64_t n,
   }
 }
 
+// rrp-frame-path: hand-vectorized AVX2 micro-kernel, A-transposed.
 void gemm_at_rows_avx2(std::int64_t i_begin, std::int64_t i_end,
                        std::int64_t n, std::int64_t k, float alpha,
                        const float* a, std::int64_t lda, const float* b,

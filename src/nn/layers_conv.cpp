@@ -88,6 +88,11 @@ void Conv2D::col2im(const float* col, int h, int w, float* dst) const {
   }
 }
 
+// rrp-frame-path: im2col-GEMM conv — the dominant per-frame inference cost.
+// NOTE(analyzer blind spot): the per-chunk `std::vector<float> col(...)`
+// scratch below is a constructor, which the call-site analyzer cannot see
+// (it extracts calls, not declarations). It is pool-worker scratch sized
+// once per chunk, not per frame-path growth; see DESIGN.md §7.
 Tensor Conv2D::forward(const Tensor& x, bool training) {
   RRP_CHECK_MSG(x.dim() == 4 && x.size(1) == in_ch_,
                 "Conv2D '" << name() << "' expects [N, " << in_ch_
@@ -194,6 +199,7 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+// rrp-frame-path-stop: bounded param-view collector (see Network::params).
 std::vector<ParamRef> Conv2D::params() {
   std::vector<ParamRef> p;
   p.push_back({name() + ".weight", &weight_, &weight_grad_});

@@ -30,6 +30,7 @@ std::pair<int, int> DepthwiseConv2D::out_hw(int h, int w) const {
   return {oh, ow};
 }
 
+// rrp-frame-path: direct depthwise conv loop on the per-frame path.
 Tensor DepthwiseConv2D::forward(const Tensor& x, bool training) {
   RRP_CHECK_MSG(x.dim() == 4 && x.size(1) == channels_,
                 "DepthwiseConv2D '" << name() << "' expects [N, " << channels_
@@ -144,6 +145,7 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+// rrp-frame-path-stop: bounded param-view collector (see Network::params).
 std::vector<ParamRef> DepthwiseConv2D::params() {
   std::vector<ParamRef> p;
   p.push_back({name() + ".weight", &weight_, &weight_grad_});

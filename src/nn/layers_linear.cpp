@@ -82,6 +82,7 @@ Tensor Linear::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+// rrp-frame-path-stop: bounded param-view collector (see Network::params).
 std::vector<ParamRef> Linear::params() {
   std::vector<ParamRef> p;
   p.push_back({name() + ".weight", &weight_, &weight_grad_});

@@ -143,6 +143,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+// rrp-frame-path-stop: bounded param-view collector (see Network::params).
 std::vector<ParamRef> BatchNorm::params() {
   return {{name() + ".gamma", &gamma_, &gamma_grad_},
           {name() + ".beta", &beta_, &beta_grad_}};

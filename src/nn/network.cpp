@@ -4,6 +4,8 @@
 
 namespace rrp::nn {
 
+// rrp-frame-path-stop: network construction is provision-time; reached
+// only via receiver-blind 'add' name matching of metrics counters.
 Layer& Network::add(std::unique_ptr<Layer> layer) {
   RRP_CHECK(layer != nullptr);
   layers_.push_back(std::move(layer));
@@ -33,6 +35,9 @@ Tensor Network::backward(const Tensor& grad_out) {
   return g;
 }
 
+// rrp-frame-path-stop: the param-view collector builds a vector bounded
+// by layer count (a handful of references, not weights); the scrub root
+// accepts this bounded setup cost on its cadence (DESIGN.md invariant 14).
 std::vector<ParamRef> Network::params() {
   std::vector<ParamRef> out;
   for (Layer* l : all_layers())

@@ -34,6 +34,8 @@ std::vector<double> FaultMix::weights() const {
           dropped_decision,  artifact_read_failure};
 }
 
+// rrp-frame-path-stop: fault-plan construction is scenario setup, not
+// the frame path; reached only via receiver-blind 'add' name matching.
 void FaultPlan::add(FaultEvent e) {
   const auto it = std::upper_bound(
       events.begin(), events.end(), e.frame,

@@ -1,0 +1,23 @@
+// fp_alloc.cpp — R6 allocation fixture: new/delete tokens and the
+// malloc-family calls must all fire once the root makes them reachable.
+namespace rrp::core {
+
+int* make_buffer(int n) {
+  return new int[n];
+}
+
+int scratch_round_trip(int n) {
+  void* p = malloc(64u);
+  free(p);
+  return n;
+}
+
+// rrp-frame-path: allocation fixture root.
+int fp_alloc_root(int n) {
+  int* b = make_buffer(n);
+  n = scratch_round_trip(n);
+  delete[] b;
+  return n;
+}
+
+}  // namespace rrp::core

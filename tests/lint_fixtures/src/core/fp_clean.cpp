@@ -1,0 +1,21 @@
+// fp_clean.cpp — a certified-clean frame path: bounded arithmetic,
+// safe-listed libc helpers and in-tree callees only.  Zero findings.
+namespace rrp::core {
+
+float mac_row(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc = acc + a[i] * b[i];
+  return acc;
+}
+
+void copy_row(float* dst, const float* src, unsigned long bytes) {
+  memcpy(dst, src, bytes);
+}
+
+// rrp-frame-path: clean fixture root.
+float fp_clean_root(float* dst, const float* a, const float* b, int n) {
+  copy_row(dst, a, sizeof(float) * 4u);
+  return mac_row(a, b, n);
+}
+
+}  // namespace rrp::core

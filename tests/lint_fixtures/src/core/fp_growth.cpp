@@ -1,0 +1,28 @@
+// fp_growth.cpp — R6 container-growth fixture: every growth verb fires
+// in a reachable member function.
+#include <vector>
+
+namespace rrp::core {
+
+struct GrowthBox {
+  std::vector<int> items;
+
+  void grow(int v) {
+    items.push_back(v);
+    items.emplace_back(v + 1);
+  }
+
+  void shape(int n) {
+    items.resize(16u);
+    items.reserve(64u);
+    items.insert(items.begin(), n);
+  }
+};
+
+// rrp-frame-path: container-growth fixture root.
+void fp_growth_root(GrowthBox& box, int v) {
+  box.grow(v);
+  box.shape(v);
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,22 @@
+// fp_io.cpp — R6 IO fixture: stdio calls and stream tokens fire exactly
+// once each (the resolver leaves printf-family names to the body scan).
+#include <fstream>
+
+namespace rrp::core {
+
+void emit(int v) {
+  printf("%d\n", v);
+}
+
+void spill(int v) {
+  std::ofstream f("spill.txt");
+  f << v;
+}
+
+// rrp-frame-path: io fixture root.
+void fp_io_root(int v) {
+  emit(v);
+  spill(v);
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,18 @@
+// fp_lambda.cpp — call-graph edge case: work inside a lambda body is
+// attributed to the enclosing definition, so growth inside the callback
+// fires against the root.
+#include <vector>
+
+namespace rrp::core {
+
+// rrp-frame-path: lambda-attribution fixture root.
+void fp_lambda_root(std::vector<int>& out, int n) {
+  auto push_twice = [&out](int v) {
+    out.push_back(v);
+    out.push_back(v + 1);
+  };
+  // rrp-lint-allow(frame-path-unresolved): push_twice is the lambda above; its body is already attributed to this root by the indexer.
+  push_twice(n);
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,27 @@
+// fp_lock.cpp — R6 lock fixture: RAII guard tokens and explicit .lock()
+// both fire on the frame path (the determinism-thread findings from R4
+// are expected too — core is not thread-whitelisted).
+#include <mutex>
+
+namespace rrp::core {
+
+struct LockBox {
+  std::mutex m;
+
+  void guarded_update() {
+    std::lock_guard<std::mutex> g(m);
+  }
+
+  void manual_lock() {
+    m.lock();
+    m.unlock();
+  }
+};
+
+// rrp-frame-path: lock fixture root.
+void fp_lock_root(LockBox& box) {
+  box.guarded_update();
+  box.manual_lock();
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,17 @@
+// fp_marker.cpp — marker-hygiene fixture: a dangling root marker, a
+// reason-less stop, and an unknown marker suffix are each findings.
+namespace rrp::core {
+
+int marker_target(int v) { return v; }
+
+// rrp-frame-path-stop:
+int stop_without_reason(int v) { return v; }
+
+// rrp-frame-path-extra: unknown suffix must not silently bind.
+int unknown_suffix(int v) { return v; }
+
+int plain_tail(int v) { return v; }
+
+// rrp-frame-path: dangling — no definition follows this marker.
+
+}  // namespace rrp::core

@@ -1,0 +1,23 @@
+// fp_memfn_ptr.cpp — call-graph edge case: member-function-pointer and
+// pointer-to-member dereference calls cannot be resolved statically and
+// are flagged as frame-path-unresolved, not silently passed.
+namespace rrp::core {
+
+struct Dispatcher {
+  int (Dispatcher::*hook_)(int);
+
+  int via_arrow(Dispatcher* obj, int v) {
+    return (obj->*hook_)(v);
+  }
+
+  int via_dot(Dispatcher& obj, int v) {
+    return (obj.*hook_)(v);
+  }
+};
+
+// rrp-frame-path: member-function-pointer fixture root.
+int fp_memfn_root(Dispatcher& d, int v) {
+  return d.via_arrow(&d, v) + d.via_dot(d, v);
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,20 @@
+// fp_overload.cpp — call-graph edge case: the name-based resolver links
+// a call site to EVERY same-name overload (conservative), so the dirty
+// overload fires even though the root "really" calls the clean one.
+#include <vector>
+
+namespace rrp::core {
+
+int mix_in(int v) { return v * 3; }
+
+int mix_in(std::vector<int>& sink, int v) {
+  sink.push_back(v);
+  return v;
+}
+
+// rrp-frame-path: overload fixture root.
+int fp_overload_root(int v) {
+  return mix_in(v);
+}
+
+}  // namespace rrp::core

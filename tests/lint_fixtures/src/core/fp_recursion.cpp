@@ -1,0 +1,27 @@
+// fp_recursion.cpp — R7 fixture: direct self-recursion and a two-node
+// mutual cycle, both reachable from one root.
+namespace rrp::core {
+
+int count_down(int n) {
+  if (n <= 0) return 0;
+  return count_down(n - 1) + 1;
+}
+
+int odd_step(int n);
+
+int even_step(int n) {
+  if (n == 0) return 1;
+  return odd_step(n - 1);
+}
+
+int odd_step(int n) {
+  if (n == 0) return 0;
+  return even_step(n - 1);
+}
+
+// rrp-frame-path: recursion fixture root.
+int fp_recursion_root(int n) {
+  return count_down(n) + even_step(n);
+}
+
+}  // namespace rrp::core

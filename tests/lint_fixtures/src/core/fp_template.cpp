@@ -1,0 +1,17 @@
+// fp_template.cpp — call-graph edge case: a function template is indexed
+// like any definition, so growth inside it fires when it is reachable.
+#include <vector>
+
+namespace rrp::core {
+
+template <typename T>
+void append_one(std::vector<T>& v, T x) {
+  v.push_back(x);
+}
+
+// rrp-frame-path: template fixture root.
+void fp_template_root(std::vector<int>& v, int x) {
+  append_one(v, x);
+}
+
+}  // namespace rrp::core

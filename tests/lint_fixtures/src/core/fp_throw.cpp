@@ -1,0 +1,18 @@
+// fp_throw.cpp — R6 throw fixture: an unwind two hops from the root.
+namespace rrp::core {
+
+void deep_check(int v) {
+  if (v < 0) throw v;
+}
+
+int shallow_check(int v) {
+  deep_check(v);
+  return v;
+}
+
+// rrp-frame-path: throw fixture root.
+int fp_throw_root(int v) {
+  return shallow_check(v);
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,48 @@
+// fp_virtual.cpp — call-graph edge case: a virtual call through the base
+// interface conservatively links to every override; a stop-marked
+// override is exempt with its written reason; an extern callee with no
+// indexed definition is an explicit unresolved finding, and the escape
+// hatch is a reasoned suppression.
+#include <vector>
+
+namespace rrp::core {
+
+int external_tick(int v);
+
+class StepProvider {
+ public:
+  virtual ~StepProvider() = default;
+  virtual int execute(int v) = 0;
+};
+
+class DirtyProvider : public StepProvider {
+ public:
+  int execute(int v) override {
+    log_.push_back(v);
+    return v;
+  }
+
+ private:
+  std::vector<int> log_;
+};
+
+class AuditedProvider : public StepProvider {
+ public:
+  // rrp-frame-path-stop: measured comparison arm certified by its own
+  // harness — not part of the frame path under analysis.
+  int execute(int v) override {
+    int* scratch = new int[4];
+    return scratch != nullptr ? v : 0;
+  }
+};
+
+// rrp-frame-path: virtual-dispatch fixture root.
+int fp_virtual_root(StepProvider& p, int v) {
+  const int a = p.execute(v);
+  const int b = external_tick(a);
+  // rrp-lint-allow(frame-path-unresolved): certified vendor intrinsic.
+  const int c = platform_cycle_count(b);
+  return a + b + c;
+}
+
+}  // namespace rrp::core

@@ -103,6 +103,32 @@ TEST(ReversiblePruner, RestoreFlagAndHistory) {
   EXPECT_EQ(rp.history()[1].to_level, 1);
 }
 
+// Invariant 14: the transition history is a bounded ring — once full it
+// overwrites in place (oldest slot first) instead of reallocating, so
+// set_level never allocates on the frame path.
+TEST(ReversiblePruner, HistoryRingOverwritesBeyondCapacity) {
+  nn::Network net = tiny_conv_net(11);
+  ReversiblePruner rp(net, structured_lib(net));
+  const std::size_t cap = ReversiblePruner::kHistoryCapacity;
+  const TransitionStats* before_data = rp.history().data();
+
+  const std::size_t total = cap + 5;
+  for (std::size_t i = 0; i < total; ++i)
+    rp.set_level(static_cast<int>(i % 2) + 1);  // 1 <-> 2, every one real
+
+  EXPECT_EQ(rp.history().size(), cap);
+  // No reallocation: push_back stopped at the reserved capacity and the
+  // ring branch writes in place.
+  EXPECT_EQ(rp.history().data(), before_data);
+  // Five overwrites happened; the cursor points at the oldest slot.
+  EXPECT_EQ(rp.history_ring_next(), 5u);
+  // The newest transition sits just behind the cursor.
+  const TransitionStats& newest = rp.history()[4];
+  EXPECT_EQ(newest.to_level, static_cast<int>((total - 1) % 2) + 1);
+  // The ring never corrupted the switching math: restore is still exact.
+  rp.set_level(0);
+}
+
 TEST(ReversiblePruner, SparsityMatchesLevelMask) {
   nn::Network net = tiny_conv_net(10);
   auto lib = structured_lib(net);

@@ -266,4 +266,165 @@ TEST(RrpLint, RealTreeIsClean) {
   for (const Finding& f : findings) ADD_FAILURE() << rrp::lint::to_string(f);
 }
 
+// --------------------------------------------------------------------------
+// R6/R7 interprocedural frame-path analysis (tools/rrp_lint/callgraph.cpp).
+// --------------------------------------------------------------------------
+
+TEST(RrpLintFramePath, AllocationRule) {
+  const auto v = fired("src/core/fp_alloc.cpp");
+  EXPECT_TRUE(has(v, 6, "frame-path-alloc")) << "new[] one hop from root";
+  EXPECT_TRUE(has(v, 10, "frame-path-alloc")) << "malloc";
+  EXPECT_TRUE(has(v, 11, "frame-path-alloc")) << "free";
+  EXPECT_TRUE(has(v, 19, "frame-path-alloc")) << "delete[] in the root body";
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(RrpLintFramePath, ContainerGrowthRule) {
+  const auto v = fired("src/core/fp_growth.cpp");
+  EXPECT_TRUE(has(v, 11, "frame-path-alloc")) << "push_back";
+  EXPECT_TRUE(has(v, 12, "frame-path-alloc")) << "emplace_back";
+  EXPECT_TRUE(has(v, 16, "frame-path-alloc")) << "resize";
+  EXPECT_TRUE(has(v, 17, "frame-path-alloc")) << "reserve";
+  EXPECT_TRUE(has(v, 18, "frame-path-alloc")) << "insert";
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(RrpLintFramePath, LockRule) {
+  const auto v = fired("src/core/fp_lock.cpp");
+  EXPECT_TRUE(has(v, 12, "frame-path-lock")) << "RAII lock_guard token";
+  EXPECT_TRUE(has(v, 16, "frame-path-lock")) << "explicit .lock()";
+  // core is not thread-whitelisted, so R4 fires alongside — expected.
+  EXPECT_TRUE(has(v, 4, "determinism-thread"));
+  EXPECT_TRUE(has(v, 9, "determinism-thread"));
+  EXPECT_TRUE(has(v, 12, "determinism-thread"));
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(RrpLintFramePath, IoRule) {
+  const auto v = fired("src/core/fp_io.cpp");
+  EXPECT_TRUE(has(v, 8, "frame-path-io")) << "printf one hop from root";
+  EXPECT_TRUE(has(v, 12, "frame-path-io")) << "ofstream token";
+  // One printf is one frame-path-io finding — the resolver must not add a
+  // spurious frame-path-unresolved for a printf-family name.
+  EXPECT_FALSE(has(v, 8, "frame-path-unresolved"));
+  // The per-file logging rule fires on the same line independently.
+  EXPECT_TRUE(has(v, 8, "hygiene-logging"));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RrpLintFramePath, ThrowRule) {
+  const auto v = fired("src/core/fp_throw.cpp");
+  EXPECT_TRUE(has(v, 5, "frame-path-throw")) << "throw two hops from root";
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(RrpLintFramePath, RecursionRule) {
+  const auto v = fired("src/core/fp_recursion.cpp");
+  EXPECT_TRUE(has(v, 5, "frame-path-recursion")) << "direct self-recursion";
+  EXPECT_TRUE(has(v, 12, "frame-path-recursion")) << "mutual cycle, even_step";
+  EXPECT_TRUE(has(v, 17, "frame-path-recursion")) << "mutual cycle, odd_step";
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RrpLintFramePath, MarkerHygiene) {
+  const auto v = fired("src/core/fp_marker.cpp");
+  EXPECT_TRUE(has(v, 7, "bad-frame-path-marker")) << "stop without a reason";
+  EXPECT_TRUE(has(v, 10, "bad-frame-path-marker")) << "unknown marker suffix";
+  EXPECT_TRUE(has(v, 15, "bad-frame-path-marker")) << "dangling marker";
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RrpLintFramePath, LambdaBodyAttributedToEnclosingDef) {
+  const auto v = fired("src/core/fp_lambda.cpp");
+  EXPECT_TRUE(has(v, 11, "frame-path-alloc")) << "growth inside the lambda";
+  EXPECT_TRUE(has(v, 12, "frame-path-alloc"));
+  // The reasoned suppression silences the lambda-variable call site.
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(RrpLintFramePath, OverloadsLinkConservatively) {
+  const auto v = fired("src/core/fp_overload.cpp");
+  EXPECT_TRUE(has(v, 11, "frame-path-alloc"))
+      << "the dirty overload fires even though the clean one is called";
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(RrpLintFramePath, TemplatesAreIndexed) {
+  const auto v = fired("src/core/fp_template.cpp");
+  EXPECT_TRUE(has(v, 9, "frame-path-alloc")) << "growth inside the template";
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(RrpLintFramePath, MemberFunctionPointersAreUnresolved) {
+  const auto v = fired("src/core/fp_memfn_ptr.cpp");
+  EXPECT_TRUE(has(v, 10, "frame-path-unresolved")) << "(obj->*hook_)(v)";
+  EXPECT_TRUE(has(v, 14, "frame-path-unresolved")) << "(obj.*hook_)(v)";
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(RrpLintFramePath, VirtualDispatchAndExternCallees) {
+  const auto v = fired("src/core/fp_virtual.cpp");
+  EXPECT_TRUE(has(v, 21, "frame-path-alloc"))
+      << "virtual call links to every override: the dirty one fires";
+  EXPECT_TRUE(has(v, 42, "frame-path-unresolved")) << "undefined extern callee";
+  // The stop-marked override's `new` is exempt (line 34), and the
+  // suppressed vendor intrinsic stays silent (line 45).
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(RrpLintFramePath, CleanRootStaysClean) {
+  EXPECT_TRUE(fired("src/core/fp_clean.cpp").empty());
+}
+
+TEST(RrpLintFramePath, SingleLexPassPerFile) {
+  rrp::lint::reset_lex_count();
+  const rrp::lint::LintReport report =
+      rrp::lint::lint_tree_report(RRP_LINT_FIXTURE_DIR);
+  // Per-file rules, suppression scan and the interprocedural pass all
+  // share ONE lex of each file.
+  EXPECT_EQ(rrp::lint::lex_count(), report.files_scanned);
+  EXPECT_EQ(report.lex_passes, report.files_scanned);
+  EXPECT_GT(report.files_scanned, 0u);
+}
+
+TEST(RrpLintFramePath, ReportCountsRootsAndSuppressions) {
+  const rrp::lint::LintReport report =
+      rrp::lint::lint_tree_report(RRP_LINT_FIXTURE_DIR);
+  // One root per fp_ fixture that declares one (alloc, growth, lock, io,
+  // throw, recursion, lambda, overload, template, memfn, virtual, clean).
+  EXPECT_EQ(report.frame_path_roots, 12);
+  EXPECT_GT(report.frame_path_reachable, report.frame_path_roots)
+      << "roots must drag their callees into the reachable set";
+  EXPECT_GE(report.frame_path_stops, 1) << "fp_virtual's audited override";
+  // The reasoned suppressions in the fixtures are retained, not dropped.
+  EXPECT_FALSE(report.suppressed.empty());
+}
+
+TEST(RrpLintFramePath, RealTreeReport) {
+  const rrp::lint::LintReport report =
+      rrp::lint::lint_tree_report(RRP_LINT_REPO_ROOT);
+  // The annotated real tree: controller step, provider set_levels,
+  // sync_masked, scrub/repair, recorder, GEMM entry points and kernel
+  // variants, conv/depthwise forwards.
+  EXPECT_GE(report.frame_path_roots, 15);
+  EXPECT_GT(report.frame_path_reachable, report.frame_path_roots);
+  EXPECT_GE(report.frame_path_stops, 8);
+  // Zero silent allowances: every suppression in the tree carries a
+  // reason (reason-less markers are bad-suppression findings, and the
+  // RealTreeIsClean gate above already proved there are none).
+  EXPECT_GE(report.suppressed.size(), 10u);
+}
+
+TEST(RrpLintFramePath, JsonRoundTrip) {
+  std::string err;
+  EXPECT_TRUE(rrp::lint::json_self_test(&err)) << err;
+  // The real report serializes without choking on message punctuation.
+  const rrp::lint::LintReport report =
+      rrp::lint::lint_tree_report(RRP_LINT_FIXTURE_DIR);
+  const std::string json = rrp::lint::to_json(report);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"frame-path-alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\":true"), std::string::npos);
+}
+
 }  // namespace

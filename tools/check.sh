@@ -6,7 +6,9 @@
 # Runs, in order, everything a PR must pass:
 #   (a) normal build (-Wall -Wextra promoted to -Werror) + full ctest
 #       — which already includes `ctest -L lint` via the rrp_lint test;
-#   (b) the lint label on its own, so a lint failure is called out;
+#   (b) the lint label on its own, so a lint failure is called out, plus
+#       rrp_lint --self-test and a --json report parsed back through
+#       python3's json module (the machine-readable round-trip);
 #   (c) the fault-injection / integrity campaign suite (ctest -L faults),
 #       so a robustness regression is called out by name;
 #   (d) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
@@ -19,10 +21,11 @@
 #       deterministic --gate benches and compares every metric against
 #       bench/baselines/ within RRP_BENCH_TOLERANCE (default 0.05),
 #       skipped with a warning when python3 is unavailable;
-#   (h) an -DRRP_SIMD=OFF build of the unit + perf tests — the micro-kernel
-#       variants are bit-identical by contract (DESIGN.md invariant 13), so
-#       the scalar-dispatch build must pass the exact same suite, golden
-#       traces included, with no baseline churn.
+#   (h) an -DRRP_SIMD=OFF build of the unit + perf tests + rrp_lint — the
+#       micro-kernel variants are bit-identical by contract (DESIGN.md
+#       invariant 13), so the scalar-dispatch build must pass the exact
+#       same suite (golden traces included) and the frame-path pass must
+#       hold with the AVX2 TU out of the build.
 # Build trees are kept per-configuration (build-check, build-check-tsan,
 # build-check-ubsan, build-check-cov, build-check-nosimd) so re-runs are
 # incremental.
@@ -38,8 +41,26 @@ cmake -B build-check -S . -DRRP_WERROR=ON
 cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-step "(b) static analysis (ctest -L lint)"
+step "(b) static analysis (ctest -L lint + rrp_lint --json)"
 ctest --test-dir build-check --output-on-failure -L lint
+./build-check/tools/rrp_lint --self-test
+./build-check/tools/rrp_lint --root . --json > build-check/rrp_lint.json
+if command -v python3 >/dev/null 2>&1; then
+  # json.load IS the round-trip check: a malformed emitter dies here.
+  python3 - <<'EOF'
+import json
+with open('build-check/rrp_lint.json') as f:
+    r = json.load(f)
+assert r['schema_version'] == 1
+fp = r['frame_path']
+print('rrp_lint.json: %d files, %d lex passes, frame path %d roots -> %d '
+      'reachable (%d stops), %d active / %d suppressed finding(s), %.1f ms'
+      % (r['files_scanned'], r['lex_passes'], fp['roots'], fp['reachable'],
+         fp['stops'], r['active_count'], r['suppressed_count'], r['wall_ms']))
+EOF
+else
+  echo "warning: python3 not found: skipping rrp_lint.json summary"
+fi
 
 step "(c) fault-injection campaign suite (ctest -L faults)"
 ctest --test-dir build-check --output-on-failure -L faults
@@ -103,9 +124,13 @@ fi
 
 step "(h) RRP_SIMD=OFF build (scalar kernel dispatch, same suite)"
 cmake -B build-check-nosimd -S . -DRRP_SIMD=OFF -DRRP_WERROR=ON
-cmake --build build-check-nosimd -j "$JOBS" --target rrp_tests rrp_perf_smoke
+cmake --build build-check-nosimd -j "$JOBS" --target rrp_tests rrp_perf_smoke \
+  rrp_lint
 ./build-check-nosimd/tests/rrp_tests
 ./build-check-nosimd/tests/rrp_perf_smoke
+# The frame-path pass must hold in both dispatch configurations: the AVX2
+# TU's roots are annotated and the scalar tree must be just as clean.
+./build-check-nosimd/tools/rrp_lint --root .
 
 echo
 echo "check.sh: all gates passed"

@@ -1,0 +1,333 @@
+// json_out.cpp — schema-version-1 JSON serialization for rrp_lint
+// (`rrp_lint --json`) plus the embedded round-trip self-test behind
+// `rrp_lint --self-test`.
+//
+// The emitter is hand-rolled (no third-party JSON dependency, matching
+// the rest of the tree) and the self-test parses its own output back
+// with a minimal recursive-descent parser, so the schema check does not
+// depend on the consumer: check.sh's python summary reads the same
+// bytes the self-test validated.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace rrp::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 passes through
+        }
+    }
+  }
+  return out;
+}
+
+void append_finding(std::string* out, const Finding& f, bool suppressed) {
+  *out += "{\"file\":\"" + json_escape(f.file) + "\"";
+  *out += ",\"line\":" + std::to_string(f.line);
+  *out += ",\"rule\":\"" + json_escape(f.rule) + "\"";
+  *out += ",\"message\":\"" + json_escape(f.message) + "\"";
+  *out += ",\"suppressed\":";
+  *out += suppressed ? "true" : "false";
+  *out += "}";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — only what the self-test needs to read the schema
+// back: objects, arrays, strings, integers/doubles, booleans.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Object, Array, String, Number, Bool, Null } kind;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+};
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool fail(const std::string& why) {
+    if (error.empty())
+      error = why + " at byte " + std::to_string(i);
+    return false;
+  }
+  bool parse_string(std::string* out) {
+    if (i >= s.size() || s[i] != '"') return fail("expected '\"'");
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return fail("dangling escape");
+        switch (s[i]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return fail("short \\u escape");
+            unsigned v = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char c = s[i + static_cast<std::size_t>(k)];
+              v <<= 4;
+              if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            i += 4;
+            // The emitter only \u-escapes control bytes (< 0x20).
+            *out += static_cast<char>(v & 0xff);
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++i;
+      } else {
+        *out += s[i];
+        ++i;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    return true;
+  }
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    if (i >= s.size()) {
+      fail("unexpected end");
+      return nullptr;
+    }
+    auto v = std::make_shared<JsonValue>();
+    const char c = s[i];
+    if (c == '{') {
+      v->kind = JsonValue::Kind::Object;
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == '}') { ++i; return v; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return nullptr;
+        skip_ws();
+        if (i >= s.size() || s[i] != ':') { fail("expected ':'"); return nullptr; }
+        ++i;
+        auto child = parse_value();
+        if (!child) return nullptr;
+        v->object[key] = child;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        if (i < s.size() && s[i] == '}') { ++i; return v; }
+        fail("expected ',' or '}'");
+        return nullptr;
+      }
+    }
+    if (c == '[') {
+      v->kind = JsonValue::Kind::Array;
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == ']') { ++i; return v; }
+      while (true) {
+        auto child = parse_value();
+        if (!child) return nullptr;
+        v->array.push_back(child);
+        skip_ws();
+        if (i < s.size() && s[i] == ',') { ++i; continue; }
+        if (i < s.size() && s[i] == ']') { ++i; return v; }
+        fail("expected ',' or ']'");
+        return nullptr;
+      }
+    }
+    if (c == '"') {
+      v->kind = JsonValue::Kind::String;
+      if (!parse_string(&v->str)) return nullptr;
+      return v;
+    }
+    if (c == 't' && s.compare(i, 4, "true") == 0) {
+      v->kind = JsonValue::Kind::Bool;
+      v->boolean = true;
+      i += 4;
+      return v;
+    }
+    if (c == 'f' && s.compare(i, 5, "false") == 0) {
+      v->kind = JsonValue::Kind::Bool;
+      v->boolean = false;
+      i += 5;
+      return v;
+    }
+    if (c == 'n' && s.compare(i, 4, "null") == 0) {
+      v->kind = JsonValue::Kind::Null;
+      i += 4;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v->kind = JsonValue::Kind::Number;
+      std::size_t j = i;
+      while (j < s.size() &&
+             (s[j] == '-' || s[j] == '+' || s[j] == '.' || s[j] == 'e' ||
+              s[j] == 'E' || (s[j] >= '0' && s[j] <= '9')))
+        ++j;
+      v->num = std::stod(s.substr(i, j - i));
+      i = j;
+      return v;
+    }
+    fail("unexpected character");
+    return nullptr;
+  }
+};
+
+bool expect(bool cond, const std::string& what, std::string* error) {
+  if (!cond && error && error->empty()) *error = "self-test: " + what;
+  return cond;
+}
+
+}  // namespace
+
+std::string to_json(const LintReport& r) {
+  std::string out = "{\"schema_version\":1";
+  out += ",\"files_scanned\":" + std::to_string(r.files_scanned);
+  out += ",\"lex_passes\":" + std::to_string(r.lex_passes);
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.3f", r.wall_ms);
+  out += ",\"wall_ms\":";
+  out += wall;
+  out += ",\"frame_path\":{\"roots\":" + std::to_string(r.frame_path_roots) +
+         ",\"reachable\":" + std::to_string(r.frame_path_reachable) +
+         ",\"stops\":" + std::to_string(r.frame_path_stops) + "}";
+  out += ",\"active_count\":" + std::to_string(r.findings.size());
+  out += ",\"suppressed_count\":" + std::to_string(r.suppressed.size());
+  out += ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    if (!first) out += ",";
+    first = false;
+    append_finding(&out, f, false);
+  }
+  for (const Finding& f : r.suppressed) {
+    if (!first) out += ",";
+    first = false;
+    append_finding(&out, f, true);
+  }
+  out += "]}";
+  return out;
+}
+
+bool json_self_test(std::string* error) {
+  if (error) error->clear();
+  LintReport r;
+  r.files_scanned = 42;
+  r.lex_passes = 42;
+  r.wall_ms = 12.5;
+  r.frame_path_roots = 3;
+  r.frame_path_reachable = 17;
+  r.frame_path_stops = 2;
+  // Hostile payloads: quotes, backslashes, control bytes, tabs, UTF-8.
+  r.findings.push_back({"src/a \"b\"\\c.cpp", 7, "frame-path-alloc",
+                        "line1\nline2\ttab \x01 ctrl \xc3\xa9 utf8"});
+  r.suppressed.push_back(
+      {"tools/x.cpp", 1, "determinism-chrono", "reason: [ok], {fine}"});
+
+  const std::string text = to_json(r);
+  JsonParser p(text);
+  auto root = p.parse_value();
+  p.skip_ws();
+  if (!root || p.i != text.size()) {
+    if (error)
+      *error = "self-test: parse failed: " +
+               (p.error.empty() ? "trailing bytes" : p.error);
+    return false;
+  }
+  auto num = [&](const char* key) -> double {
+    auto it = root->object.find(key);
+    return it == root->object.end() ? -1.0 : it->second->num;
+  };
+  if (!expect(root->kind == JsonValue::Kind::Object, "root not an object",
+              error))
+    return false;
+  if (!expect(num("schema_version") == 1.0, "schema_version != 1", error))
+    return false;
+  if (!expect(num("files_scanned") == 42.0, "files_scanned mismatch", error))
+    return false;
+  if (!expect(num("lex_passes") == 42.0, "lex_passes mismatch", error))
+    return false;
+  if (!expect(num("wall_ms") == 12.5, "wall_ms mismatch", error)) return false;
+  if (!expect(num("active_count") == 1.0, "active_count mismatch", error))
+    return false;
+  if (!expect(num("suppressed_count") == 1.0, "suppressed_count mismatch",
+              error))
+    return false;
+  auto fp = root->object.find("frame_path");
+  if (!expect(fp != root->object.end() &&
+                  fp->second->kind == JsonValue::Kind::Object,
+              "frame_path missing", error))
+    return false;
+  if (!expect(fp->second->object["roots"]->num == 3.0 &&
+                  fp->second->object["reachable"]->num == 17.0 &&
+                  fp->second->object["stops"]->num == 2.0,
+              "frame_path stats mismatch", error))
+    return false;
+  auto fs = root->object.find("findings");
+  if (!expect(fs != root->object.end() &&
+                  fs->second->kind == JsonValue::Kind::Array &&
+                  fs->second->array.size() == 2,
+              "findings array mismatch", error))
+    return false;
+  const auto& f0 = fs->second->array[0]->object;
+  const auto& f1 = fs->second->array[1]->object;
+  if (!expect(f0.at("file")->str == r.findings[0].file &&
+                  f0.at("line")->num == 7.0 &&
+                  f0.at("rule")->str == r.findings[0].rule &&
+                  f0.at("message")->str == r.findings[0].message &&
+                  f0.at("suppressed")->boolean == false,
+              "active finding did not round-trip", error))
+    return false;
+  if (!expect(f1.at("file")->str == r.suppressed[0].file &&
+                  f1.at("suppressed")->boolean == true &&
+                  f1.at("message")->str == r.suppressed[0].message,
+              "suppressed finding did not round-trip", error))
+    return false;
+  return true;
+}
+
+}  // namespace rrp::lint

@@ -21,75 +21,18 @@
 #include <sstream>
 #include <tuple>
 
+#include "callgraph.h"
+#include "text_util.h"
+
 namespace rrp::lint {
 
 namespace {
 
 constexpr std::size_t kNpos = std::string::npos;
 
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `tok` occurs in `s` delimited by non-identifier characters.
-/// `tok` may itself contain "::" (e.g. "std::mutex").
-bool has_token(const std::string& s, const std::string& tok) {
-  std::size_t pos = 0;
-  while ((pos = s.find(tok, pos)) != kNpos) {
-    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
-    const std::size_t end = pos + tok.size();
-    const bool right_ok = end >= s.size() || !ident_char(s[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t i) {
-  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-  return i;
-}
-
-/// Token followed by '(' — a call or macro-style use.
-bool has_call(const std::string& s, const std::string& tok) {
-  std::size_t pos = 0;
-  while ((pos = s.find(tok, pos)) != kNpos) {
-    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
-    const std::size_t end = pos + tok.size();
-    if (left_ok && end < s.size() && !ident_char(s[end]) &&
-        skip_spaces(s, end) < s.size() && s[skip_spaces(s, end)] == '(')
-      return true;
-    pos += 1;
-  }
-  return false;
-}
-
-/// Token followed by an *empty* argument list: `now()` but not `now(tp)`.
-bool has_argless_call(const std::string& s, const std::string& tok) {
-  std::size_t pos = 0;
-  while ((pos = s.find(tok, pos)) != kNpos) {
-    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
-    std::size_t i = pos + tok.size();
-    if (left_ok && (i >= s.size() || !ident_char(s[i]))) {
-      i = skip_spaces(s, i);
-      if (i < s.size() && s[i] == '(') {
-        i = skip_spaces(s, i + 1);
-        if (i < s.size() && s[i] == ')') return true;
-      }
-    }
-    pos += 1;
-  }
-  return false;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
+/// scan_file call counter backing lex_count(): lint_tree_report promises
+/// one lex per file, and the lint test asserts it.
+std::size_t g_lex_count = 0;
 
 // ---------------------------------------------------------------------------
 // Module layering (R3).  Linear DAG, low rank = lower layer; a file may
@@ -222,13 +165,6 @@ struct Suppressions {
   std::set<std::pair<int, std::string>> allowed;
   std::vector<Finding> bad;  ///< malformed or unknown-rule suppressions
 };
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
 
 Suppressions parse_suppressions(const std::string& rel_path,
                                 const FileView& view) {
@@ -472,10 +408,26 @@ std::vector<std::string> all_rule_ids() {
           "determinism-chrono",      "float-accumulator",
           "layering",                "hygiene-override",
           "hygiene-using-namespace", "hygiene-logging",
-          "top-level-blob",          "bad-suppression"};
+          "frame-path-alloc",        "frame-path-lock",
+          "frame-path-io",           "frame-path-throw",
+          "frame-path-unresolved",   "frame-path-recursion",
+          "bad-frame-path-marker",   "top-level-blob",
+          "bad-suppression"};
+}
+
+std::size_t lex_count() { return g_lex_count; }
+void reset_lex_count() { g_lex_count = 0; }
+
+ParsedFile parse_source(const std::string& rel_path, const std::string& text) {
+  ParsedFile pf;
+  pf.rel_path = rel_path;
+  pf.text = text;
+  pf.view = scan_file(text);
+  return pf;
 }
 
 FileView scan_file(const std::string& text) {
+  ++g_lex_count;
   FileView view;
   std::string code, comment;
   enum class State { Code, LineComment, BlockComment, String, Char, Raw };
@@ -581,10 +533,15 @@ FileView scan_file(const std::string& text) {
   return view;
 }
 
-std::vector<Finding> lint_file(const std::string& rel_path,
-                               const std::string& text) {
-  const FileView view = scan_file(text);
-  const Suppressions sup = parse_suppressions(rel_path, view);
+namespace {
+
+/// All per-file rule findings for one parsed file, unsuppressed and
+/// unsorted.  Shared by lint_file (single file) and lint_tree_report
+/// (whole tree, one lex per file).
+std::vector<Finding> per_file_findings(const ParsedFile& pf) {
+  const std::string& rel_path = pf.rel_path;
+  const FileView& view = pf.view;
+  const std::string& text = pf.text;
   std::vector<Finding> raw;
 
   const bool random_ok =
@@ -699,12 +656,30 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   ScopeFindings scoped;
   scope_pass(rel_path, view, scoped);
   raw.insert(raw.end(), scoped.findings.begin(), scoped.findings.end());
+  return raw;
+}
 
-  // Apply suppressions, then append suppression-syntax errors.
-  std::vector<Finding> out;
-  for (const Finding& f : raw)
-    if (sup.allowed.find({f.line, f.rule}) == sup.allowed.end())
-      out.push_back(f);
+/// Partitions `raw` into active / suppressed under `sup` (a comment on
+/// line N covers findings on N and N+1, same rule).
+void split_suppressed(std::vector<Finding> raw, const Suppressions& sup,
+                      std::vector<Finding>* active,
+                      std::vector<Finding>* suppressed) {
+  for (Finding& f : raw) {
+    if (sup.allowed.count({f.line, f.rule}) != 0)
+      suppressed->push_back(std::move(f));
+    else
+      active->push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_file(const std::string& rel_path,
+                               const std::string& text) {
+  const ParsedFile pf = parse_source(rel_path, text);
+  const Suppressions sup = parse_suppressions(rel_path, pf.view);
+  std::vector<Finding> out, suppressed;
+  split_suppressed(per_file_findings(pf), sup, &out, &suppressed);
   out.insert(out.end(), sup.bad.begin(), sup.bad.end());
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -747,8 +722,8 @@ std::vector<Finding> check_top_level(const std::string& root) {
   return out;
 }
 
-std::vector<Finding> lint_tree(const std::string& root,
-                               std::vector<std::string> dirs) {
+LintReport lint_tree_report(const std::string& root,
+                            std::vector<std::string> dirs) {
   namespace fs = std::filesystem;
   if (dirs.empty()) dirs = {"src", "tools", "bench", "examples"};
 
@@ -766,23 +741,66 @@ std::vector<Finding> lint_tree(const std::string& root,
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> out;
+  // Lex each file exactly once; every rule (per-file, suppressions, and
+  // the interprocedural frame-path pass) shares the parsed view.
+  const std::size_t lex_before = lex_count();
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
   for (const fs::path& p : files) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
-    std::string rel =
-        fs::path(p).lexically_relative(root).generic_string();
-    const std::vector<Finding> file_findings = lint_file(rel, ss.str());
-    out.insert(out.end(), file_findings.begin(), file_findings.end());
+    parsed.push_back(parse_source(
+        fs::path(p).lexically_relative(root).generic_string(), ss.str()));
   }
+
+  std::vector<Finding> raw;
+  std::map<std::string, Suppressions> sup_by_file;
+  for (const ParsedFile& pf : parsed) {
+    const std::vector<Finding> file_raw = per_file_findings(pf);
+    raw.insert(raw.end(), file_raw.begin(), file_raw.end());
+    sup_by_file.emplace(pf.rel_path, parse_suppressions(pf.rel_path, pf.view));
+  }
+
+  FramePathStats fp;
+  const std::vector<Finding> inter = frame_path_pass(parsed, &fp);
+  raw.insert(raw.end(), inter.begin(), inter.end());
+
+  LintReport report;
+  report.files_scanned = parsed.size();
+  report.lex_passes = lex_count() - lex_before;
+  report.frame_path_roots = fp.roots;
+  report.frame_path_reachable = fp.reachable;
+  report.frame_path_stops = fp.stops;
+
+  // One shared suppression mechanism: frame-path findings silence with
+  // the same rrp-lint-allow(<rule>): <reason> markers as per-file ones.
+  static const Suppressions kNone;
+  for (Finding& f : raw) {
+    const auto it = sup_by_file.find(f.file);
+    const Suppressions& sup = it == sup_by_file.end() ? kNone : it->second;
+    std::vector<Finding> one{std::move(f)};
+    split_suppressed(std::move(one), sup, &report.findings,
+                     &report.suppressed);
+  }
+  for (const auto& [rel, sup] : sup_by_file)
+    report.findings.insert(report.findings.end(), sup.bad.begin(),
+                           sup.bad.end());
+
   const std::vector<Finding> blobs = check_top_level(root);
-  out.insert(out.end(), blobs.begin(), blobs.end());
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+  report.findings.insert(report.findings.end(), blobs.begin(), blobs.end());
+  const auto by_loc = [](const Finding& a, const Finding& b) {
     return std::tie(a.file, a.line, a.rule) <
            std::tie(b.file, b.line, b.rule);
-  });
-  return out;
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_loc);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), by_loc);
+  return report;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               std::vector<std::string> dirs) {
+  return lint_tree_report(root, std::move(dirs)).findings;
 }
 
 std::string to_string(const Finding& f) {

@@ -4,10 +4,13 @@
 // guarantees dynamically (DESIGN.md "Static guarantees"): determinism (no
 // ambient randomness, wall-clock time, or ad-hoc threading), the kernel
 // accumulation contract (double accumulators in reduction loops), the
-// module layering DAG, and a handful of hygiene rules.  It is a
-// lightweight lexer + per-file and cross-file rules — deliberately not a
-// compiler plugin, so it builds everywhere the tree builds and adds
-// milliseconds, not minutes, to the test run.
+// module layering DAG, a handful of hygiene rules, and — via the
+// interprocedural pass in callgraph.h — frame-path real-time safety
+// (R6: no allocation / lock / IO / throw reachable from an annotated
+// frame-path root) and bounded control flow (R7: no recursion on the
+// frame path).  It is a lightweight lexer + per-file and cross-file
+// rules — deliberately not a compiler plugin, so it builds everywhere
+// the tree builds and adds milliseconds, not minutes, to the test run.
 //
 // The library half exists so tests/test_rrp_lint.cpp can drive every rule
 // against fixture snippets; tools/rrp_lint/main.cpp wraps it as the
@@ -19,6 +22,7 @@
 // is itself reported (`bad-suppression`), so exceptions stay explained.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -35,7 +39,10 @@ struct Finding {
 /// Rule ids, in DESIGN.md order.  (R1) determinism-random,
 /// determinism-thread; (R2) float-accumulator; (R3) layering;
 /// (R4) hygiene-override, hygiene-using-namespace, hygiene-logging;
-/// (R5) determinism-chrono; plus top-level-blob and bad-suppression.
+/// (R5) determinism-chrono; (R6) frame-path-alloc, frame-path-lock,
+/// frame-path-io, frame-path-throw, frame-path-unresolved;
+/// (R7) frame-path-recursion; plus top-level-blob, bad-suppression and
+/// bad-frame-path-marker.
 std::vector<std::string> all_rule_ids();
 
 /// A source file split into a comment-and-literal-blanked code view plus
@@ -48,18 +55,58 @@ struct FileView {
 
 /// Strips comments, string literals and char literals (contents replaced
 /// by spaces, delimiters kept) while preserving line structure.  Handles
-/// //, /*...*/, "...", '...' and R"delim(...)delim".
+/// //, /*...*/, "...", '...' and R"delim(...)delim".  Each call counts
+/// one lex pass (see lex_count) — callers that need several rules on the
+/// same file parse once via parse_source and share the view.
 FileView scan_file(const std::string& text);
 
-/// Lints a single file given its contents.  `rel_path` is the
+/// Number of scan_file calls since process start / the last reset.  The
+/// lint test asserts lint_tree_report lexes each file exactly once.
+std::size_t lex_count();
+void reset_lex_count();
+
+/// A source file lexed exactly once, shared by every rule that needs it
+/// (the per-file rules, suppression parsing, and the interprocedural
+/// frame-path pass).
+struct ParsedFile {
+  std::string rel_path;  ///< forward-slash path relative to the lint root
+  std::string text;      ///< raw bytes (include parsing reads raw lines)
+  FileView view;
+};
+
+/// Reads nothing from disk: wraps `text` with its blanked view.
+ParsedFile parse_source(const std::string& rel_path, const std::string& text);
+
+/// Lints a single file given its contents (per-file rules only; the
+/// interprocedural pass needs the whole tree).  `rel_path` is the
 /// forward-slash path relative to the lint root (e.g. "src/nn/gemm.cpp");
 /// it selects the module for layering and the per-rule whitelists.
 std::vector<Finding> lint_file(const std::string& rel_path,
                                const std::string& text);
 
+/// Everything lint_tree knows, kept separately so --json and the check.sh
+/// summary line can report suppressed findings and pass statistics, not
+/// just the pass/fail bit.
+struct LintReport {
+  std::vector<Finding> findings;    ///< active (exit-code-driving) findings
+  std::vector<Finding> suppressed;  ///< silenced by rrp-lint-allow markers
+  std::size_t files_scanned = 0;
+  std::size_t lex_passes = 0;  ///< scan_file calls during this run
+  int frame_path_roots = 0;
+  int frame_path_reachable = 0;
+  int frame_path_stops = 0;
+  double wall_ms = 0.0;  ///< filled by the CLI wrapper, 0 in library use
+};
+
 /// Walks `dirs` (default: src, tools, bench, examples) under `root`,
-/// linting every .h/.cpp file, and checks `root`'s top level for committed
-/// binary blobs.  Findings are sorted by (file, line, rule).
+/// lexing every .h/.hpp/.cpp/.cc file exactly once, running the per-file
+/// rules, the interprocedural frame-path pass (R6/R7) and the top-level
+/// binary-blob check, then applying rrp-lint-allow suppressions to the
+/// combined set.  Findings are sorted by (file, line, rule).
+LintReport lint_tree_report(const std::string& root,
+                            std::vector<std::string> dirs = {});
+
+/// Compatibility wrapper: lint_tree_report(...).findings.
 std::vector<Finding> lint_tree(const std::string& root,
                                std::vector<std::string> dirs = {});
 
@@ -70,5 +117,20 @@ std::vector<Finding> check_top_level(const std::string& root);
 
 /// Formats a finding as "file:line: [rule] message".
 std::string to_string(const Finding& f);
+
+/// Serializes a report as schema-version-1 JSON (json_out.cpp):
+///   {"schema_version":1, "files_scanned":N, "lex_passes":N,
+///    "wall_ms":X, "frame_path":{"roots":R,"reachable":C,"stops":S},
+///    "active_count":A, "suppressed_count":U,
+///    "findings":[{"file","line","rule","message","suppressed"}...]}
+/// Findings are emitted active-first, preserving report order, with
+/// suppressed entries flagged rather than dropped.
+std::string to_json(const LintReport& report);
+
+/// Round-trips a synthetic report (quotes, backslashes, control bytes,
+/// non-ASCII) through to_json and an embedded minimal JSON parser,
+/// checking every schema field.  On failure returns false and writes a
+/// diagnostic to *error.  Drives `rrp_lint --self-test`.
+bool json_self_test(std::string* error);
 
 }  // namespace rrp::lint

@@ -1,0 +1,86 @@
+// text_util.h — tiny token-level helpers shared by the rrp_lint rule
+// engine (lint.cpp) and the interprocedural frame-path pass
+// (callgraph.cpp).  Everything operates on the comment-and-literal
+// blanked "code view" produced by scan_file, so a banned identifier
+// inside a string or comment never matches.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace rrp::lint {
+
+inline constexpr std::size_t kNposT = std::string::npos;
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `tok` occurs in `s` delimited by non-identifier characters.
+/// `tok` may itself contain "::" (e.g. "std::mutex").
+inline bool has_token(const std::string& s, const std::string& tok) {
+  std::size_t pos = 0;
+  while ((pos = s.find(tok, pos)) != kNposT) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + tok.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+inline std::size_t skip_spaces(const std::string& s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i;
+}
+
+/// Token followed by '(' — a call or macro-style use.
+inline bool has_call(const std::string& s, const std::string& tok) {
+  std::size_t pos = 0;
+  while ((pos = s.find(tok, pos)) != kNposT) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + tok.size();
+    if (left_ok && end < s.size() && !ident_char(s[end]) &&
+        skip_spaces(s, end) < s.size() && s[skip_spaces(s, end)] == '(')
+      return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Token followed by an *empty* argument list: `now()` but not `now(tp)`.
+inline bool has_argless_call(const std::string& s, const std::string& tok) {
+  std::size_t pos = 0;
+  while ((pos = s.find(tok, pos)) != kNposT) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    std::size_t i = pos + tok.size();
+    if (left_ok && (i >= s.size() || !ident_char(s[i]))) {
+      i = skip_spaces(s, i);
+      if (i < s.size() && s[i] == '(') {
+        i = skip_spaces(s, i + 1);
+        if (i < s.size() && s[i] == ')') return true;
+      }
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace rrp::lint
