@@ -1,0 +1,161 @@
+// campaign.h — Monte-Carlo robustness campaign with streaming tail
+// statistics (ROADMAP item 4: the statistical safety case).
+//
+// A campaign fans thousands of scenario×policy×fault-plan cells over the
+// deterministic thread pool.  Each cell is one full closed-loop run
+// (sim/runner.h) of a DSL-generated scenario (sim/scenario_gen.h) under a
+// seeded fault plan, on a private clone of the provisioned network (faults
+// corrupt weights; cells must not share state).  Per-cell results fold
+// into FIXED-SIZE accumulators — mergeable quantile sketches
+// (util/qsketch.h) for missed-critical rate, detection latency,
+// time-to-recovery and per-frame deadline slack, plus integer counters and
+// a bounded worst-cell list — so peak memory is O(cells in flight), never
+// O(cells), and no per-run CSV explosion occurs.
+//
+// Determinism.  Cell seeds derive from (campaign seed, cell index) alone;
+// cells are computed block-by-block (block size fixed, independent of both
+// the thread count and the total cell count) and folded on the calling
+// thread in cell-index order.  Sketch merges are commutative integer adds,
+// so the aggregate report is byte-identical for any RRP_THREADS — the
+// thread-count-invariance invariant extends from kernels to campaign
+// statistics (DESIGN.md, "Statistical safety case").
+//
+// Worst-case capture.  The aggregate keeps the top-K most severe cells
+// with their full identity (canonical DSL line + derived seeds), enough to
+// re-run any of them serially under run_blackbox and pack a replayable
+// incident bundle: `rrp_cli campaign` writes those bundles and
+// `rrp_cli blackbox replay` reproduces them byte-identically.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/faults.h"
+#include "sim/incident_replay.h"
+#include "sim/scenario_gen.h"
+#include "util/qsketch.h"
+
+namespace rrp::sim {
+
+/// Campaign-level configuration (parsed from a spec file by
+/// parse_campaign_spec, or built programmatically).
+struct CampaignSpec {
+  std::uint64_t seed = 20240325;
+  int frames = 300;
+  int replicates = 1;       ///< seeded repeats per scenario×policy
+  int faults_per_cell = 4;  ///< 0 = fault-free campaign
+  FaultMix mix;
+  std::vector<ScenarioSpec> scenarios;          ///< >= 1
+  std::vector<std::string> policies = {"greedy"};  ///< "greedy" / "fixed<K>"
+  double deadline_ms = 12.0;
+  int hysteresis = 6;
+  int scrub_period_frames = 20;
+  int watchdog_overrun_frames = 8;
+  int sensing_delay_frames = 1;
+  double sketch_gamma = 0.01;  ///< relative accuracy of the tail sketches
+  int worst_cells = 1;         ///< top-K worst cells to keep identity for
+  /// Cells decoded per fan-out block; bounds in-flight memory.  0 = the
+  /// default (64).  Aggregates do not depend on this value.
+  int block_cells = 0;
+};
+
+/// scenarios × policies × replicates.
+std::int64_t campaign_cell_count(const CampaignSpec& spec);
+
+/// Parses the line-based campaign spec-file format ('#' comments;
+/// `key value` pairs; one `scenario <builtin-name | spec-line>` and one
+/// `policy <name>` per line).  Throws rrp::SerializationError with a line
+/// diagnostic on malformed input.
+CampaignSpec parse_campaign_spec(std::istream& in);
+CampaignSpec load_campaign_spec(const std::string& path);
+
+/// Identity of one cell: everything needed to regenerate its exact run.
+struct CampaignCell {
+  std::int64_t index = -1;
+  std::string scenario;  ///< canonical DSL line (encode_scenario_spec)
+  std::string policy;
+  std::uint64_t scenario_seed = 0;
+  std::uint64_t noise_seed = 0;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Decodes cell `index` of the campaign (derived seeds included).
+CampaignCell campaign_cell(const CampaignSpec& spec, std::int64_t index);
+
+/// One worst-list entry: cell identity plus the severity components, in
+/// lexicographic comparison order (ties break toward the lower index).
+struct CampaignWorstCell {
+  CampaignCell cell;
+  std::int64_t missed_critical = 0;     ///< missed critical detections
+  std::int64_t true_violations = 0;     ///< ground-truth cap violations
+  std::int64_t watchdog_degrades = 0;
+  std::int64_t deadline_misses = 0;
+  double min_slack_ms = 0.0;  ///< worst per-frame deadline slack
+};
+
+/// Returns true when a is strictly more severe than b.
+bool worse_cell(const CampaignWorstCell& a, const CampaignWorstCell& b);
+
+/// The streaming aggregate: fixed size regardless of cell count.
+struct CampaignAggregate {
+  std::int64_t cells = 0;
+  std::int64_t frames = 0;
+  std::int64_t critical_frames = 0;
+  std::int64_t missed_critical_frames = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t safety_violations = 0;       ///< sensed basis
+  std::int64_t true_safety_violations = 0;  ///< ground-truth basis
+  std::int64_t vetoes = 0;
+  std::int64_t watchdog_degrades = 0;
+  std::int64_t level_switches = 0;
+  std::int64_t weight_faults_injected = 0;
+  std::int64_t weight_faults_detected = 0;
+  std::int64_t weight_faults_healed = 0;
+  QuantileSketch missed_critical_rate;   ///< per cell
+  QuantileSketch detect_latency_frames;  ///< per detected weight fault
+  QuantileSketch recovery_ms;            ///< per recovery (modeled repair)
+  QuantileSketch deadline_slack_ms;      ///< per frame (negative = overrun)
+  std::vector<CampaignWorstCell> worst;  ///< most severe first, size <= K
+};
+
+/// Runs the campaign.  Deterministic: byte-identical aggregates (and
+/// report) for a given spec at any RRP_THREADS.  The caller's network is
+/// never mutated (each cell clones it).
+CampaignAggregate run_campaign(const CampaignSpec& spec,
+                               const CampaignInputs& inputs);
+
+/// Renders the single deterministic aggregate report.
+void write_campaign_report(const CampaignSpec& spec,
+                           const CampaignAggregate& agg, std::ostream& out);
+
+/// Blackbox spec that re-runs one cell bit-exactly (suite string is the
+/// "dsl:" form, so the resulting bundle is self-contained and replays via
+/// `rrp_cli blackbox replay`).
+BlackboxRunSpec blackbox_spec_for_cell(const CampaignSpec& spec,
+                                       const CampaignCell& cell,
+                                       const std::string& model);
+
+// ---------------------------------------------------------------------------
+// Streaming tail stats over the fault campaign (sim/faults.h) — the first
+// non-Monte-Carlo client of the aggregator: `rrp_cli faults` prints these
+// instead of exploding per-fault CSV rows (CSV stays behind --csv).
+// ---------------------------------------------------------------------------
+
+struct FaultTailStats {
+  std::string provider;
+  std::int64_t injected = 0;
+  std::int64_t detected = 0;
+  std::int64_t healed = 0;
+  QuantileSketch detect_latency_frames;
+  QuantileSketch recovery_ms;
+  QuantileSketch recovery_bytes;
+};
+
+/// Folds per-fault outcomes into per-provider tail stats (provider order =
+/// the result's deterministic summary order).
+std::vector<FaultTailStats> fold_fault_outcomes(
+    const FaultCampaignResult& result, double gamma = 0.01);
+
+void write_fault_tail_stats(const std::vector<FaultTailStats>& stats,
+                            std::ostream& out);
+
+}  // namespace rrp::sim

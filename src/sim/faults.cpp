@@ -6,7 +6,7 @@
 #include <ostream>
 
 #include "sim/runner.h"
-#include "sim/suites.h"
+#include "sim/scenario_gen.h"
 #include "util/checks.h"
 #include "util/csv.h"
 #include "util/metrics.h"
@@ -237,13 +237,8 @@ namespace {
 
 Scenario make_suite_by_name(const std::string& name, int frames,
                             std::uint64_t seed) {
-  if (name == "highway") return make_highway(frames, seed);
-  if (name == "urban") return make_urban(frames, seed);
-  if (name == "cut_in") return make_cut_in(frames, seed);
-  if (name == "degraded") return make_degraded(frames, seed);
-  if (name == "intersection") return make_intersection(frames, seed);
-  RRP_CHECK_MSG(false, "unknown scenario suite '" << name << "'");
-  return {};
+  // Shared resolver: legacy names, built-in DSL specs, "dsl:<line>".
+  return make_suite_or_dsl(name, frames, seed);
 }
 
 std::unique_ptr<core::Policy> make_campaign_policy(

@@ -8,7 +8,7 @@
 #include "core/metrics.h"
 #include "core/policies.h"
 #include "core/reversible_pruner.h"
-#include "sim/suites.h"
+#include "sim/scenario_gen.h"
 #include "util/checks.h"
 #include "util/trace.h"
 
@@ -17,13 +17,10 @@ namespace {
 
 Scenario blackbox_suite(const std::string& name, int frames,
                         std::uint64_t seed) {
-  if (name == "highway") return make_highway(frames, seed);
-  if (name == "urban") return make_urban(frames, seed);
-  if (name == "cut_in") return make_cut_in(frames, seed);
-  if (name == "degraded") return make_degraded(frames, seed);
-  if (name == "intersection") return make_intersection(frames, seed);
-  RRP_CHECK_MSG(false, "unknown scenario suite '" << name << "'");
-  return {};
+  // Legacy suite names, built-in spec names and "dsl:<line>" strings all
+  // resolve through the shared DSL resolver, so a campaign worst-cell
+  // bundle replays with no side-channel files.
+  return make_suite_or_dsl(name, frames, seed);
 }
 
 std::unique_ptr<core::Policy> blackbox_policy(const std::string& name,

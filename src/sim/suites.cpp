@@ -248,7 +248,8 @@ std::vector<Scenario> standard_suites(int frames, std::uint64_t base_seed) {
   return {make_highway(frames, base_seed + 1),
           make_urban(frames, base_seed + 2),
           make_cut_in(frames, base_seed + 3),
-          make_degraded(frames, base_seed + 4)};
+          make_degraded(frames, base_seed + 4),
+          make_intersection(frames, base_seed + 5)};
 }
 
 }  // namespace rrp::sim

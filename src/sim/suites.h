@@ -1,4 +1,4 @@
-// suites.h — the four scenario suites of the evaluation.
+// suites.h — the five scenario suites of the evaluation.
 //
 //  highway   — fast cruise, long gaps, occasional lead-vehicle braking
 //  urban     — slow, dense, pedestrians/cyclists entering the corridor
@@ -24,7 +24,7 @@ Scenario make_degraded(int frames, std::uint64_t seed);
 /// than closing speed — stresses the controller's restore/re-prune cycle.
 Scenario make_intersection(int frames, std::uint64_t seed);
 
-/// All four suites with derived seeds, in the order above.
+/// All five suites with derived seeds, in the order above.
 std::vector<Scenario> standard_suites(int frames, std::uint64_t base_seed);
 
 }  // namespace rrp::sim

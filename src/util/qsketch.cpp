@@ -1,0 +1,110 @@
+#include "util/qsketch.h"
+
+#include <cmath>
+
+#include "util/checks.h"
+
+namespace rrp {
+
+QuantileSketch::QuantileSketch(Config cfg) : cfg_(cfg) {
+  RRP_CHECK_MSG(cfg_.gamma > 0.0 && cfg_.gamma < 1.0,
+                "sketch gamma must be in (0, 1), got " << cfg_.gamma);
+  RRP_CHECK_MSG(cfg_.min_abs > 0.0 && cfg_.min_abs < cfg_.max_abs,
+                "sketch range must satisfy 0 < min_abs < max_abs");
+  const double base = (1.0 + cfg_.gamma) / (1.0 - cfg_.gamma);
+  inv_log_base_ = 1.0 / std::log(base);
+  sqrt_base_ = std::sqrt(base);
+  const std::size_t k = static_cast<std::size_t>(
+      std::ceil(std::log(cfg_.max_abs / cfg_.min_abs) * inv_log_base_));
+  pos_.assign(k, 0);
+  neg_.assign(k, 0);
+}
+
+std::size_t QuantileSketch::bucket_index(double abs_v) const {
+  // abs_v >= min_abs here; the top bucket absorbs everything >= max_abs.
+  const double i = std::floor(std::log(abs_v / cfg_.min_abs) * inv_log_base_);
+  if (i <= 0.0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(i);
+  return idx < pos_.size() ? idx : pos_.size() - 1;
+}
+
+double QuantileSketch::bucket_value(std::size_t i) const {
+  // Geometric midpoint of [min_abs·bⁱ, min_abs·bⁱ⁺¹): relative error ≤ √b-1.
+  return cfg_.min_abs * std::exp(static_cast<double>(i) / inv_log_base_) *
+         sqrt_base_;
+}
+
+void QuantileSketch::add_n(double v, std::int64_t n) {
+  RRP_CHECK_MSG(n >= 0, "sketch weight must be non-negative");
+  RRP_CHECK_MSG(std::isfinite(v), "sketch values must be finite");
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  count_ += n;
+  const double a = std::fabs(v);
+  if (a < cfg_.min_abs) {
+    zero_ += n;
+  } else if (v > 0.0) {
+    pos_[bucket_index(a)] += n;
+  } else {
+    neg_[bucket_index(a)] += n;
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  RRP_CHECK_MSG(cfg_ == other.cfg_,
+                "cannot merge sketches with different configs");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  zero_ += other.zero_;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    pos_[i] += other.pos_[i];
+    neg_[i] += other.neg_[i];
+  }
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::quantile(double q) const {
+  RRP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Rank of the requested order statistic, 1-based.
+  std::int64_t target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target <= 1) return min_;       // exact: tracked extreme
+  if (target >= count_) return max_;  // exact: tracked extreme
+
+  const auto clamp = [this](double v) {
+    if (v < min_) return min_;
+    if (v > max_) return max_;
+    return v;
+  };
+
+  std::int64_t seen = 0;
+  // Most negative first: negative buckets from the largest magnitude down.
+  for (std::size_t i = neg_.size(); i-- > 0;) {
+    seen += neg_[i];
+    if (seen >= target) return clamp(-bucket_value(i));
+  }
+  seen += zero_;
+  if (seen >= target) return clamp(0.0);
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    seen += pos_[i];
+    if (seen >= target) return clamp(bucket_value(i));
+  }
+  return max_;  // unreachable: counts always sum to count_
+}
+
+}  // namespace rrp

@@ -1,0 +1,86 @@
+// qsketch.h — mergeable fixed-size quantile sketch (DESIGN.md §"Statistical
+// safety case").
+//
+// The Monte-Carlo campaign driver (sim/campaign.h) folds millions of
+// per-frame observations into a handful of accumulators whose size must not
+// grow with the number of cells.  Vector-based quantiles (util/stats.h)
+// are O(samples); this sketch is O(1): a logarithmic bucket array with a
+// guaranteed RELATIVE accuracy, in the spirit of DDSketch (Masson et al.).
+//
+// Layout.  With accuracy parameter γ the bucket base is
+// b = (1+γ)/(1-γ); positive magnitudes in [min_abs, max_abs) land in
+// bucket i = floor(log(|v|/min_abs) / log(b)), covering
+// [min_abs·bⁱ, min_abs·bⁱ⁺¹).  Negative values mirror into a second array
+// (deadline slack goes negative on overruns), |v| < min_abs collapses into
+// an exact-zero bucket, and |v| >= max_abs clamps into the top bucket.
+// A bucket's representative value is its geometric midpoint min_abs·bⁱ·√b.
+//
+// Accuracy bound.  Any quantile's representative is off from a true sample
+// in its bucket by a relative factor of at most √b - 1 = √((1+γ)/(1-γ)) - 1
+// ≈ γ (1.005 % for the default γ = 0.01).  Exact min/max are tracked on
+// the side and quantile() clamps into [min, max], so q=0 / q=1 are exact.
+//
+// Mergeability.  merge() adds bucket counts — integer addition, so the
+// result is independent of merge order and merge(a, merge(b, c)) equals
+// merge(merge(a, b), c) bit-for-bit.  This is what makes the campaign's
+// aggregates thread-count-invariant: per-cell sketches fold in a fixed
+// cell order, but any order would produce the same bytes.  No floating
+// accumulator (sum/mean) lives in the sketch for exactly this reason.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rrp {
+
+class QuantileSketch {
+ public:
+  struct Config {
+    double gamma = 0.01;    ///< relative accuracy target (0 < γ < 1)
+    double min_abs = 1e-6;  ///< |v| below this is counted as exactly zero
+    double max_abs = 1e9;   ///< |v| at or above this clamps to the top bucket
+
+    bool operator==(const Config& o) const {
+      return gamma == o.gamma && min_abs == o.min_abs && max_abs == o.max_abs;
+    }
+  };
+
+  QuantileSketch() : QuantileSketch(Config{}) {}
+  explicit QuantileSketch(Config cfg);
+
+  void add(double v) { add_n(v, 1); }
+  void add_n(double v, std::int64_t n);
+
+  /// Adds `other`'s counts into this sketch.  Configs must match.
+  void merge(const QuantileSketch& other);
+
+  std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Exact extremes of every value ever added (0 when empty).
+  double min() const;
+  double max() const;
+
+  /// q in [0, 1]; returns the representative of the bucket holding the
+  /// ceil(q·count)-th smallest sample, clamped into [min(), max()].
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+
+  const Config& config() const { return cfg_; }
+  /// Total bucket slots (fixed at construction; memory is O(this)).
+  std::size_t bucket_count() const { return 2 * pos_.size() + 1; }
+
+ private:
+  std::size_t bucket_index(double abs_v) const;
+  double bucket_value(std::size_t i) const;
+
+  Config cfg_;
+  double inv_log_base_ = 0.0;  ///< 1 / log(b)
+  double sqrt_base_ = 1.0;     ///< √b: bucket geometric midpoint factor
+  std::vector<std::int64_t> pos_, neg_;
+  std::int64_t zero_ = 0;
+  std::int64_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace rrp

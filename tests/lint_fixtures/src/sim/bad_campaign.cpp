@@ -1,0 +1,11 @@
+// Fixture: src/sim/campaign.* is deliberately NOT on kChronoWhitelist —
+// campaign aggregates must be byte-identical at any RRP_THREADS, so cell
+// timing is modeled platform time, never wall-clock.  A raw <chrono> read
+// here must fire R5.  Never compiled.
+#include <chrono>
+
+double cell_wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}

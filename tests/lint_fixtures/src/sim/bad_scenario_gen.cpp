@@ -1,0 +1,10 @@
+// Fixture: src/sim/scenario_gen.* is deliberately NOT on
+// kRandomWhitelist — a (spec, seed) pair must expand byte-identically on
+// every host, so every draw comes from the seeded rrp::Rng.  Ambient
+// entropy here must fire R1a.  Never compiled.
+#include <random>
+
+double roll_base_visibility() {
+  std::random_device entropy;
+  return static_cast<double>(entropy()) / 4294967295.0;
+}

@@ -1,0 +1,328 @@
+// test_campaign.cpp — the Monte-Carlo robustness campaign (sim/campaign.h).
+//
+// The acceptance properties: (1) the aggregate report is byte-identical at
+// RRP_THREADS=1/2/8 and for any fan-out block size; (2) the accumulators
+// are fixed-size, so a hundreds-of-cells smoke campaign streams through
+// O(block) memory; (3) the worst cell carries enough identity to re-run
+// under run_blackbox and replay its incident bundle byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/integrity.h"
+#include "core/weight_store.h"
+#include "nn/init.h"
+#include "sim/campaign.h"
+#include "test_support.h"
+#include "util/checks.h"
+#include "util/thread_pool.h"
+
+namespace rrp::sim {
+namespace {
+
+// Same closed-loop fixture as test_faults / test_incident_replay: a
+// briefly-trained conv net on the vision task's geometry, 3-level ladder.
+class CampaignFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = nn::Network("campaign-net");
+    net_.emplace<nn::Conv2D>("conv1", 1, 6, 3, 1, 1);
+    net_.emplace<nn::ReLU>("relu1");
+    net_.emplace<nn::MaxPool>("pool1", 4, 4);
+    net_.emplace<nn::Flatten>("flatten");
+    net_.emplace<nn::Linear>("fc1", 6 * 4 * 4, 16);
+    net_.emplace<nn::ReLU>("relu2");
+    auto& head = net_.emplace<nn::Linear>("head", 16, kNumClasses);
+    head.set_out_prunable(false);
+    Rng rng(1);
+    nn::init_network(net_, rng);
+
+    RunConfig cfg;
+    Rng data_rng(2);
+    data_ = make_dataset(400, cfg.vision, data_rng);
+    rrp::testing::quick_train(net_, data_, 4);
+
+    lib_ = prune::PruneLevelLibrary::build_structured(
+        net_, {0.0, 0.3, 0.6}, input_shape(cfg.vision));
+
+    inputs_.net = &net_;
+    inputs_.levels = &lib_;
+    inputs_.certified.max_level_for = {2, 1, 1, 0};
+  }
+
+  CampaignSpec small_spec() const {
+    CampaignSpec spec;
+    spec.seed = 777;
+    spec.frames = 40;
+    spec.replicates = 5;
+    spec.faults_per_cell = 3;
+    spec.scenarios = {builtin_scenario_spec("cut_in"),
+                      builtin_scenario_spec("urban")};
+    spec.policies = {"greedy", "fixed0"};
+    spec.deadline_ms = 5.0;
+    spec.scrub_period_frames = 10;
+    spec.worst_cells = 3;
+    return spec;
+  }
+
+  std::string report(const CampaignSpec& spec, const CampaignAggregate& agg) {
+    std::ostringstream os;
+    write_campaign_report(spec, agg, os);
+    return os.str();
+  }
+
+  nn::Network net_;
+  nn::Dataset data_;
+  prune::PruneLevelLibrary lib_;
+  CampaignInputs inputs_;
+};
+
+TEST(CampaignCellDecode, IndexMapsToScenarioPolicyReplicate) {
+  CampaignSpec spec;
+  spec.seed = 100;
+  spec.replicates = 3;
+  spec.scenarios = {builtin_scenario_spec("cut_in"),
+                    builtin_scenario_spec("urban")};
+  spec.policies = {"greedy", "fixed1"};
+  ASSERT_EQ(campaign_cell_count(spec), 12);
+
+  const std::string cut_in = encode_scenario_spec(spec.scenarios[0]);
+  const std::string urban = encode_scenario_spec(spec.scenarios[1]);
+  EXPECT_EQ(campaign_cell(spec, 0).scenario, cut_in);
+  EXPECT_EQ(campaign_cell(spec, 0).policy, "greedy");
+  EXPECT_EQ(campaign_cell(spec, 5).scenario, cut_in);
+  EXPECT_EQ(campaign_cell(spec, 5).policy, "fixed1");
+  EXPECT_EQ(campaign_cell(spec, 6).scenario, urban);
+  EXPECT_EQ(campaign_cell(spec, 6).policy, "greedy");
+  EXPECT_EQ(campaign_cell(spec, 11).scenario, urban);
+  EXPECT_EQ(campaign_cell(spec, 11).policy, "fixed1");
+
+  // Every cell gets distinct, decoupled seed streams.
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const CampaignCell a = campaign_cell(spec, i);
+    EXPECT_EQ(a.index, i);
+    EXPECT_NE(a.scenario_seed, a.noise_seed);
+    EXPECT_NE(a.scenario_seed, a.fault_seed);
+    for (std::int64_t j = i + 1; j < 12; ++j)
+      EXPECT_NE(a.scenario_seed, campaign_cell(spec, j).scenario_seed);
+  }
+  EXPECT_THROW(campaign_cell(spec, 12), PreconditionError);
+}
+
+TEST(CampaignWorstOrder, SeverityIsLexicographicWithIndexTieBreak) {
+  CampaignWorstCell a, b;
+  a.cell.index = 4;
+  b.cell.index = 9;
+  EXPECT_TRUE(worse_cell(a, b));  // equal severity: lower index wins
+  b.missed_critical = 1;
+  EXPECT_TRUE(worse_cell(b, a));
+  a.missed_critical = 1;
+  a.min_slack_ms = -2.0;
+  b.min_slack_ms = 1.0;
+  EXPECT_TRUE(worse_cell(a, b));
+  b.true_violations = 2;
+  EXPECT_TRUE(worse_cell(b, a));  // higher field dominates lower ones
+}
+
+TEST_F(CampaignFixture, ReportIsByteIdenticalAcrossThreadsAndBlockSizes) {
+  const CampaignSpec spec = small_spec();
+  ASSERT_EQ(campaign_cell_count(spec), 20);
+
+  std::string reference;
+  {
+    ThreadCountGuard guard(1);
+    reference = report(spec, run_campaign(spec, inputs_));
+  }
+  for (int threads : {2, 8}) {
+    ThreadCountGuard guard(threads);
+    EXPECT_EQ(report(spec, run_campaign(spec, inputs_)), reference)
+        << "threads=" << threads;
+  }
+  {
+    // The fan-out block bounds memory; it must not leak into the bytes.
+    ThreadCountGuard guard(8);
+    CampaignSpec blocked = spec;
+    blocked.block_cells = 3;
+    EXPECT_EQ(report(blocked, run_campaign(blocked, inputs_)), reference);
+  }
+  // The campaign never mutates the caller's network (cells run on clones).
+  const core::WeightStore after = core::WeightStore::snapshot(net_);
+  const core::IntegrityChecker checker(after);
+  EXPECT_TRUE(checker.scrub(net_, lib_.mask(0)).clean());
+}
+
+TEST_F(CampaignFixture, SmokeCampaignStreamsHundredsOfCells) {
+  CampaignSpec spec = small_spec();
+  spec.frames = 25;
+  spec.replicates = 60;  // 2 scenarios x 2 policies x 60 = 240 cells
+  spec.block_cells = 16;
+  const std::int64_t cells = campaign_cell_count(spec);
+  ASSERT_EQ(cells, 240);
+
+  const CampaignAggregate agg = run_campaign(spec, inputs_);
+  EXPECT_EQ(agg.cells, cells);
+  EXPECT_EQ(agg.frames, cells * spec.frames);
+  // Streaming accumulators saw every observation...
+  EXPECT_EQ(agg.deadline_slack_ms.count(), agg.frames);
+  EXPECT_EQ(agg.missed_critical_rate.count(), agg.cells);
+  // ...in fixed-size state: sketch size is set at construction, the worst
+  // list is bounded by K — nothing here grows with the cell count.
+  EXPECT_EQ(agg.deadline_slack_ms.bucket_count(),
+            QuantileSketch(agg.deadline_slack_ms.config()).bucket_count());
+  ASSERT_LE(agg.worst.size(), static_cast<std::size_t>(spec.worst_cells));
+  ASSERT_FALSE(agg.worst.empty());
+  for (std::size_t i = 1; i < agg.worst.size(); ++i)
+    EXPECT_FALSE(worse_cell(agg.worst[i], agg.worst[i - 1]));
+  // Fault plans were drawn per cell; most weight faults should be seen.
+  EXPECT_GT(agg.weight_faults_injected, 0);
+  EXPECT_GE(agg.weight_faults_injected, agg.weight_faults_detected);
+}
+
+TEST_F(CampaignFixture, WorstCellReplaysThroughBlackboxByteIdentically) {
+  const CampaignSpec spec = small_spec();
+  CampaignAggregate agg;
+  {
+    ThreadCountGuard guard(8);
+    agg = run_campaign(spec, inputs_);
+  }
+  ASSERT_FALSE(agg.worst.empty());
+  const CampaignWorstCell& worst = agg.worst.front();
+
+  // Re-run the worst cell serially under the blackbox recorder.  The
+  // recorder is pure bookkeeping, so the re-run's telemetry must reproduce
+  // the exact severity the campaign attributed to the cell.
+  const BlackboxRunSpec bspec =
+      blackbox_spec_for_cell(spec, worst.cell, "campaign-net");
+  EXPECT_TRUE(is_dsl_suite(bspec.suite));
+  const BlackboxRunResult res = run_blackbox(bspec, inputs_);
+
+  std::int64_t missed = 0, misses = 0;
+  double min_slack = spec.deadline_ms;
+  for (const core::FrameRecord& r : res.run.telemetry.records()) {
+    const double slack = r.deadline_ms - (r.latency_ms + r.switch_us * 1e-3);
+    if (slack < min_slack) min_slack = slack;
+    if (r.latency_ms + r.switch_us * 1e-3 > r.deadline_ms) ++misses;
+    if (r.criticality >= core::CriticalityClass::High && !r.correct) ++missed;
+  }
+  EXPECT_EQ(missed, worst.missed_critical);
+  EXPECT_EQ(misses, worst.deadline_misses);
+  EXPECT_EQ(min_slack, worst.min_slack_ms);
+
+  // And the packed bundle replays byte-for-byte at another thread count —
+  // the campaign-to-flight-recorder chain is closed.
+  ThreadCountGuard guard(2);
+  const ReplayResult replay = replay_bundle(res.bundle, inputs_);
+  EXPECT_TRUE(replay.match);
+  EXPECT_TRUE(replay.records_match);
+  EXPECT_TRUE(replay.telemetry_match);
+}
+
+TEST(CampaignSpecParse, ParsesCommentsKeysPoliciesAndScenarios) {
+  std::istringstream in(
+      "# campaign spec\n"
+      "seed 42\n"
+      "frames 120   # inline comment\n"
+      "replicates 7\n"
+      "faults 2\n"
+      "deadline_ms 6.5\n"
+      "scrub 15\n"
+      "worst 4\n"
+      "policy greedy\n"
+      "policy fixed1\n"
+      "scenario cut_in\n"
+      "scenario name=custom ego=20 vis=0.7,0.9 traffic{spawn_prob=0.05}\n");
+  const CampaignSpec spec = parse_campaign_spec(in);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.frames, 120);
+  EXPECT_EQ(spec.replicates, 7);
+  EXPECT_EQ(spec.faults_per_cell, 2);
+  EXPECT_EQ(spec.deadline_ms, 6.5);
+  EXPECT_EQ(spec.scrub_period_frames, 15);
+  EXPECT_EQ(spec.worst_cells, 4);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[1], "fixed1");
+  ASSERT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.scenarios[0].name, "cut_in");
+  EXPECT_EQ(spec.scenarios[1].name, "custom");
+  EXPECT_EQ(spec.scenarios[1].ego_speed_mps, 20.0);
+  EXPECT_EQ(campaign_cell_count(spec), 2 * 2 * 7);
+}
+
+TEST(CampaignSpecParse, MalformedSpecsThrowWithLineDiagnostics) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_campaign_spec(in);
+  };
+  EXPECT_THROW(parse(""), SerializationError);  // no scenario
+  EXPECT_THROW(parse("scenario cut_in\nframes nope\n"), SerializationError);
+  EXPECT_THROW(parse("scenario cut_in\nwarp 9\n"), SerializationError);
+  EXPECT_THROW(parse("scenario no_such_scenario\n"), SerializationError);
+  EXPECT_THROW(parse("scenario cut_in\npolicy warp\n"), SerializationError);
+  EXPECT_THROW(parse("scenario cut_in\nframes 0\n"), SerializationError);
+  EXPECT_THROW(parse("scenario cut_in\nseed\n"), SerializationError);
+  try {
+    parse("scenario cut_in\nwarp 9\n");
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignFaultTails, FoldsOutcomesIntoPerProviderSketches) {
+  FaultCampaignResult result;
+  result.summaries = {{"reversible", {}}, {"reload-memory", {}}};
+  const auto outcome = [](const char* provider, FaultKind kind, bool applied,
+                          std::int64_t latency, const char* mechanism,
+                          double ms, bool healed) {
+    FaultOutcome o;
+    o.provider = provider;
+    o.kind = kind;
+    o.applied = applied;
+    o.detect_latency_frames = latency;
+    o.recovery_mechanism = mechanism;
+    o.recovery_modeled_ms = ms;
+    o.recovery_bytes = 64;
+    o.healed = healed;
+    return o;
+  };
+  // Summaries carry ARM names ("reversible") but outcomes carry the
+  // provider's self-reported name ("reversible-masked"); the fold must
+  // still attribute these rows to the "reversible" stats bucket.
+  result.outcomes = {
+      outcome("reversible-masked", FaultKind::WeightBitFlip, true, 4,
+              "self-heal", 0.5, true),
+      outcome("reversible-masked", FaultKind::WeightBitFlip, true, 12,
+              "self-heal", 0.75, true),
+      outcome("reversible-masked", FaultKind::StoreBitFlip, true, -1, "", 0.0,
+              false),                // injected, never detected
+      outcome("reversible-masked", FaultKind::SensorBlackout, true, -1, "",
+              0.0, false),          // not a weight fault: ignored by tails
+      outcome("reversible-masked", FaultKind::WeightBitFlip, false, -1, "",
+              0.0, false),          // not applied: ignored
+      outcome("reload-memory", FaultKind::WeightBitFlip, true, 8, "reload",
+              3.0, true),
+  };
+
+  const std::vector<FaultTailStats> stats = fold_fault_outcomes(result);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].provider, "reversible");
+  EXPECT_EQ(stats[0].injected, 3);
+  EXPECT_EQ(stats[0].detected, 2);
+  EXPECT_EQ(stats[0].healed, 2);
+  EXPECT_EQ(stats[0].detect_latency_frames.count(), 2);
+  EXPECT_EQ(stats[0].detect_latency_frames.min(), 4.0);
+  EXPECT_EQ(stats[0].detect_latency_frames.max(), 12.0);
+  EXPECT_EQ(stats[0].recovery_ms.count(), 2);
+  EXPECT_EQ(stats[1].provider, "reload-memory");
+  EXPECT_EQ(stats[1].injected, 1);
+  EXPECT_EQ(stats[1].recovery_ms.max(), 3.0);
+
+  std::ostringstream os;
+  write_fault_tail_stats(stats, os);
+  EXPECT_NE(os.str().find("reversible"), std::string::npos);
+  EXPECT_NE(os.str().find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrp::sim

@@ -1,0 +1,154 @@
+// test_qsketch.cpp — the mergeable quantile sketch (util/qsketch.h): the
+// relative-accuracy guarantee, exact min/max, sign handling, and the
+// property the campaign's thread-count invariance rests on — merges are
+// order-independent, and merging per-part sketches equals one sketch fed
+// everything.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/checks.h"
+#include "util/qsketch.h"
+#include "util/rng.h"
+
+namespace rrp {
+namespace {
+
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  std::int64_t target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  if (target < 1) target = 1;
+  return v[static_cast<std::size_t>(target - 1)];
+}
+
+TEST(QuantileSketch, EmptySketchIsZeroEverywhere) {
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, RelativeAccuracyBoundHolds) {
+  QuantileSketch::Config cfg;
+  cfg.gamma = 0.01;
+  QuantileSketch s(cfg);
+  Rng rng(42);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed positives spanning several orders of magnitude.
+    const double v = std::exp(rng.uniform(-3.0, 8.0));
+    values.push_back(v);
+    s.add(v);
+  }
+  ASSERT_EQ(s.count(), 20000);
+  const double base = (1.0 + cfg.gamma) / (1.0 - cfg.gamma);
+  const double bound = std::sqrt(base) - 1.0;  // the documented guarantee
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double exact = exact_quantile(values, q);
+    const double approx = s.quantile(q);
+    EXPECT_LE(std::fabs(approx - exact) / exact, bound)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  // Extremes are tracked exactly.
+  EXPECT_EQ(s.quantile(0.0), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(s.quantile(1.0), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(QuantileSketch, HandlesNegativesAndZeros) {
+  QuantileSketch s;
+  s.add(-4.0);
+  s.add(-2.0);
+  s.add(0.0);
+  s.add(1e-9);  // below min_abs: exact-zero bucket
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_EQ(s.min(), -4.0);
+  EXPECT_EQ(s.max(), 3.0);
+  // Median of {-4, -2, 0, ~0, 3} is the zero bucket.
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  // The 1/5 quantile is the most negative sample's bucket; within γ of -4.
+  EXPECT_NEAR(s.quantile(0.2), -4.0, 4.0 * 0.011);
+  EXPECT_EQ(s.quantile(0.0), -4.0);
+  EXPECT_EQ(s.quantile(1.0), 3.0);
+}
+
+TEST(QuantileSketch, MergeIsOrderIndependent) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i)
+    values.push_back(rng.uniform(-50.0, 200.0));
+
+  // Whole vs three parts merged in two different orders.
+  QuantileSketch whole, a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(values[i]);
+  }
+  QuantileSketch abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  QuantileSketch cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(abc.count(), whole.count());
+  EXPECT_EQ(cba.count(), whole.count());
+  for (double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    // Bit-for-bit equality, not approximate: integer bucket adds.
+    EXPECT_EQ(abc.quantile(q), whole.quantile(q)) << "q=" << q;
+    EXPECT_EQ(cba.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(abc.min(), whole.min());
+  EXPECT_EQ(abc.max(), whole.max());
+}
+
+TEST(QuantileSketch, WeightedAddMatchesRepeatedAdd) {
+  QuantileSketch a, b;
+  a.add_n(2.5, 100);
+  a.add_n(-1.0, 50);
+  for (int i = 0; i < 100; ++i) b.add(2.5);
+  for (int i = 0; i < 50; ++i) b.add(-1.0);
+  EXPECT_EQ(a.count(), b.count());
+  for (double q : {0.1, 0.5, 0.9})
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(QuantileSketch, MemoryIsFixedAtConstruction) {
+  QuantileSketch s;
+  const std::size_t buckets = s.bucket_count();
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) s.add(rng.uniform(-1e6, 1e6));
+  EXPECT_EQ(s.bucket_count(), buckets);  // never grows with samples
+}
+
+TEST(QuantileSketch, RejectsBadConfigAndMixedMerges) {
+  QuantileSketch::Config bad;
+  bad.gamma = 0.0;
+  EXPECT_THROW(QuantileSketch{bad}, PreconditionError);
+
+  QuantileSketch::Config other;
+  other.gamma = 0.02;
+  QuantileSketch a, b(other);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  EXPECT_THROW(a.add(std::nan("")), PreconditionError);
+  EXPECT_THROW(a.add_n(1.0, -1), PreconditionError);
+}
+
+TEST(QuantileSketch, ClampsOutOfRangeMagnitudes) {
+  QuantileSketch::Config cfg;
+  cfg.min_abs = 0.1;
+  cfg.max_abs = 100.0;
+  QuantileSketch s(cfg);
+  s.add(1e9);  // clamps into the top bucket
+  s.add(1e9);
+  EXPECT_EQ(s.max(), 1e9);          // exact extreme still tracked
+  EXPECT_EQ(s.quantile(0.5), 1e9);  // representative clamped into [min,max]
+}
+
+}  // namespace
+}  // namespace rrp

@@ -112,6 +112,35 @@ TEST(RrpLint, FaultSimTreeIsNotRandomWhitelisted) {
   EXPECT_EQ(v.size(), 2u);
 }
 
+// The scenario DSL and the Monte-Carlo campaign carry the same contract:
+// (spec, seed) expands byte-identically and aggregates are thread-count
+// invariant, so sim/scenario_gen.* stays off kRandomWhitelist and
+// sim/campaign.* stays off both kRandomWhitelist and kChronoWhitelist.
+TEST(RrpLint, ScenarioGenAndCampaignStayOffTheDeterminismWhitelists) {
+  const auto gen = fired("src/sim/bad_scenario_gen.cpp");
+  EXPECT_TRUE(has(gen, 5, "determinism-random")) << "#include <random>";
+  EXPECT_TRUE(has(gen, 8, "determinism-random")) << "std::random_device";
+  EXPECT_EQ(gen.size(), 2u);
+
+  const auto camp = fired("src/sim/bad_campaign.cpp");
+  EXPECT_TRUE(has(camp, 5, "determinism-chrono")) << "#include <chrono>";
+  EXPECT_TRUE(has(camp, 8, "determinism-chrono")) << "steady_clock::now()";
+  EXPECT_TRUE(has(camp, 9, "determinism-chrono")) << "duration + clock read";
+  EXPECT_GE(camp.size(), 3u);
+
+  // The contract holds for the real translation units, not just the
+  // fixture names: ambient entropy or a raw clock there must fire.
+  EXPECT_FALSE(rrp::lint::lint_file("src/sim/scenario_gen.cpp",
+                                    "#include <random>\n")
+                   .empty());
+  EXPECT_FALSE(
+      rrp::lint::lint_file("src/sim/campaign.cpp", "#include <chrono>\n")
+          .empty());
+  EXPECT_FALSE(
+      rrp::lint::lint_file("src/sim/campaign.cpp", "#include <random>\n")
+          .empty());
+}
+
 TEST(RrpLint, DeterminismThreadRule) {
   const auto v = fired("src/nn/bad_thread.cpp");
   EXPECT_TRUE(has(v, 3, "determinism-thread")) << "#include <thread>";

@@ -161,11 +161,12 @@ TEST(Suites, UrbanContainsVulnerableRoadUsers) {
 
 TEST(Suites, StandardSuitesBundle) {
   const auto suites = standard_suites(60, 100);
-  ASSERT_EQ(suites.size(), 4u);
+  ASSERT_EQ(suites.size(), 5u);
   EXPECT_EQ(suites[0].name, "highway");
   EXPECT_EQ(suites[1].name, "urban");
   EXPECT_EQ(suites[2].name, "cut_in");
   EXPECT_EQ(suites[3].name, "degraded");
+  EXPECT_EQ(suites[4].name, "intersection");
 }
 
 TEST(ActorTypes, Names) {

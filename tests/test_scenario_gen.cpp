@@ -1,0 +1,293 @@
+// test_scenario_gen.cpp — the scenario DSL (sim/scenario_gen.h).
+//
+// The load-bearing property is PARITY: each legacy suite's DSL spec must
+// expand byte-identically to the legacy generator under the same
+// (frames, seed) — the golden traces pin the legacy generators, these
+// tests pin the DSL to them.  On top: canonical encode/parse round-trips,
+// validation errors, and scene invariants over randomly composed specs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/scenario_gen.h"
+#include "sim/suites.h"
+#include "sim/trace_io.h"
+#include "util/checks.h"
+#include "util/rng.h"
+
+namespace rrp::sim {
+namespace {
+
+std::string scenario_bytes(const Scenario& sc) {
+  std::ostringstream os;
+  write_scenario_csv(sc, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parity with the five legacy suites.
+// ---------------------------------------------------------------------------
+
+struct ParityCase {
+  const char* name;
+  Scenario (*legacy)(int, std::uint64_t);
+};
+
+class DslParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(DslParity, BuiltinSpecMatchesLegacyGeneratorByteForByte) {
+  const ParityCase& pc = GetParam();
+  const ScenarioSpec spec = builtin_scenario_spec(pc.name);
+  for (std::uint64_t seed : {1ull, 42ull, 20240325ull}) {
+    const Scenario legacy = pc.legacy(700, seed);
+    const Scenario dsl = generate_scenario(spec, 700, seed);
+    ASSERT_EQ(dsl.name, legacy.name) << pc.name;
+    ASSERT_EQ(dsl.dt_s, legacy.dt_s) << pc.name;
+    ASSERT_EQ(dsl.frame_count(), legacy.frame_count()) << pc.name;
+    EXPECT_EQ(scenario_bytes(dsl), scenario_bytes(legacy))
+        << pc.name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLegacySuites, DslParity,
+    ::testing::Values(ParityCase{"highway", make_highway},
+                      ParityCase{"urban", make_urban},
+                      ParityCase{"cut_in", make_cut_in},
+                      ParityCase{"degraded", make_degraded},
+                      ParityCase{"intersection", make_intersection}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(DslParityRoundTrip, ParityHoldsThroughEncodeAndParse) {
+  // The campaign ships specs as canonical lines; parity must survive the
+  // text round-trip, or worst-cell bundles would not replay.
+  for (const char* name : {"highway", "urban", "cut_in", "degraded",
+                           "intersection"}) {
+    const ScenarioSpec spec = builtin_scenario_spec(name);
+    const ScenarioSpec round = parse_scenario_spec(encode_scenario_spec(spec));
+    EXPECT_EQ(scenario_bytes(generate_scenario(round, 300, 99)),
+              scenario_bytes(generate_scenario(spec, 300, 99)))
+        << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and composition.
+// ---------------------------------------------------------------------------
+
+TEST(DslDeterminism, SameSpecAndSeedIsByteIdentical) {
+  for (const std::string& name : builtin_scenario_names()) {
+    const ScenarioSpec spec = builtin_scenario_spec(name);
+    EXPECT_EQ(scenario_bytes(generate_scenario(spec, 400, 7)),
+              scenario_bytes(generate_scenario(spec, 400, 7)))
+        << name;
+    EXPECT_NE(scenario_bytes(generate_scenario(spec, 400, 7)),
+              scenario_bytes(generate_scenario(spec, 400, 8)))
+        << name << ": different seeds should differ";
+  }
+}
+
+TEST(DslComposition, OverlayDoesNotPerturbTheTrafficStream) {
+  // Adding an overlay must only touch visibility: actor kinematics are
+  // drawn from the main stream, overlays from their own derived stream.
+  ScenarioSpec plain = builtin_scenario_spec("urban");
+  ScenarioSpec overlaid = plain;
+  ScenarioPrimitive occ;
+  occ.kind = "occlusion";
+  occ.params["prob"] = 0.05;
+  overlaid.primitives.push_back(occ);
+
+  const Scenario a = generate_scenario(plain, 500, 31);
+  const Scenario b = generate_scenario(overlaid, 500, 31);
+  ASSERT_EQ(a.frame_count(), b.frame_count());
+  bool any_vis_changed = false;
+  for (std::size_t f = 0; f < a.scenes.size(); ++f) {
+    ASSERT_EQ(a.scenes[f].actors.size(), b.scenes[f].actors.size()) << f;
+    for (std::size_t i = 0; i < a.scenes[f].actors.size(); ++i) {
+      EXPECT_EQ(a.scenes[f].actors[i].distance_m,
+                b.scenes[f].actors[i].distance_m);
+      EXPECT_EQ(a.scenes[f].actors[i].lateral_m,
+                b.scenes[f].actors[i].lateral_m);
+    }
+    any_vis_changed |= a.scenes[f].visibility != b.scenes[f].visibility;
+  }
+  EXPECT_TRUE(any_vis_changed) << "occlusion at prob=0.05 over 500 frames "
+                                  "should open at least one window";
+}
+
+TEST(DslComposition, TrafficBurstsRaiseDensity) {
+  ScenarioSpec calm = builtin_scenario_spec("urban");
+  ScenarioSpec bursty = calm;
+  bursty.primitives[0].params["burst_period"] = 100.0;
+  bursty.primitives[0].params["burst_len"] = 50.0;
+  bursty.primitives[0].params["burst_factor"] = 8.0;
+  bursty.primitives[0].params["max_actors"] = 12.0;
+  calm.primitives[0].params["max_actors"] = 12.0;
+
+  auto mean_actors = [](const Scenario& sc) {
+    double sum = 0.0;
+    for (const Scene& s : sc.scenes) sum += static_cast<double>(s.actors.size());
+    return sum / static_cast<double>(sc.scenes.size());
+  };
+  EXPECT_GT(mean_actors(generate_scenario(bursty, 900, 5)),
+            mean_actors(generate_scenario(calm, 900, 5)));
+}
+
+TEST(DslComposition, SpeedRegimeRampsTheEgo) {
+  const ScenarioSpec spec = builtin_scenario_spec("rush_hour");
+  const Scenario sc = generate_scenario(spec, 300, 11);
+  EXPECT_EQ(sc.scenes.front().ego_speed_mps, 10.0);
+  EXPECT_NEAR(sc.scenes.back().ego_speed_mps, 6.0, 1e-12);
+}
+
+TEST(DslComposition, VisibilityRampDegradesMonotonically) {
+  const ScenarioSpec spec = builtin_scenario_spec("fog_ramp");
+  ScenarioSpec no_occlusion = spec;  // isolate the deterministic ramp
+  no_occlusion.primitives.pop_back();
+  const Scenario sc = generate_scenario(no_occlusion, 300, 13);
+  for (std::size_t f = 1; f < sc.scenes.size(); ++f)
+    EXPECT_LE(sc.scenes[f].visibility, sc.scenes[f - 1].visibility + 1e-12);
+  EXPECT_LT(sc.scenes.back().visibility, sc.scenes.front().visibility);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical encoding.
+// ---------------------------------------------------------------------------
+
+TEST(DslEncoding, RoundTripIsExact) {
+  for (const std::string& name : builtin_scenario_names()) {
+    const ScenarioSpec spec = builtin_scenario_spec(name);
+    const std::string line = encode_scenario_spec(spec);
+    const ScenarioSpec round = parse_scenario_spec(line);
+    EXPECT_EQ(round.name, spec.name);
+    EXPECT_EQ(round.dt_s, spec.dt_s);
+    EXPECT_EQ(round.ego_speed_mps, spec.ego_speed_mps);
+    EXPECT_EQ(round.vis_lo, spec.vis_lo);
+    EXPECT_EQ(round.vis_hi, spec.vis_hi);
+    EXPECT_EQ(round.seed_xor, spec.seed_xor);
+    EXPECT_EQ(round.seed_add, spec.seed_add);
+    ASSERT_EQ(round.primitives.size(), spec.primitives.size());
+    for (std::size_t i = 0; i < spec.primitives.size(); ++i) {
+      EXPECT_EQ(round.primitives[i].kind, spec.primitives[i].kind);
+      EXPECT_EQ(round.primitives[i].params, spec.primitives[i].params);
+    }
+    // encode(parse(line)) is a fixed point: the line IS canonical.
+    EXPECT_EQ(encode_scenario_spec(round), line) << name;
+  }
+}
+
+TEST(DslEncoding, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_scenario_spec(""), SerializationError);  // no name
+  EXPECT_THROW(parse_scenario_spec("ego=25"), SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x warp_drive{}"), SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x traffic{warp=9}"),
+               SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x traffic{spawn_prob=abc}"),
+               SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x traffic{spawn_prob=0.1"),
+               SerializationError);  // unterminated
+  EXPECT_THROW(parse_scenario_spec("name=x vis=0.9"), SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x vis=1.5,2.0"), SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=x dt=0"), SerializationError);
+  EXPECT_THROW(parse_scenario_spec("name=bad name!"), SerializationError);
+
+  ScenarioSpec bad;
+  bad.primitives.push_back(ScenarioPrimitive{"no_such_kind", {}});
+  EXPECT_THROW(generate_scenario(bad, 10, 1), SerializationError);
+  EXPECT_THROW(builtin_scenario_spec("no_such_builtin"), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Scene invariants over randomly composed specs (property test).
+// ---------------------------------------------------------------------------
+
+ScenarioSpec random_spec(Rng& rng) {
+  ScenarioSpec spec;
+  spec.name = "prop";
+  spec.ego_speed_mps = rng.uniform(5.0, 35.0);
+  spec.vis_lo = rng.uniform(0.5, 0.9);
+  spec.vis_hi = rng.uniform(spec.vis_lo, 1.0);
+  const std::vector<std::string>& kinds = scenario_primitive_kinds();
+  const int n = rng.uniform_int(1, 4);
+  for (int i = 0; i < n; ++i) {
+    ScenarioPrimitive p;
+    p.kind = kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(kinds.size()) - 1))];
+    if (p.kind == "traffic" && rng.bernoulli(0.5)) {
+      p.params["burst_period"] = 60.0;
+      p.params["burst_len"] = 20.0;
+      p.params["burst_factor"] = 3.0;
+    }
+    if (p.kind == "speed_regime") p.params["target"] = rng.uniform(3.0, 30.0);
+    spec.primitives.push_back(std::move(p));
+  }
+  return spec;
+}
+
+TEST(DslProperties, EveryGeneratedScenarioSatisfiesSceneInvariants) {
+  Rng meta(0xC0FFEE);
+  for (int trial = 0; trial < 40; ++trial) {
+    const ScenarioSpec spec = random_spec(meta);
+    const std::uint64_t seed = meta.next_u64();
+    const Scenario sc = generate_scenario(spec, 250, seed);
+    ASSERT_EQ(sc.frame_count(), 250u);
+
+    double prev_time = -1.0;
+    for (const Scene& s : sc.scenes) {
+      // Monotone clock.
+      ASSERT_GT(s.time_s, prev_time);
+      prev_time = s.time_s;
+      // Visibility stays a valid sensor attenuation.
+      ASSERT_GT(s.visibility, 0.0);
+      ASSERT_LE(s.visibility, 1.0);
+      ASSERT_GT(s.ego_speed_mps, 0.0);
+      for (const Actor& a : s.actors) ASSERT_GT(a.distance_m, 0.0);
+
+      // dominant() consistency: in-corridor, in-range, minimal distance.
+      if (const Actor* d = s.dominant()) {
+        ASSERT_LE(std::fabs(d->lateral_m), kCorridorHalfWidth_m);
+        ASSERT_LE(d->distance_m, kSensorRange_m);
+        for (const Actor& a : s.actors)
+          if (std::fabs(a.lateral_m) <= kCorridorHalfWidth_m &&
+              a.distance_m <= kSensorRange_m)
+            ASSERT_LE(d->distance_m, a.distance_m);
+      } else {
+        for (const Actor& a : s.actors) {
+          ASSERT_FALSE(std::fabs(a.lateral_m) <= kCorridorHalfWidth_m &&
+                       a.distance_m <= kSensorRange_m);
+        }
+      }
+    }
+    // Byte-determinism of the random composition, too.
+    EXPECT_EQ(scenario_bytes(generate_scenario(spec, 250, seed)),
+              scenario_bytes(sc));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The shared suite resolver.
+// ---------------------------------------------------------------------------
+
+TEST(SuiteResolver, ResolvesLegacyBuiltinAndDslForms) {
+  // Legacy name → legacy generator, byte-for-byte.
+  EXPECT_EQ(scenario_bytes(make_suite_or_dsl("highway", 120, 3)),
+            scenario_bytes(make_highway(120, 3)));
+  // Built-in spec name → DSL expansion.
+  EXPECT_EQ(scenario_bytes(make_suite_or_dsl("rush_hour", 120, 3)),
+            scenario_bytes(
+                generate_scenario(builtin_scenario_spec("rush_hour"), 120, 3)));
+  // "dsl:<line>" → parse + expand; the round-trip matches the spec.
+  const ScenarioSpec spec = builtin_scenario_spec("swarm_cut_in");
+  EXPECT_TRUE(is_dsl_suite(dsl_suite_string(spec)));
+  EXPECT_EQ(scenario_bytes(make_suite_or_dsl(dsl_suite_string(spec), 120, 3)),
+            scenario_bytes(generate_scenario(spec, 120, 3)));
+
+  EXPECT_THROW(make_suite_or_dsl("no_such_suite", 10, 1), PreconditionError);
+  EXPECT_THROW(make_suite_or_dsl("dsl:ego=1", 10, 1), SerializationError);
+}
+
+}  // namespace
+}  // namespace rrp::sim

@@ -49,6 +49,7 @@ EPS = 1e-12
 GATE_BENCHES = {
     "micro": ["bench/bench_micro", "--gate"],
     "t2": ["bench/bench_t2_endtoend", "--gate", "1"],
+    "campaign": ["bench/bench_campaign", "--gate", "1"],
 }
 
 
@@ -194,6 +195,34 @@ def self_test():
     mismatched["config"] = {"mode": "full"}
     cfg_failures, _ = compare(base, mismatched, tolerance=0.05)
     ok = ok and len(cfg_failures) == 1 and "config mismatch" in cfg_failures[0]
+
+    # Campaign-shaped report (quantile-tail metric ids from
+    # bench_campaign): identical reports compare clean, and a drifted p99
+    # tail is a failure like any other modeled metric.
+    camp = {
+        "schema_version": 2,
+        "name": "campaign",
+        "config": {"cells": "12", "mode": "gate"},
+        "metrics": [
+            {"id": "missed_critical_rate.p99", "value": 0.2,
+             "unit": "fraction"},
+            {"id": "recovery_ms.max", "value": 3.5, "unit": "ms"},
+        ],
+        "wall_metrics": [
+            {"id": "wall_cells_per_s", "value": 8.0, "unit": "cells/s"},
+        ],
+    }
+    camp_clean_f, camp_clean_w = compare(camp, camp, tolerance=0.05)
+    camp_bad = json.loads(json.dumps(camp))
+    camp_bad["metrics"][0]["value"] = 0.3  # +50% p99 tail drift
+    camp_tail_f, _ = compare(camp, camp_bad, tolerance=0.05)
+    ok = (
+        ok
+        and not camp_clean_f
+        and not camp_clean_w
+        and len(camp_tail_f) == 1
+        and "missed_critical_rate.p99" in camp_tail_f[0]
+    )
 
     print("bench_gate self-test:", "PASS" if ok else "FAIL")
     if not ok:

@@ -24,15 +24,37 @@
 //        --metrics FILE  metrics snapshot CSV (default trace_metrics.csv)
 //        --wall 1        also capture wall-clock per span (forfeits
 //                        byte-identity; never used by tests)
-//   rrp_cli faults <model> [opts]          seeded fault-injection campaign
-//        --suites a,b,c  (default cut_in,urban)
+//   rrp_cli faults <model> [opts]          seeded fault-injection campaign;
+//                                          prints per-arm streaming tail
+//                                          stats (quantile sketches)
+//        --suites a,b,c  (default cut_in,urban; also accepts dsl:<line>)
 //        --arms a,b      reversible|reload-memory|reload-disk
 //                        (default reversible,reload-memory)
+//        --kinds a,b     restrict the fault mix to the named kinds
+//                        (sensor_blackout|weight_bit_flip|store_bit_flip|
+//                        stuck_criticality|stale_criticality|latency_spike|
+//                        dropped_decision|artifact_read_failure)
 //        --frames N      (default 600)
 //        --seed S        (default 20240325)
 //        --faults N      faults per run (default 10)
 //        --policy P      greedy|fixed<K> (default greedy)
-//        --csv FILE      export the per-fault outcome table
+//        --csv FILE      export the per-fault outcome table (the only way
+//                        to get per-fault rows; default output is streamed)
+//   rrp_cli campaign <model> <spec-file> [opts]
+//                                          Monte-Carlo robustness campaign:
+//                                          scenario x policy x fault-plan
+//                                          cells fanned over the thread
+//                                          pool, folded into one streaming
+//                                          aggregate report (byte-identical
+//                                          for a given --seed at any
+//                                          --threads), plus a replayable
+//                                          incident bundle per worst cell
+//        --seed S        override the spec seed
+//        --frames N      override frames per cell
+//        --out FILE      also write the report to FILE
+//        --bundle BASE   worst-cell bundle basename (default
+//                        campaign_worst -> campaign_worst_<i>.rrpb)
+//        --bundles 0     skip dumping worst-cell bundles
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
 //   rrp_cli blackbox dump <model> <suite> [opts]
 //                                          closed-loop fault run with the
@@ -79,6 +101,7 @@
 #include "models/trained_cache.h"
 #include "nn/serialize.h"
 #include "prune/sensitivity.h"
+#include "sim/campaign.h"
 #include "sim/faults.h"
 #include "sim/incident_replay.h"
 #include "sim/runner.h"
@@ -140,8 +163,10 @@ int usage() {
          "intersection> [--policy greedy|fixed<K>] [--frames N] [--seed S] "
          "[--json FILE] [--spans FILE] [--metrics FILE] [--wall 1]\n"
          "  rrp_cli faults <model> [--suites a,b,c] [--arms a,b] "
-         "[--frames N] [--seed S] [--faults N] [--policy greedy|fixed<K>] "
-         "[--csv FILE]\n"
+         "[--kinds a,b] [--frames N] [--seed S] [--faults N] "
+         "[--policy greedy|fixed<K>] [--csv FILE]\n"
+         "  rrp_cli campaign <model> <spec-file> [--seed S] [--frames N] "
+         "[--out FILE] [--bundle BASE] [--bundles 0]\n"
          "  rrp_cli inspect <file.rrpn>\n"
          "  rrp_cli blackbox dump <model> <suite> [--frames N] [--seed S] "
          "[--policy greedy|fixed<K>] [--hysteresis K] [--faults N] "
@@ -452,6 +477,47 @@ std::vector<std::string> split_csv_list(const std::string& value) {
   return out;
 }
 
+/// Parses the `--kinds a,b,c` flag into a FaultMix with exactly the named
+/// kinds enabled (unit weight).  An unknown or empty kind name is a
+/// diagnostic + false — the caller exits non-zero, never silently runs a
+/// different campaign than the one asked for.
+bool parse_fault_kinds(const std::string& value, sim::FaultMix& mix) {
+  sim::FaultMix selected;
+  selected.sensor_blackout = selected.weight_bit_flip =
+      selected.store_bit_flip = selected.stuck_criticality =
+          selected.stale_criticality = selected.latency_spike =
+              selected.dropped_decision = selected.artifact_read_failure = 0.0;
+  const std::vector<std::string> names = split_csv_list(value);
+  const auto diag = [](const std::string& got) {
+    std::cerr << "unknown fault kind '" << got << "' (expected one of:";
+    for (int k = 0; k < sim::kFaultKinds; ++k)
+      std::cerr << " "
+                << sim::fault_kind_name(static_cast<sim::FaultKind>(k));
+    std::cerr << ")\n";
+  };
+  if (names.empty()) {
+    diag(value);
+    return false;
+  }
+  for (const std::string& name : names) {
+    if (name == "sensor_blackout") selected.sensor_blackout = 1.0;
+    else if (name == "weight_bit_flip") selected.weight_bit_flip = 1.0;
+    else if (name == "store_bit_flip") selected.store_bit_flip = 1.0;
+    else if (name == "stuck_criticality") selected.stuck_criticality = 1.0;
+    else if (name == "stale_criticality") selected.stale_criticality = 1.0;
+    else if (name == "latency_spike") selected.latency_spike = 1.0;
+    else if (name == "dropped_decision") selected.dropped_decision = 1.0;
+    else if (name == "artifact_read_failure")
+      selected.artifact_read_failure = 1.0;
+    else {
+      diag(name);
+      return false;
+    }
+  }
+  mix = selected;
+  return true;
+}
+
 int cmd_faults(models::ModelKind kind, const sim::FaultCampaignConfig& config,
                const std::string& csv_path) {
   models::ProvisionedModel pm =
@@ -466,17 +532,10 @@ int cmd_faults(models::ModelKind kind, const sim::FaultCampaignConfig& config,
   const sim::FaultCampaignResult result =
       sim::run_fault_campaign(inputs, config);
 
-  TableFormatter table({"arm", "weight_faults", "detected", "healed",
-                        "mean_detect_frames", "mean_recovery_ms",
-                        "mean_recovery_KB"});
-  for (const auto& [arm, s] : result.summaries)
-    table.row({arm, std::to_string(s.weight_faults_injected),
-               std::to_string(s.weight_faults_detected),
-               std::to_string(s.weight_faults_healed),
-               fmt(s.mean_detect_latency_frames, 1),
-               fmt(s.mean_recovery_ms, 3),
-               fmt(s.mean_recovery_bytes / 1024.0, 1)});
-  table.print(std::cout);
+  // Default output is the streaming aggregator: per-arm counters plus
+  // mergeable quantile sketches of detection latency / recovery cost.
+  // Per-fault rows only exist behind --csv.
+  sim::write_fault_tail_stats(sim::fold_fault_outcomes(result), std::cout);
   std::cout << result.outcomes.size() << " fault outcomes across "
             << config.suites.size() << " suite(s) x " << config.arms.size()
             << " arm(s), seed " << config.seed << "\n";
@@ -624,6 +683,60 @@ int cmd_blackbox_replay(const std::string& path) {
   }
   std::cout << "replay OK: " << bundle.records.size()
             << " recorded frames reproduced byte-identically\n";
+  return 0;
+}
+
+struct CampaignCliOptions {
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  int frames = 0;       ///< 0 = use the spec's value
+  std::string out;      ///< optional report file (stdout always gets it)
+  std::string bundle;   ///< worst-cell bundle basename
+  bool dump_bundles = true;
+};
+
+int cmd_campaign(models::ModelKind kind, const std::string& spec_path,
+                 const CampaignCliOptions& opt) {
+  sim::CampaignSpec spec = sim::load_campaign_spec(spec_path);
+  if (opt.seed_set) spec.seed = opt.seed;
+  if (opt.frames > 0) spec.frames = opt.frames;
+
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+  sim::CampaignInputs inputs = blackbox_inputs(pm);
+
+  const sim::CampaignAggregate agg = sim::run_campaign(spec, inputs);
+  sim::write_campaign_report(spec, agg, std::cout);
+  if (!opt.out.empty()) {
+    if (!write_output_file(opt.out, [&](std::ostream& o) {
+          sim::write_campaign_report(spec, agg, o);
+        }))
+      return 1;
+    std::cout << "campaign report written to " << opt.out << "\n";
+  }
+
+  if (!opt.dump_bundles) return 0;
+  // Re-run each worst cell serially under the flight recorder and pack a
+  // self-contained incident bundle ("dsl:" suite string), so the exact
+  // worst runs of the campaign replay byte-identically via
+  // `rrp_cli blackbox replay`.
+  const std::string base =
+      opt.bundle.empty() ? "campaign_worst" : opt.bundle;
+  for (std::size_t i = 0; i < agg.worst.size(); ++i) {
+    const sim::CampaignWorstCell& w = agg.worst[i];
+    const sim::BlackboxRunSpec bspec = sim::blackbox_spec_for_cell(
+        spec, w.cell, models::model_kind_name(kind));
+    const sim::BlackboxRunResult res = sim::run_blackbox(bspec, inputs);
+    const std::string path = base + "_" + std::to_string(i) + ".rrpb";
+    if (!write_output_file(
+            path,
+            [&](std::ostream& o) { core::write_incident_bundle(res.bundle, o); },
+            /*binary=*/true))
+      return 1;
+    std::cout << "worst[" << i << "] cell " << w.cell.index << " ("
+              << w.cell.policy << ") bundle written to " << path
+              << "  [rrp_cli blackbox replay " << path << "]\n";
+  }
   return 0;
 }
 
@@ -801,6 +914,9 @@ int main(int argc, char** argv) {
         else if (flag == "--faults") config.faults_per_run = std::stoi(value);
         else if (flag == "--policy") config.policy = value;
         else if (flag == "--suites") config.suites = split_csv_list(value);
+        else if (flag == "--kinds") {
+          if (!parse_fault_kinds(value, config.mix)) return 2;
+        }
         else if (flag == "--csv") csv_path = value;
         else if (flag == "--arms") {
           config.arms.clear();
@@ -823,6 +939,29 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_faults(*kind, config, csv_path);
+    }
+    if (cmd == "campaign") {
+      if (argc < 4) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      const std::string spec_path = argv[3];
+      CampaignCliOptions opt;
+      for (int i = 4; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--seed") {
+          opt.seed = std::stoull(value);
+          opt.seed_set = true;
+        } else if (flag == "--frames") opt.frames = std::stoi(value);
+        else if (flag == "--out") opt.out = value;
+        else if (flag == "--bundle") opt.bundle = value;
+        else if (flag == "--bundles") opt.dump_bundles = value != "0";
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_campaign(*kind, spec_path, opt);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
