@@ -253,6 +253,51 @@ nn::Network& CompactedLadderProvider::network_at(int level) {
   return ladder_[static_cast<std::size_t>(level)];
 }
 
+CompactedLadderView::CompactedLadderView(CompactedLadderProvider& shared,
+                                         int level)
+    : shared_(&shared), level_count_(shared.level_count()) {
+  RRP_CHECK_MSG(level >= 0 && level < level_count_,
+                "level " << level << " outside [0, " << level_count_ << ")");
+  level_ = level;
+}
+
+nn::Tensor CompactedLadderView::infer(const nn::Tensor& x) {
+  // Eval-mode forward mutates nothing, so concurrent views — even two at
+  // the same level, over the same physical network — never race.
+  return shared_->network_at(level_).forward(x, /*training=*/false);
+}
+
+// rrp-frame-path: the per-stream O(1) view swap is the serving engine's
+// per-frame transition (no rebuild, no weight traffic, no allocation).
+TransitionStats CompactedLadderView::set_level(int level) {
+  RRP_CHECK_MSG(level >= 0 && level < level_count(),
+                "level " << level << " outside [0, " << level_count() << ")");
+  Timer timer;
+  TransitionStats stats;
+  stats.from_level = level_;
+  stats.to_level = level;
+  stats.is_restore = level < level_;
+  level_ = level;  // view-local index swap — shared ladder untouched
+  stats.wall_us = timer.elapsed_us();
+  if (level != stats.from_level) {
+    static metrics::Counter& swaps = metrics::counter("prune.ladder_swaps");
+    swaps.add(1);
+  }
+  return stats;
+}
+
+std::int64_t CompactedLadderView::active_macs(const nn::Shape& input_shape) {
+  return shared_->network_at(level_).macs(input_shape);
+}
+
+std::int64_t CompactedLadderView::resident_weight_bytes() {
+  return shared_->resident_weight_bytes();
+}
+
+const nn::Network& CompactedLadderView::active_network() const {
+  return shared_->network_at(level_);
+}
+
 CompactedLevelCache::CompactedLevelCache(const nn::Network& net,
                                          const prune::PruneLevelLibrary& levels,
                                          const nn::Shape& input_shape,

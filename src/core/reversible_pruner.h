@@ -191,6 +191,48 @@ class CompactedLadderProvider : public InferenceProvider {
   int current_level_ = 0;
 };
 
+/// A per-stream view over one shared CompactedLadderProvider.
+///
+/// The serving engine (src/serve) runs N concurrent perception streams
+/// against ONE resident compacted ladder: the ladder networks are immutable
+/// after construction and eval-mode forward is non-mutating, so any number
+/// of views may infer concurrently — including two views at the same level
+/// over the very same network.  Each view carries its OWN level index, so a
+/// stream's set_level is invisible to every other stream (the aliasing
+/// property pinned in test_fast_path.cpp): the swap touches only the view.
+///
+/// The shared provider's current_level() and masked golden arm are NOT
+/// consulted or moved by views; integrity scrubbing of the shared weights
+/// remains the owner's job.
+class CompactedLadderView : public InferenceProvider {
+ public:
+  explicit CompactedLadderView(CompactedLadderProvider& shared, int level = 0);
+
+  const std::string& name() const override { return name_; }
+  nn::Tensor infer(const nn::Tensor& x) override;
+  /// O(1): swaps this view's level index only.  Safe from pool chunk
+  /// bodies — no shared state is written.
+  TransitionStats set_level(int level) override;
+  int current_level() const override { return level_; }
+  /// Cached at construction (the shared ladder is immutable after build),
+  /// so the frame path never chains through the shared provider.
+  int level_count() const override { return level_count_; }
+  std::int64_t active_macs(const nn::Shape& input_shape) override;
+  /// Marginal resident cost of a view is ~0; reports the SHARED ladder's
+  /// footprint (each stream does not pay for its own copy — that is the
+  /// point).
+  std::int64_t resident_weight_bytes() override;
+
+  CompactedLadderProvider& shared() { return *shared_; }
+  const nn::Network& active_network() const;
+
+ private:
+  std::string name_ = "reversible-fastpath-view";
+  CompactedLadderProvider* shared_;
+  int level_ = 0;
+  int level_count_ = 0;
+};
+
 /// Compact-mode reversible pruning: every level pre-compacted and resident.
 /// Only valid for structured level libraries.
 class CompactedLevelCache : public InferenceProvider {

@@ -1,0 +1,82 @@
+#include "serve/admission.h"
+
+#include "util/checks.h"
+
+namespace rrp::serve {
+
+const char* serve_action_name(ServeAction a) {
+  switch (a) {
+    case ServeAction::Admit: return "admit";
+    case ServeAction::Reject: return "reject";
+    case ServeAction::Degrade: return "degrade";
+    case ServeAction::Restore: return "restore";
+    case ServeAction::Shed: return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  RRP_CHECK_MSG(config_.max_streams >= 1, "capacity must be >= 1");
+  RRP_CHECK_MSG(config_.window_ticks >= 1, "window must be >= 1 tick");
+  RRP_CHECK_MSG(config_.max_floor >= 0, "max_floor must be >= 0");
+  RRP_CHECK_MSG(config_.degrade_miss_ratio <= config_.shed_miss_ratio,
+                "degrade threshold must not exceed shed threshold");
+  window_.assign(static_cast<std::size_t>(config_.window_ticks), {0, 0});
+}
+
+double AdmissionController::window_miss_ratio() const {
+  std::int64_t frames = 0;
+  std::int64_t misses = 0;
+  for (const auto& [f, m] : window_) {
+    frames += f;
+    misses += m;
+  }
+  return frames > 0 ? static_cast<double>(misses) / static_cast<double>(frames)
+                    : 0.0;
+}
+
+OverloadDecision AdmissionController::update(std::int64_t frames,
+                                             std::int64_t misses,
+                                             bool slo_breach) {
+  window_[window_next_] = {frames, misses};
+  window_next_ = (window_next_ + 1) % window_.size();
+  const double ratio = window_miss_ratio();
+
+  const bool healthy = ratio <= config_.restore_miss_ratio && !slo_breach;
+  healthy_ticks_ = healthy ? healthy_ticks_ + 1 : 0;
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return OverloadDecision::None;
+  }
+  const bool overloaded = ratio >= config_.degrade_miss_ratio || slo_breach;
+  if (overloaded && floor_ < config_.max_floor) {
+    ++floor_;
+    cooldown_ = config_.cooldown_ticks;
+    healthy_ticks_ = 0;
+    return OverloadDecision::Degrade;
+  }
+  if (ratio >= config_.shed_miss_ratio && floor_ >= config_.max_floor) {
+    cooldown_ = config_.cooldown_ticks;
+    healthy_ticks_ = 0;
+    return OverloadDecision::Shed;
+  }
+  if (floor_ > 0 && healthy_ticks_ >= config_.restore_healthy_ticks) {
+    --floor_;
+    cooldown_ = config_.cooldown_ticks;
+    healthy_ticks_ = 0;
+    return OverloadDecision::Restore;
+  }
+  return OverloadDecision::None;
+}
+
+void AdmissionController::reset() {
+  window_.assign(static_cast<std::size_t>(config_.window_ticks), {0, 0});
+  window_next_ = 0;
+  floor_ = 0;
+  healthy_ticks_ = 0;
+  cooldown_ = 0;
+}
+
+}  // namespace rrp::serve

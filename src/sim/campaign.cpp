@@ -391,7 +391,11 @@ CampaignAggregate run_campaign(const CampaignSpec& spec,
   for (std::int64_t block_begin = 0; block_begin < total;
        block_begin += block) {
     const std::int64_t n = std::min(block, total - block_begin);
-    results.assign(static_cast<std::size_t>(n), CellResult{});
+    // resize (not assign-from-temporary) value-initializes the new cells
+    // in place; GCC 12's -Wmaybe-uninitialized misfires on the copied
+    // temporary's string members under heavy inlining.
+    results.clear();
+    results.resize(static_cast<std::size_t>(n));
     parallel_for(0, n, 1, [&](std::int64_t chunk_begin,
                               std::int64_t chunk_end) {
       for (std::int64_t i = chunk_begin; i < chunk_end; ++i)

@@ -2,13 +2,9 @@
 
 #include <algorithm>
 
-#include "core/flight_recorder.h"
-#include "core/slo.h"
 #include "nn/loss.h"
+#include "sim/frame_engine.h"
 #include "util/checks.h"
-#include "util/metrics.h"
-#include "util/timer.h"
-#include "util/trace.h"
 
 namespace rrp::sim {
 
@@ -68,370 +64,10 @@ RunResult run_scenario(const Scenario& scenario,
 RunResult run_scenario(const Scenario& scenario,
                        core::RuntimeController& controller,
                        const RunConfig& config, FaultHarness* harness) {
-  RRP_CHECK_MSG(!scenario.scenes.empty(), "scenario has no frames");
-  RunResult result;
-  result.scenario = scenario.name;
-  result.provider = controller.provider().name();
-  result.policy = controller.policy().name();
-
-  const PlatformModel platform(config.platform);
-  const nn::Shape in_shape = input_shape(config.vision);
-  Rng noise(config.noise_seed);
-  double energy_left = config.energy_budget_mj;
-  PerceptionCriticality estimator(config.perception_criticality);
-  core::CriticalityClass perceived = core::CriticalityClass::Low;
-  core::SafetyMonitor* monitor = controller.monitor();
-
-  FaultInjector injector(config.faults,
-                         harness ? harness->targets : FaultTargets{});
-  core::CriticalityClass last_published = core::CriticalityClass::Low;
-  int consecutive_overruns = 0;
-  // Watchdog interventions fire AFTER a frame is accounted; their switch
-  // cost lands on the next frame's record.
-  double carried_switch_us = 0.0;
-  double carried_switch_energy = 0.0;
-
-  RRP_CHECK(config.sensing_delay_frames >= 0);
-  RRP_CHECK(config.sensor_blackout_prob >= 0.0 &&
-            config.sensor_blackout_prob <= 1.0);
-  RRP_CHECK(config.scrub_period_frames >= 0);
-  RRP_CHECK(config.watchdog_overrun_frames >= 0);
-  static metrics::Counter& frames_ctr = metrics::counter("runner.frames");
-  static metrics::Counter& misses_ctr =
-      metrics::counter("runner.deadline_misses");
-  metrics::Gauge& budget_gauge = metrics::gauge("runner.energy_budget_frac");
-  metrics::Histogram& frame_hist = metrics::histogram("runner.frame_ms");
-  metrics::Histogram& switch_hist = metrics::histogram("prune.switch_us");
-  metrics::Histogram& detect_hist =
-      metrics::histogram("integrity.detect_latency_frames");
-
-  // Black-box / SLO bookkeeping: per-frame deltas of the monitor's
-  // assurance counts, and detection-latency credit for injected flips.
-  core::FlightRecorder* recorder = config.flight_recorder;
-  core::SloMonitor* slo = config.slo;
-  std::int64_t prev_detects = monitor ? monitor->integrity_detect_count() : 0;
-  std::int64_t prev_repairs = monitor ? monitor->integrity_repair_count() : 0;
-  std::int64_t prev_degrades = monitor ? monitor->watchdog_degrade_count() : 0;
-  // First injected weight/store flip not yet credited to a detection; a
-  // scrub detection credits every applied flip up to that point (the
-  // scrub is exhaustive, so they are all detected at once).
-  std::size_t credit_idx = 0;
-  const auto credit_detect_latency = [&](std::int64_t at_frame) {
-    const std::vector<InjectedFault>& inj = injector.injected();
-    for (; credit_idx < inj.size(); ++credit_idx) {
-      const InjectedFault& fi = inj[credit_idx];
-      if ((fi.kind == FaultKind::WeightBitFlip ||
-           fi.kind == FaultKind::StoreBitFlip) &&
-          fi.applied)
-        detect_hist.observe(static_cast<double>(at_frame - fi.frame));
-    }
-  };
-
-  for (std::size_t f = 0; f < scenario.scenes.size(); ++f) {
-    const std::size_t span_base = trace::spans().size();
-    // Frame span: every sub-span (control, render, infer, scrub...) nests
-    // under it, and its modeled_us is set to exactly the platform-model
-    // time the FrameRecord charges (latency + switch), so the span CSV
-    // reconciles with Telemetry to the bit (core/metrics.h).
-    trace::ScopedFrame frame_tag(static_cast<std::int64_t>(f));
-    RRP_SPAN_VAR(frame_span, "frame");
-    const Scene& scene = scenario.scenes[f];
-    const FrameFaults faults =
-        injector.begin_frame(static_cast<std::int64_t>(f));
-    // The controller and monitor see the criticality the perception stack
-    // has already published — `sensing_delay_frames` behind the world.
-    const std::size_t sensed_frame =
-        f >= static_cast<std::size_t>(config.sensing_delay_frames)
-            ? f - static_cast<std::size_t>(config.sensing_delay_frames)
-            : 0;
-    const Scene& sensed_scene = scenario.scenes[sensed_frame];
-
-    // Monitor: perception context (criticality) and platform state.
-    core::ControlInput input;
-    input.frame = static_cast<std::int64_t>(f);
-    switch (config.criticality_source) {
-      case CriticalitySource::GroundTruthTtc:
-        input.criticality = classify_scene(sensed_scene, config.criticality);
-        break;
-      case CriticalitySource::Perception:
-        input.criticality = perceived;  // last frame's own assessment
-        break;
-      case CriticalitySource::PerceptionFloor:
-        input.criticality =
-            std::max(perceived, core::CriticalityClass::Medium);
-        break;
-    }
-    // Sensor faults override what the controller gets to see; the plant's
-    // true criticality (rec.criticality below) is unaffected.
-    if (faults.stuck_criticality)
-      input.criticality = *faults.stuck_criticality;
-    else if (faults.stale_criticality)
-      input.criticality = last_published;
-    last_published = input.criticality;
-    input.deadline_ms = config.deadline_ms;
-    input.energy_budget_frac =
-        config.energy_budget_mj > 0.0
-            ? std::clamp(energy_left / config.energy_budget_mj, 0.0, 1.0)
-            : 1.0;
-
-    // Analyze/Plan/Execute: the controller applies a (screened) level —
-    // unless this frame's decision is dropped by a fault, in which case the
-    // provider coasts at its current level (still audited).
-    core::ControlDecision d;
-    {
-      RRP_SPAN("control");
-      if (faults.drop_decision) {
-        d.requested_level = controller.provider().current_level();
-        d.enforced_level = d.requested_level;
-        if (monitor)
-          monitor->audit(input.frame, input.criticality, d.enforced_level);
-      } else {
-        d = controller.step(input);
-      }
-    }
-
-    // Perceive: render the sensor frame (maybe lost) and run inference.
-    const bool blackout = (config.sensor_blackout_prob > 0.0 &&
-                           noise.bernoulli(config.sensor_blackout_prob)) ||
-                          faults.blackout;
-    Scene sensed_view = scene;
-    if (blackout) sensed_view.actors.clear();  // empty road, noise only
-    nn::Tensor frame;
-    {
-      RRP_SPAN("render");
-      frame = render_scene(sensed_view, config.vision, noise);
-    }
-    nn::Tensor logits;
-    double infer_wall_us = 0.0;
-    {
-      RRP_SPAN("infer");
-      nn::Shape batched = frame.shape();
-      batched.insert(batched.begin(), 1);
-      if (config.measure_wall) {
-        // Measured wall-clock rides NEXT TO the deterministic pipeline:
-        // the reading lands only in RunResult::wall, never in telemetry,
-        // metrics or trace.
-        Timer wall;
-        logits = controller.provider().infer(frame.reshape(batched));
-        infer_wall_us = wall.elapsed_us();
-      } else {
-        logits = controller.provider().infer(frame.reshape(batched));
-      }
-    }
-    const int pred = nn::argmax_rows(logits)[0];
-    const int label = scene_label(scene);
-    perceived = estimator.update(pred, logits.reshape({logits.size(-1)}));
-
-    // Account: platform-model latency/energy for this frame.
-    const std::int64_t macs = controller.provider().active_macs(in_shape);
-    const bool switched = d.transition.from_level != d.transition.to_level;
-    double switch_us =
-        (switched ? platform.switch_latency_us(d.transition.bytes_written)
-                  : 0.0) +
-        d.transition.backoff_us + carried_switch_us;
-    double switch_energy =
-        (switched ? platform.switch_energy_mj(d.transition.bytes_written)
-                  : 0.0) +
-        carried_switch_energy;
-    carried_switch_us = 0.0;
-    carried_switch_energy = 0.0;
-
-    // Integrity scrub: verify live weights against golden ⊙ mask
-    // (reversible arm) or against the clean artifact digest (reload arm),
-    // and repair in place when configured.  Modeled repair cost is charged
-    // to this frame's switch budget.
-    if (harness != nullptr && config.scrub_period_frames > 0 &&
-        (f + 1) % static_cast<std::size_t>(config.scrub_period_frames) == 0) {
-      // Fast-path arm: the masked golden arm lags the active compacted
-      // level; align it here (O(Δ), scrub cadence) so golden ⊙ mask below
-      // references the level actually executing.
-      if (harness->ladder != nullptr) harness->ladder->sync_masked();
-      if (harness->checker != nullptr && harness->levels != nullptr &&
-          harness->targets.live_net != nullptr) {
-        const prune::NetworkMask& mask =
-            harness->levels->mask(controller.provider().current_level());
-        core::ScrubReport scrub =
-            harness->checker->scrub(*harness->targets.live_net, mask);
-        scrub.frame = input.frame;
-        if (!scrub.clean()) {
-          credit_detect_latency(input.frame);
-          if (monitor)
-            for (const core::IntegrityFinding& finding : scrub.findings)
-              monitor->record_integrity_detect(
-                  input.frame, finding.diverged_elements,
-                  finding.param +
-                      (finding.store_corrupt ? " store-corrupt" : ""));
-          if (config.self_heal) {
-            const core::RepairReport fix = harness->checker->repair(
-                *harness->targets.live_net, mask, scrub);
-            const double heal_us = platform.switch_latency_us(fix.bytes_written);
-            switch_us += heal_us;
-            switch_energy += platform.switch_energy_mj(fix.bytes_written);
-            if (monitor)
-              monitor->record_integrity_repair(
-                  input.frame, fix.elements_repaired,
-                  fix.fully_repaired() ? "self-heal"
-                                       : "self-heal (store corrupt)");
-            harness->recoveries.push_back(
-                {input.frame, "self-heal", fix.elements_repaired,
-                 fix.bytes_written, heal_us / 1000.0, fix.fully_repaired()});
-          }
-        }
-      } else if (harness->reload != nullptr &&
-                 harness->reload_digests != nullptr &&
-                 harness->targets.live_net != nullptr) {
-        const int level = controller.provider().current_level();
-        const std::uint64_t digest =
-            live_network_digest(*harness->targets.live_net);
-        if (digest !=
-            (*harness->reload_digests)[static_cast<std::size_t>(level)]) {
-          credit_detect_latency(input.frame);
-          if (monitor)
-            monitor->record_integrity_detect(
-                input.frame, 0,
-                "digest mismatch at level " + std::to_string(level));
-          if (config.self_heal) {
-            const core::TransitionStats reload =
-                harness->reload->reload_current();
-            const double reload_us =
-                platform.switch_latency_us(reload.bytes_written) +
-                reload.backoff_us;
-            switch_us += reload_us;
-            switch_energy += platform.switch_energy_mj(reload.bytes_written);
-            if (monitor)
-              monitor->record_integrity_repair(input.frame,
-                                               reload.elements_changed,
-                                               "full artifact reload");
-            harness->recoveries.push_back(
-                {input.frame, "reload", reload.elements_changed,
-                 reload.bytes_written, reload_us / 1000.0, true});
-          }
-        }
-      }
-    }
-
-    core::FrameRecord rec;
-    rec.frame = input.frame;
-    rec.criticality = classify_scene(scene, config.criticality);
-    rec.requested_level = d.requested_level;
-    rec.executed_level = controller.provider().current_level();
-    rec.latency_ms = platform.latency_ms(macs) * faults.latency_scale;
-    rec.energy_mj = platform.energy_mj(macs) + switch_energy;
-    rec.switch_us = switch_us;
-    rec.deadline_ms = config.deadline_ms;
-    rec.correct = pred == label;
-    rec.veto = d.veto;
-    rec.violation = monitor != nullptr &&
-                    rec.executed_level >
-                        monitor->certified_max(input.criticality);
-    rec.true_violation =
-        monitor != nullptr &&
-        rec.executed_level > monitor->certified_max(rec.criticality);
-    result.telemetry.add(rec);
-    if (config.measure_wall)
-      result.wall.frames.push_back({rec.frame, rec.executed_level,
-                                    infer_wall_us, rec.latency_ms * 1000.0});
-
-    const double frame_ms = rec.latency_ms + rec.switch_us / 1000.0;
-    frame_span.add_modeled_us(rec.latency_ms * 1000.0 + rec.switch_us);
-    frames_ctr.add(1);
-    if (frame_ms > rec.deadline_ms) misses_ctr.add(1);
-    budget_gauge.set(input.energy_budget_frac);
-    frame_hist.observe(frame_ms);
-    if (rec.switch_us > 0.0) switch_hist.observe(rec.switch_us);
-
-    energy_left -= rec.energy_mj;
-
-    // Deadline watchdog: N consecutive overruns force the certified max
-    // level for the SENSED criticality — degraded but certified service.
-    if (config.watchdog_overrun_frames > 0) {
-      const double frame_total_ms = rec.latency_ms + rec.switch_us / 1000.0;
-      if (frame_total_ms > config.deadline_ms)
-        ++consecutive_overruns;
-      else
-        consecutive_overruns = 0;
-      if (consecutive_overruns >= config.watchdog_overrun_frames) {
-        const int ladder_max = controller.provider().level_count() - 1;
-        const int forced =
-            monitor ? std::min(monitor->certified_max(input.criticality),
-                               ladder_max)
-                    : ladder_max;
-        const int from = controller.provider().current_level();
-        if (forced != from) {
-          const core::TransitionStats t =
-              controller.provider().set_level(forced);
-          carried_switch_us =
-              platform.switch_latency_us(t.bytes_written) + t.backoff_us;
-          carried_switch_energy = platform.switch_energy_mj(t.bytes_written);
-        }
-        if (monitor)
-          monitor->record_watchdog_degrade(input.frame, input.criticality,
-                                           from, forced);
-        consecutive_overruns = 0;
-      }
-    }
-
-    // Black box + SLOs, last so watchdog/integrity interventions of THIS
-    // frame land in this frame's record.  Pure bookkeeping on the driving
-    // thread; byte-identical across RRP_THREADS like the rest of the
-    // observability layer.
-    if (recorder != nullptr || slo != nullptr) {
-      const std::int64_t detects =
-          monitor ? monitor->integrity_detect_count() : 0;
-      const std::int64_t repairs =
-          monitor ? monitor->integrity_repair_count() : 0;
-      const std::int64_t degrades =
-          monitor ? monitor->watchdog_degrade_count() : 0;
-      if (recorder != nullptr) {
-        core::FlightRecord fr;
-        fr.frame = rec.frame;
-        fr.criticality = static_cast<std::int32_t>(input.criticality);
-        fr.true_criticality = static_cast<std::int32_t>(rec.criticality);
-        fr.requested_level = rec.requested_level;
-        fr.executed_level = rec.executed_level;
-        fr.latency_ms = rec.latency_ms;
-        fr.switch_us = rec.switch_us;
-        fr.deadline_ms = rec.deadline_ms;
-        fr.energy_mj = rec.energy_mj;
-        fr.flags = (rec.correct ? core::FlightRecord::kCorrect : 0u) |
-                   (rec.veto ? core::FlightRecord::kVeto : 0u) |
-                   (rec.violation ? core::FlightRecord::kViolation : 0u) |
-                   (rec.true_violation ? core::FlightRecord::kTrueViolation
-                                       : 0u);
-        fr.integrity_detects =
-            static_cast<std::int32_t>(detects - prev_detects);
-        fr.integrity_repairs =
-            static_cast<std::int32_t>(repairs - prev_repairs);
-        fr.watchdog_degrades =
-            static_cast<std::int32_t>(degrades - prev_degrades);
-        fr.span_digest =
-            trace::enabled() ? core::span_window_digest(span_base) : 0;
-        recorder->record(fr);
-      }
-      if (slo != nullptr) {
-        if (rec.violation)
-          slo->note_event(rec.frame, "safety.violation",
-                          static_cast<double>(rec.executed_level),
-                          "executed level above certified max");
-        if (degrades > prev_degrades)
-          slo->note_event(rec.frame, "safety.watchdog_degrade",
-                          static_cast<double>(degrades - prev_degrades),
-                          "deadline watchdog forced certified level");
-        if (detects > prev_detects)
-          slo->note_event(rec.frame, "integrity.detect",
-                          static_cast<double>(detects - prev_detects),
-                          "scrub detected weight divergence");
-        slo->evaluate(rec.frame);
-      }
-      prev_detects = detects;
-      prev_repairs = repairs;
-      prev_degrades = degrades;
-    }
-  }
-  if (harness != nullptr) harness->injected = injector.injected();
-  result.wall.enabled = config.measure_wall;
-  result.summary = result.telemetry.summarize();
-  return result;
+  FrameEngine engine(config);
+  StreamState stream = engine.make_stream(scenario, controller, harness);
+  while (!stream.done()) engine.step(stream);
+  return engine.finish(stream);
 }
 
 }  // namespace rrp::sim

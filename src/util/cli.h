@@ -1,0 +1,27 @@
+// cli.h — tiny shared helpers for command-line front ends.
+//
+// Lives in src/util (not tools/) so the parsing contract is unit-testable
+// from the main test binary: tools link it, tests pin it.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+
+namespace rrp {
+
+/// Strict full-string parse of a thread-count argument: a plain positive
+/// decimal integer ("4"), nothing else.  Rejects empty strings, signs,
+/// whitespace, zero, negatives, overflow, and trailing garbage ("4abc",
+/// which std::stoi would silently accept).  nullopt means "invalid" — the
+/// caller prints one diagnostic and exits non-zero.
+inline std::optional<int> parse_thread_count(const std::string& text) {
+  int value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value < 1) return std::nullopt;
+  return value;
+}
+
+}  // namespace rrp

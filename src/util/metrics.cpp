@@ -71,6 +71,10 @@ Registry::Registry() {
       "prune.ladder_rebuilds",  "prune.ladder_swaps",
       "prune.restores",         "prune.transitions",
       "runner.deadline_misses", "runner.frames",
+      "serve.admitted",         "serve.deadline_misses",
+      "serve.degraded",         "serve.frames",
+      "serve.rejected",         "serve.restored",
+      "serve.shed",             "serve.ticks",
   };
   for (const char* name : kCounters)
     counters_.emplace(name, std::make_unique<Counter>());
@@ -81,6 +85,10 @@ Registry::Registry() {
           10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 20000.0}));
   histograms_.emplace(
       "runner.frame_ms",
+      std::make_unique<Histogram>(std::vector<double>{
+          2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 30.0, 50.0}));
+  histograms_.emplace(
+      "serve.frame_ms",
       std::make_unique<Histogram>(std::vector<double>{
           2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 30.0, 50.0}));
   histograms_.emplace(

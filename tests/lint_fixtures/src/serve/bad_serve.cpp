@@ -1,0 +1,22 @@
+// Fixture: src/serve is deliberately on NO determinism whitelist — the
+// serving engine's report must be byte-identical at any RRP_THREADS, so
+// every frame time is modeled platform time (no <chrono>), every draw
+// comes from the seeded per-stream rrp::Rng split (no ambient entropy),
+// and all fan-out goes through util/thread_pool (no raw std::thread).
+// It also must not reach UP the layer DAG into src/models.  Each of the
+// four sins below must fire its rule (R1a, R1b, R5, R3).  Never compiled.
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "models/zoo.h"
+
+double shed_jitter_ms() {
+  std::mt19937 gen(std::random_device{}());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread worker([] {});
+  worker.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() +
+         static_cast<double>(gen() % 7u);
+}

@@ -210,6 +210,63 @@ TEST(FastPath, LevelSwapIsO1OnTheFramePath) {
           << "level " << k << " param " << p.name;
 }
 
+// Two serve streams alias ONE shared provider through per-stream views.
+// A view's level swap must never be observable from any other view: not
+// in its level index, not in the physical network it resolves to, and
+// not in its inference output.  This is the isolation contract the
+// serving engine's fan-out relies on (DESIGN.md invariant 16).
+TEST(FastPath, SharedLadderViewsAliasWithoutInterference) {
+  nn::Network net = tiny_conv_net(36);
+  CompactedLadderProvider shared(
+      net,
+      prune::PruneLevelLibrary::build_structured(net, {0.0, 0.3, 0.6, 0.8},
+                                                 tiny_input_shape()),
+      tiny_input_shape());
+
+  CompactedLadderView a(shared, 0);
+  CompactedLadderView b(shared, 2);
+  EXPECT_EQ(a.current_level(), 0);
+  EXPECT_EQ(b.current_level(), 2);
+  EXPECT_EQ(a.level_count(), shared.level_count());
+
+  // Both views resolve to the shared, pre-compacted ladder networks.
+  EXPECT_EQ(&a.active_network(), &shared.network_at(0));
+  EXPECT_EQ(&b.active_network(), &shared.network_at(2));
+  EXPECT_EQ(a.resident_weight_bytes(), b.resident_weight_bytes())
+      << "views must report the shared footprint, not a private copy";
+
+  const nn::Tensor x = random_tensor({1, 1, 8, 8}, 37);
+  const nn::Tensor a_ref = a.infer(x);
+  const nn::Tensor b_ref = b.infer(x);
+
+  // Walk view `a` across every level; view `b` must be inert throughout.
+  Rng rng(38);
+  for (int s = 0; s < 32; ++s) {
+    const TransitionStats st =
+        a.set_level(rng.uniform_int(0, shared.level_count() - 1));
+    EXPECT_EQ(st.elements_changed, 0) << "swap " << s;
+    EXPECT_EQ(st.bytes_written, 0) << "swap " << s;
+    EXPECT_EQ(b.current_level(), 2) << "swap " << s;
+    EXPECT_EQ(&b.active_network(), &shared.network_at(2)) << "swap " << s;
+    EXPECT_TRUE(b.infer(x).equals(b_ref)) << "swap " << s;
+  }
+
+  // And symmetrically: b's swaps never disturb a.
+  a.set_level(0);
+  b.set_level(3);
+  EXPECT_EQ(a.current_level(), 0);
+  EXPECT_EQ(&a.active_network(), &shared.network_at(0));
+  EXPECT_TRUE(a.infer(x).equals(a_ref));
+
+  // Two views at the SAME level share the same physical network: the
+  // whole point of the view layer is that N streams cost one ladder.
+  b.set_level(0);
+  EXPECT_EQ(&a.active_network(), &b.active_network());
+  EXPECT_TRUE(b.infer(x).equals(a_ref));
+  // The shared provider's own cursor was never touched by any view.
+  EXPECT_EQ(shared.current_level(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // F4: micro-kernel bit-exactness.
 // ---------------------------------------------------------------------------

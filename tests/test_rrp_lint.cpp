@@ -141,6 +141,38 @@ TEST(RrpLint, ScenarioGenAndCampaignStayOffTheDeterminismWhitelists) {
           .empty());
 }
 
+// The serving engine carries the strongest determinism contract in the
+// tree (DESIGN.md invariant 16: per-stream reports and the admission
+// trace are byte-identical at any RRP_THREADS), so src/serve stays off
+// kRandomWhitelist, kThreadWhitelist AND kChronoWhitelist — and, sitting
+// below models in the layer DAG, must never include upward.
+TEST(RrpLint, ServeStaysOffEveryDeterminismWhitelist) {
+  const auto v = fired("src/serve/bad_serve.cpp");
+  EXPECT_TRUE(has(v, 8, "determinism-chrono")) << "#include <chrono>";
+  EXPECT_TRUE(has(v, 9, "determinism-random")) << "#include <random>";
+  EXPECT_TRUE(has(v, 10, "determinism-thread")) << "#include <thread>";
+  EXPECT_TRUE(has(v, 12, "layering")) << "serve -> models is upward";
+  EXPECT_TRUE(has(v, 15, "determinism-random")) << "std::random_device";
+  EXPECT_TRUE(has(v, 17, "determinism-thread")) << "raw std::thread";
+  EXPECT_GE(v.size(), 6u);
+
+  // The contract holds for the real translation units, not just the
+  // fixture name.
+  EXPECT_FALSE(rrp::lint::lint_file("src/serve/serve_engine.cpp",
+                                    "#include <random>\n")
+                   .empty());
+  EXPECT_FALSE(rrp::lint::lint_file("src/serve/serve_engine.cpp",
+                                    "#include <chrono>\n")
+                   .empty());
+  EXPECT_FALSE(rrp::lint::lint_file("src/serve/admission.cpp",
+                                    "#include <thread>\n")
+                   .empty());
+  // Downward includes (serve -> sim) stay legal.
+  EXPECT_TRUE(rrp::lint::lint_file("src/serve/serve_engine.cpp",
+                                   "#include \"sim/runner.h\"\n")
+                  .empty());
+}
+
 TEST(RrpLint, DeterminismThreadRule) {
   const auto v = fired("src/nn/bad_thread.cpp");
   EXPECT_TRUE(has(v, 3, "determinism-thread")) << "#include <thread>";

@@ -250,10 +250,12 @@ TEST(DslProperties, EveryGeneratedScenarioSatisfiesSceneInvariants) {
       if (const Actor* d = s.dominant()) {
         ASSERT_LE(std::fabs(d->lateral_m), kCorridorHalfWidth_m);
         ASSERT_LE(d->distance_m, kSensorRange_m);
-        for (const Actor& a : s.actors)
+        for (const Actor& a : s.actors) {
           if (std::fabs(a.lateral_m) <= kCorridorHalfWidth_m &&
-              a.distance_m <= kSensorRange_m)
+              a.distance_m <= kSensorRange_m) {
             ASSERT_LE(d->distance_m, a.distance_m);
+          }
+        }
       } else {
         for (const Actor& a : s.actors) {
           ASSERT_FALSE(std::fabs(a.lateral_m) <= kCorridorHalfWidth_m &&

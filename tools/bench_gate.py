@@ -50,6 +50,7 @@ GATE_BENCHES = {
     "micro": ["bench/bench_micro", "--gate"],
     "t2": ["bench/bench_t2_endtoend", "--gate", "1"],
     "campaign": ["bench/bench_campaign", "--gate", "1"],
+    "serve": ["bench/bench_serve", "--gate", "1"],
 }
 
 
@@ -222,6 +223,38 @@ def self_test():
         and not camp_clean_w
         and len(camp_tail_f) == 1
         and "missed_critical_rate.p99" in camp_tail_f[0]
+    )
+
+    # Serve-shaped report (per-sweep-point ids from bench_serve): identical
+    # reports compare clean; a drifted congestion-adjusted p99 frame time
+    # fails; the wall frames/s throughput is informational only.
+    srv = {
+        "schema_version": 2,
+        "name": "serve",
+        "config": {"budget_ms": "6", "frames": "120", "mode": "gate"},
+        "metrics": [
+            {"id": "s6_fps83.p99_frame_ms", "value": 9.5, "unit": "ms"},
+            {"id": "s6_fps83.deadline_miss_rate", "value": 0.02,
+             "unit": "fraction"},
+            {"id": "s6_fps83.sheds", "value": 1.0, "unit": "count"},
+        ],
+        "wall_metrics": [
+            {"id": "wall_s6_fps83.frames_per_s", "value": 5200.0,
+             "unit": "frames/s"},
+        ],
+    }
+    srv_clean_f, srv_clean_w = compare(srv, srv, tolerance=0.05)
+    srv_bad = json.loads(json.dumps(srv))
+    srv_bad["metrics"][0]["value"] = 12.0  # p99 frame-time drift
+    srv_bad["wall_metrics"][0]["value"] = 1.0  # throughput: never gated
+    srv_tail_f, srv_tail_w = compare(srv, srv_bad, tolerance=0.05)
+    ok = (
+        ok
+        and not srv_clean_f
+        and not srv_clean_w
+        and len(srv_tail_f) == 1
+        and "s6_fps83.p99_frame_ms" in srv_tail_f[0]
+        and not srv_tail_w
     )
 
     print("bench_gate self-test:", "PASS" if ok else "FAIL")

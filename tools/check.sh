@@ -9,9 +9,10 @@
 #   (b) the lint label on its own, so a lint failure is called out, plus
 #       rrp_lint --self-test and a --json report parsed back through
 #       python3's json module (the machine-readable round-trip);
-#   (c) the fault-injection / integrity campaign suite (ctest -L faults)
-#       and the scenario-DSL / Monte-Carlo campaign suite (-L campaign),
-#       so a robustness regression is called out by name;
+#   (c) the fault-injection / integrity campaign suite (ctest -L faults),
+#       the scenario-DSL / Monte-Carlo campaign suite (-L campaign) and
+#       the multi-stream serving suite (-L serve), so a robustness or
+#       serving regression is called out by name;
 #   (d) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
 #       parallel provisioning);
 #   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all;
@@ -69,6 +70,9 @@ ctest --test-dir build-check --output-on-failure -L faults
 step "(c') scenario-DSL / Monte-Carlo campaign suite (ctest -L campaign)"
 ctest --test-dir build-check --output-on-failure -L campaign
 
+step "(c'') multi-stream serving suite (ctest -L serve)"
+ctest --test-dir build-check --output-on-failure -L serve
+
 step "(d) ThreadSanitizer smoke suite"
 cmake -B build-check-tsan -S . -DRRP_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS" --target rrp_tsan_smoke
@@ -120,7 +124,7 @@ fi
 step "(g) bench-regression gate (tools/bench_gate.py)"
 if command -v python3 >/dev/null 2>&1; then
   cmake --build build-check -j "$JOBS" --target bench_micro bench_t2_endtoend \
-    bench_campaign
+    bench_campaign bench_serve
   python3 tools/bench_gate.py --build-dir build-check \
     --tolerance "${RRP_BENCH_TOLERANCE:-0.05}"
 else

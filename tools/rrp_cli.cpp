@@ -55,6 +55,25 @@
 //        --bundle BASE   worst-cell bundle basename (default
 //                        campaign_worst -> campaign_worst_<i>.rrpb)
 //        --bundles 0     skip dumping worst-cell bundles
+//   rrp_cli serve <model> [opts]           fleet-scale multi-stream serving:
+//                                          one shared compacted ladder, N
+//                                          concurrent streams, SLO-driven
+//                                          admission/degrade/shed (report is
+//                                          byte-identical at any --threads)
+//        --streams N     number of streams (default 4)
+//        --suites a,b    scenario cycle, assigned round-robin
+//                        (default cut_in,urban,highway,degraded;
+//                        also accepts dsl:<line>)
+//        --frames N      frames per stream (default 300)
+//        --seed S        engine seed (default 20240807)
+//        --budget MS     modeled compute budget per tick; demand above it
+//                        stretches frames by demand/budget (default 0 =
+//                        uncontended)
+//        --capacity N    admission capacity (default 8)
+//        --stagger N     arrival stagger in ticks between streams (def. 0)
+//        --policy P      greedy|fixed<K> (default greedy)
+//        --deadline MS   per-frame deadline (default 12.0)
+//        --out FILE      also write the report to FILE
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
 //   rrp_cli blackbox dump <model> <suite> [opts]
 //                                          closed-loop fault run with the
@@ -105,9 +124,11 @@
 #include "sim/faults.h"
 #include "sim/incident_replay.h"
 #include "sim/runner.h"
+#include "serve/serve_engine.h"
 #include "sim/suites.h"
 #include "sim/trace_io.h"
 #include "util/checks.h"
+#include "util/cli.h"
 #include "util/csv.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -167,6 +188,9 @@ int usage() {
          "[--policy greedy|fixed<K>] [--csv FILE]\n"
          "  rrp_cli campaign <model> <spec-file> [--seed S] [--frames N] "
          "[--out FILE] [--bundle BASE] [--bundles 0]\n"
+         "  rrp_cli serve <model> [--streams N] [--suites a,b] [--frames N] "
+         "[--seed S] [--budget MS] [--capacity N] [--stagger N] "
+         "[--policy greedy|fixed<K>] [--deadline MS] [--out FILE]\n"
          "  rrp_cli inspect <file.rrpn>\n"
          "  rrp_cli blackbox dump <model> <suite> [--frames N] [--seed S] "
          "[--policy greedy|fixed<K>] [--hysteresis K] [--faults N] "
@@ -740,6 +764,62 @@ int cmd_campaign(models::ModelKind kind, const std::string& spec_path,
   return 0;
 }
 
+struct ServeCliOptions {
+  int streams = 4;
+  std::vector<std::string> suites = {"cut_in", "urban", "highway", "degraded"};
+  int frames = 300;
+  std::uint64_t seed = 20240807;
+  double budget_ms = 0.0;
+  int capacity = 8;
+  int stagger = 0;
+  std::string policy = "greedy";
+  double deadline_ms = 12.0;
+  std::string out;
+};
+
+int cmd_serve(models::ModelKind kind, const ServeCliOptions& opt) {
+  models::ProvisionedModel pm =
+      models::get_provisioned(kind, {}, {}, cache_dir());
+
+  serve::ServeInputs inputs;
+  inputs.net = &pm.net;
+  inputs.levels = &pm.levels;
+  inputs.bn_states = pm.bn_states;
+  inputs.certified.max_level_for = {4, 3, 1, 0};
+
+  serve::ServeConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.tick_budget_ms = opt.budget_ms;
+  cfg.admission.max_streams = opt.capacity;
+
+  std::vector<serve::StreamSpec> specs;
+  specs.reserve(static_cast<std::size_t>(opt.streams));
+  for (int i = 0; i < opt.streams; ++i) {
+    serve::StreamSpec spec;
+    spec.scenario = opt.suites[static_cast<std::size_t>(i) % opt.suites.size()];
+    spec.policy = opt.policy;
+    spec.frames = opt.frames;
+    spec.arrival_tick = static_cast<std::int64_t>(i) * opt.stagger;
+    // Earlier arrivals survive shedding longer, so overload trims the
+    // newest streams first — the least surprising default.
+    spec.priority = opt.streams - i;
+    spec.deadline_ms = opt.deadline_ms;
+    specs.push_back(std::move(spec));
+  }
+
+  serve::ServeEngine engine(inputs, cfg);
+  const serve::ServeReport report = engine.run(specs);
+  serve::write_serve_report(report, std::cout);
+  if (!opt.out.empty()) {
+    if (!write_output_file(opt.out, [&](std::ostream& o) {
+          serve::write_serve_report(report, o);
+        }))
+      return 1;
+    std::cout << "serve report written to " << opt.out << "\n";
+  }
+  return 0;
+}
+
 int cmd_inspect(const std::string& path) {
   nn::Network net = nn::load_network(path);
   std::cout << "network '" << net.name() << "'\n";
@@ -773,18 +853,15 @@ int main(int argc, char** argv) {
         std::cerr << "--threads expects a value\n";
         return 2;
       }
-      int threads = 0;
-      try {
-        threads = std::stoi(argv[i + 1]);
-      } catch (const std::exception&) {
-        threads = 0;
-      }
-      if (threads < 1) {
+      // Strict full-string parse (util/cli.h): "0", "-3", "abc" and
+      // "4abc" are all diagnostics + exit 2, never a silent fallback.
+      const std::optional<int> threads = parse_thread_count(argv[i + 1]);
+      if (!threads) {
         std::cerr << "--threads expects a positive integer, got '"
                   << argv[i + 1] << "'\n";
         return 2;
       }
-      ThreadPool::set_global_threads(threads);
+      ThreadPool::set_global_threads(*threads);
       ++i;  // skip the value
       continue;
     }
@@ -939,6 +1016,35 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_faults(*kind, config, csv_path);
+    }
+    if (cmd == "serve") {
+      if (argc < 3) return usage();
+      const auto kind = parse_model(argv[2]);
+      if (!kind) return 2;
+      ServeCliOptions opt;
+      for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--streams") opt.streams = std::stoi(value);
+        else if (flag == "--suites") opt.suites = split_csv_list(value);
+        else if (flag == "--frames") opt.frames = std::stoi(value);
+        else if (flag == "--seed") opt.seed = std::stoull(value);
+        else if (flag == "--budget") opt.budget_ms = std::stod(value);
+        else if (flag == "--capacity") opt.capacity = std::stoi(value);
+        else if (flag == "--stagger") opt.stagger = std::stoi(value);
+        else if (flag == "--policy") opt.policy = value;
+        else if (flag == "--deadline") opt.deadline_ms = std::stod(value);
+        else if (flag == "--out") opt.out = value;
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      if (opt.streams < 1 || opt.suites.empty()) {
+        std::cerr << "serve needs --streams >= 1 and a non-empty --suites\n";
+        return 2;
+      }
+      return cmd_serve(*kind, opt);
     }
     if (cmd == "campaign") {
       if (argc < 4) return usage();

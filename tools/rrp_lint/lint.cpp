@@ -41,13 +41,13 @@ std::size_t g_lex_count = 0;
 
 const std::map<std::string, int>& module_ranks() {
   static const std::map<std::string, int> ranks = {
-      {"util", 0}, {"nn", 1},     {"prune", 2},
-      {"core", 3}, {"sim", 4},    {"models", 5},
+      {"util", 0}, {"nn", 1},  {"prune", 2},  {"core", 3},
+      {"sim", 4},  {"serve", 5}, {"models", 6},
   };
   return ranks;
 }
 
-constexpr int kAppRank = 6;  // tools / bench / examples sit on top
+constexpr int kAppRank = 7;  // tools / bench / examples sit on top
 
 /// Rank of the module a file belongs to, or -1 when outside the DAG.
 int file_rank(const std::string& rel_path) {
