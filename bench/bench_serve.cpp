@@ -14,14 +14,19 @@
 //
 // --gate 1: reduced recipe (2 fleet sizes x 2 deadlines, 120 frames) for
 // the bench-regression gate; the full recipe sweeps to 16 streams.
-// --wall:   uncontended throughput emphasis — one large fleet, wall
-//           frames/s headline (machine-dependent, gate-exempt).
+// --wall:   the saturation study (EXPERIMENTS.md R-S2): uncontended
+//           streams in {1,2,4,8,16,32,64} at a fixed 12 ms deadline, wall
+//           frames/s per point (machine-dependent, gate-exempt) — the
+//           input to `rrp_cli report --bench` for the knee table.  The
+//           measured wall channel (sim + util/wprof) is armed.
 #include <cstring>
 #include <vector>
 
 #include "bench_common.h"
 #include "bench_report.h"
+#include "serve/obs.h"
 #include "serve/serve_engine.h"
+#include "util/wprof.h"
 
 using namespace rrp;
 
@@ -77,13 +82,17 @@ int main(int argc, char** argv) {
   // A fixed modeled host budget per tick: small fleets fit, large fleets
   // overflow it and the congestion factor + overload ladder engage.
   cfg.tick_budget_ms = wall ? 0.0 : 1.0;
-  cfg.admission.max_streams = 16;
+  cfg.admission.max_streams = wall ? 64 : 16;
+  cfg.measure_wall = wall;
 
   serve::ServeEngine engine(inputs, cfg);
+  wprof::reset();
+  wprof::set_enabled(wall);
 
   std::vector<SweepPoint> points;
   if (wall) {
-    points = {{12, 12.0}};
+    points = {{1, 12.0},  {2, 12.0},  {4, 12.0}, {8, 12.0},
+              {16, 12.0}, {32, 12.0}, {64, 12.0}};
   } else if (gate) {
     // The last point's deadline sits below the congested frame time, so
     // the gate pins the overload ladder (degrades/floor), not just the
@@ -136,6 +145,22 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "wall: " << fmt(total_wall_s, 2) << " s total\n";
 
+  if (wall) {
+    // The wprof spans are measured wall time: print for the record, never
+    // exported to the gated metrics.
+    std::cout << "wall profile (measured; excluded from every gate):\n";
+    TableFormatter prof({"span", "count", "total_ms", "mean_us", "max_us"});
+    for (const wprof::Stat& s : wprof::stats())
+      prof.row({s.key, std::to_string(s.count), fmt(s.total_us / 1000.0, 3),
+                fmt(s.mean_us(), 3), fmt(s.max_us, 3)});
+    prof.print(std::cout);
+    wprof::set_enabled(false);
+  }
+
+  // Pins the fleet-snapshot schema so an unversioned layout change fails
+  // the gate instead of silently breaking downstream snapshot consumers.
+  report.set("snapshot.schema_version",
+             static_cast<double>(serve::kSnapshotSchemaVersion), "version");
   report.set_wall("wall_total_s", total_wall_s, "s");
   return report.write() ? 0 : 1;
 }

@@ -18,6 +18,22 @@ std::string bound_label(double bound) {
   return fmt(bound, 6);
 }
 
+std::string json_escape(const std::string& s) {
+  // Labeled metric names embed double quotes ({stream="3"}); escape the
+  // JSON string specials so the document stays parseable.
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 MetricsSnapshot capture_metrics() {
@@ -52,7 +68,7 @@ void MetricsSnapshot::write_json(std::ostream& out) const {
   out << "{\"metrics\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (i) out << ",";
-    out << "\n{\"name\":\"" << rows[i].name << "\",\"kind\":\""
+    out << "\n{\"name\":\"" << json_escape(rows[i].name) << "\",\"kind\":\""
         << rows[i].kind << "\",\"value\":" << rows[i].value << "}";
   }
   out << "\n]}\n";

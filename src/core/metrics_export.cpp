@@ -1,0 +1,138 @@
+#include "core/metrics_export.h"
+
+#include <sstream>
+
+#include "util/checks.h"
+#include "util/csv.h"
+#include "util/metrics.h"
+
+namespace rrp::core {
+
+namespace {
+
+std::string sanitize_base(const std::string& base) {
+  // '.' is the repo's metric namespace separator; Prometheus names allow
+  // [a-zA-Z0-9_:] only.
+  std::string out = base;
+  for (char& c : out)
+    if (c == '.') c = '_';
+  return out;
+}
+
+std::string render_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra_key = "", const std::string& extra_value = "") {
+  // Labels are already sorted by MetricDomain; `extra` (the histogram
+  // `le`) is appended last so bucket rows group per series.
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + metrics::escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void type_line(std::ostream& out, std::string& last_family,
+               const std::string& family, const char* type) {
+  // Sorted key iteration can interleave families ("a.b" sorts between
+  // "a" and "a{…}"), so track the last family per kind block and emit
+  // the TYPE line on every change — still one line per contiguous run,
+  // deterministic because the key order is.
+  if (family == last_family) return;
+  last_family = family;
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+ParsedMetricName parse_labeled_name(const std::string& name) {
+  ParsedMetricName parsed;
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    parsed.base = name;
+    return parsed;
+  }
+  if (name.back() != '}')
+    throw SerializationError("unterminated label block in '" + name + "'");
+  parsed.base = name.substr(0, brace);
+  std::size_t i = brace + 1;
+  const std::size_t end = name.size() - 1;  // the closing '}'
+  while (i < end) {
+    const std::size_t eq = name.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= end || name[eq + 1] != '"')
+      throw SerializationError("malformed label in '" + name + "'");
+    const std::string key = name.substr(i, eq - i);
+    std::string value;
+    std::size_t j = eq + 2;
+    for (; j < end && name[j] != '"'; ++j) {
+      char c = name[j];
+      if (c == '\\' && j + 1 < end) {
+        const char next = name[++j];
+        c = next == 'n' ? '\n' : next;
+      }
+      value += c;
+    }
+    if (j >= end)
+      throw SerializationError("unterminated label value in '" + name + "'");
+    parsed.labels.emplace_back(key, value);
+    i = j + 1;  // past the closing quote
+    if (i < end) {
+      if (name[i] != ',')
+        throw SerializationError("malformed label block in '" + name + "'");
+      ++i;
+    }
+  }
+  return parsed;
+}
+
+std::string prometheus_exposition() {
+  std::ostringstream out;
+  const metrics::Registry& reg = metrics::Registry::instance();
+
+  std::string last_family;
+  for (const auto& [name, c] : reg.counters()) {
+    const ParsedMetricName p = parse_labeled_name(name);
+    const std::string family = sanitize_base(p.base);
+    type_line(out, last_family, family, "counter");
+    out << family << render_labels(p.labels) << ' ' << c->value() << '\n';
+  }
+
+  last_family.clear();
+  for (const auto& [name, g] : reg.gauges()) {
+    const ParsedMetricName p = parse_labeled_name(name);
+    const std::string family = sanitize_base(p.base);
+    type_line(out, last_family, family, "gauge");
+    out << family << render_labels(p.labels) << ' '
+        << CsvWriter::num(g->value(), 9) << '\n';
+  }
+
+  last_family.clear();
+  for (const auto& [name, h] : reg.histograms()) {
+    const ParsedMetricName p = parse_labeled_name(name);
+    const std::string family = sanitize_base(p.base);
+    type_line(out, last_family, family, "histogram");
+    const std::vector<double>& bounds = h->bounds();
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += h->bucket_count(i);
+      out << family << "_bucket"
+          << render_labels(p.labels, "le", fmt(bounds[i], 6)) << ' ' << cum
+          << '\n';
+    }
+    cum += h->bucket_count(bounds.size());
+    out << family << "_bucket" << render_labels(p.labels, "le", "+Inf") << ' '
+        << cum << '\n';
+    out << family << "_count" << render_labels(p.labels) << ' ' << cum << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rrp::core

@@ -1,0 +1,44 @@
+// metrics_export.h — Prometheus-style text exposition of the metrics
+// registry, plus the labeled-name parser (DESIGN.md §8).
+//
+// The registry keys labeled metrics as `base{k="v",…}` (keys sorted,
+// values escaped — util/metrics.h MetricDomain).  This layer renders the
+// whole registry in the Prometheus text format:
+//
+//   * metric names sanitize '.' -> '_' (Prometheus name grammar
+//     [a-zA-Z_:][a-zA-Z0-9_:]*);
+//   * one `# TYPE` line per family, emitted the first time the family
+//     appears in sorted key order;
+//   * histograms render as CUMULATIVE `_bucket{le="…"}` series plus the
+//     `{le="+Inf"}` bucket and a `_count` row (no `_sum`: the registry
+//     tracks counts only, by design — sums of doubles are not
+//     schedule-commutative);
+//   * label values reuse the registry escaping, which IS the Prometheus
+//     escaping (\\ \" \n).
+//
+// Everything is a pure function of registry state iterated in sorted
+// map order, so the exposition is byte-identical at any RRP_THREADS
+// whenever the metric values are (invariant 17).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rrp::core {
+
+/// `base{k="v",…}` decomposed; a plain name parses to {name, {}}.
+struct ParsedMetricName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Inverse of MetricDomain::labeled_name (unescapes values).  Throws
+/// SerializationError on a malformed label block.
+ParsedMetricName parse_labeled_name(const std::string& name);
+
+/// Renders the current process-wide registry as Prometheus text
+/// exposition (sorted, deterministic; see header comment).
+std::string prometheus_exposition();
+
+}  // namespace rrp::core

@@ -1,7 +1,9 @@
 #include "core/slo.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "util/checks.h"
 
@@ -134,6 +136,57 @@ std::vector<SloSpec> standard_slos() {
     v.push_back(s);
   }
   return v;
+}
+
+BurnRateTracker::BurnRateTracker(BurnRateConfig cfg) : cfg_(std::move(cfg)) {
+  RRP_CHECK_MSG(!cfg_.id.empty(), "BurnRateConfig needs a non-empty id");
+  RRP_CHECK_MSG(cfg_.budget > 0.0, "error budget must be positive");
+  RRP_CHECK_MSG(cfg_.fast_window >= 1 && cfg_.slow_window >= cfg_.fast_window,
+                "windows must satisfy 1 <= fast_window <= slow_window");
+  window_.reserve(static_cast<std::size_t>(cfg_.slow_window));
+}
+
+const BurnRateState& BurnRateTracker::update(std::int64_t tick,
+                                             std::int64_t num_total,
+                                             std::int64_t den_total) {
+  window_.emplace_back(num_total - last_num_, den_total - last_den_);
+  last_num_ = num_total;
+  last_den_ = den_total;
+  if (window_.size() > static_cast<std::size_t>(cfg_.slow_window))
+    window_.erase(window_.begin());
+
+  const auto window_burn = [this](std::size_t ticks, std::int64_t* samples) {
+    std::int64_t num = 0, den = 0;
+    const std::size_t n = std::min(ticks, window_.size());
+    for (std::size_t i = window_.size() - n; i < window_.size(); ++i) {
+      num += window_[i].first;
+      den += window_[i].second;
+    }
+    if (samples) *samples = den;
+    if (den <= 0) return 0.0;
+    return static_cast<double>(num) / static_cast<double>(den) / cfg_.budget;
+  };
+
+  std::int64_t fast_samples = 0;
+  state_.fast_burn =
+      window_burn(static_cast<std::size_t>(cfg_.fast_window), &fast_samples);
+  state_.slow_burn =
+      window_burn(static_cast<std::size_t>(cfg_.slow_window), nullptr);
+  state_.alerting = fast_samples >= cfg_.min_samples &&
+                    state_.fast_burn > cfg_.fast_burn_threshold &&
+                    state_.slow_burn > cfg_.slow_burn_threshold;
+  if (state_.alerting && !state_.latched) {
+    state_.latched = true;
+    state_.alert_tick = tick;
+  }
+  return state_;
+}
+
+void BurnRateTracker::reset() {
+  state_ = BurnRateState{};
+  last_num_ = 0;
+  last_den_ = 0;
+  window_.clear();
 }
 
 }  // namespace rrp::core

@@ -106,4 +106,68 @@ class SloMonitor {
 /// recovery-latency p99 <= 20 ms, scrub-detection-latency p99 <= 50 frames.
 std::vector<SloSpec> standard_slos();
 
+// ---------------------------------------------------------------------------
+// Multi-window error-budget burn-rate alerting (DESIGN.md §8).
+//
+// A latched SLO breach (above) is a *post-hoc* verdict: the miss-rate spec
+// needs min_samples before it can even evaluate, and by then the budget is
+// spent.  Burn rate is the *leading* signal: with error budget B (the
+// long-run error ratio the SLO tolerates), the burn of a window is
+//
+//     burn = (window error ratio) / B
+//
+// burn == 1 spends budget exactly at the sustainable rate.  Following the
+// multi-window recipe, the alert fires only when BOTH a fast window (low
+// detection latency) and a slow window (blip suppression) exceed their
+// burn thresholds.  The tracker is a pure function of the sequence of
+// cumulative counter values fed to update(), so fixtures are
+// hand-computable and the alert tick is byte-deterministic.
+
+/// Configuration for one burn-rate alert over a counter ratio.
+struct BurnRateConfig {
+  std::string id;           ///< stable identifier ("burn.deadline_miss")
+  std::string numerator;    ///< counter name: cumulative errors
+  std::string denominator;  ///< counter name: cumulative samples
+  double budget = 0.10;     ///< error budget B (allowed long-run ratio)
+  int fast_window = 8;      ///< ticks in the fast window
+  int slow_window = 32;     ///< ticks in the slow window (>= fast_window)
+  double fast_burn_threshold = 2.0;
+  double slow_burn_threshold = 1.0;
+  /// Do not alert before the fast window has seen this many samples.
+  std::int64_t min_samples = 8;
+};
+
+/// Observable state after each update() call.
+struct BurnRateState {
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alerting = false;        ///< both windows over threshold THIS tick
+  bool latched = false;         ///< alerting was ever true
+  std::int64_t alert_tick = -1; ///< first alerting tick (-1: never)
+};
+
+/// Sliding-window burn computation.  Feed CUMULATIVE counter values once
+/// per tick from the driving thread; deltas are windowed internally.
+class BurnRateTracker {
+ public:
+  explicit BurnRateTracker(BurnRateConfig cfg);
+
+  /// `num_total` / `den_total` are the cumulative counter values at the
+  /// END of `tick`.  Ticks must be fed in order, exactly once each.
+  const BurnRateState& update(std::int64_t tick, std::int64_t num_total,
+                              std::int64_t den_total);
+
+  const BurnRateState& state() const { return state_; }
+  const BurnRateConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  BurnRateConfig cfg_;
+  BurnRateState state_;
+  std::int64_t last_num_ = 0;
+  std::int64_t last_den_ = 0;
+  /// Per-tick (errors, samples) deltas, newest last, <= slow_window long.
+  std::vector<std::pair<std::int64_t, std::int64_t>> window_;
+};
+
 }  // namespace rrp::core

@@ -1,6 +1,7 @@
 #include "serve/admission.h"
 
 #include "util/checks.h"
+#include "util/metrics.h"
 
 namespace rrp::serve {
 
@@ -38,37 +39,44 @@ double AdmissionController::window_miss_ratio() const {
 
 OverloadDecision AdmissionController::update(std::int64_t frames,
                                              std::int64_t misses,
-                                             bool slo_breach) {
+                                             bool slo_breach,
+                                             bool burn_alert) {
   window_[window_next_] = {frames, misses};
   window_next_ = (window_next_ + 1) % window_.size();
   const double ratio = window_miss_ratio();
 
-  const bool healthy = ratio <= config_.restore_miss_ratio && !slo_breach;
+  const bool healthy =
+      ratio <= config_.restore_miss_ratio && !slo_breach && !burn_alert;
   healthy_ticks_ = healthy ? healthy_ticks_ + 1 : 0;
 
+  OverloadDecision decision = OverloadDecision::None;
   if (cooldown_ > 0) {
     --cooldown_;
-    return OverloadDecision::None;
-  }
-  const bool overloaded = ratio >= config_.degrade_miss_ratio || slo_breach;
-  if (overloaded && floor_ < config_.max_floor) {
+  } else if ((ratio >= config_.degrade_miss_ratio || slo_breach ||
+              burn_alert) &&
+             floor_ < config_.max_floor) {
     ++floor_;
     cooldown_ = config_.cooldown_ticks;
     healthy_ticks_ = 0;
-    return OverloadDecision::Degrade;
-  }
-  if (ratio >= config_.shed_miss_ratio && floor_ >= config_.max_floor) {
+    decision = OverloadDecision::Degrade;
+  } else if (ratio >= config_.shed_miss_ratio && floor_ >= config_.max_floor) {
     cooldown_ = config_.cooldown_ticks;
     healthy_ticks_ = 0;
-    return OverloadDecision::Shed;
-  }
-  if (floor_ > 0 && healthy_ticks_ >= config_.restore_healthy_ticks) {
+    decision = OverloadDecision::Shed;
+  } else if (floor_ > 0 && healthy_ticks_ >= config_.restore_healthy_ticks) {
     --floor_;
     cooldown_ = config_.cooldown_ticks;
     healthy_ticks_ = 0;
-    return OverloadDecision::Restore;
+    decision = OverloadDecision::Restore;
   }
-  return OverloadDecision::None;
+
+  // Fleet gauges for the snapshot exporter (pre-registered in the
+  // built-in schema; driving thread, so the writes land).  Published
+  // after the decision so an end-of-tick snapshot sees the floor that
+  // the NEXT tick's frames will run under.
+  metrics::gauge("serve.admission.floor").set(static_cast<double>(floor_));
+  metrics::gauge("serve.admission.window_miss_ratio").set(ratio);
+  return decision;
 }
 
 void AdmissionController::reset() {

@@ -92,8 +92,12 @@ class AdmissionController {
   }
 
   /// Feeds one tick's outcome and returns this tick's overload action.
+  /// `slo_breach` is the post-hoc signal (a latched SLO fired this tick);
+  /// `burn_alert` is the leading one (multi-window error-budget burn,
+  /// core::BurnRateTracker) — both count as overload pressure, so a
+  /// burning fleet degrades BEFORE the SLO itself is breached.
   OverloadDecision update(std::int64_t frames, std::int64_t misses,
-                          bool slo_breach);
+                          bool slo_breach, bool burn_alert = false);
 
   int level_floor() const { return floor_; }
   /// Miss ratio over the current window (0 when the window is empty).
@@ -111,5 +115,11 @@ class AdmissionController {
   int healthy_ticks_ = 0;
   int cooldown_ = 0;
 };
+
+// Note on observability: update() also publishes the fleet gauges
+// serve.admission.floor and serve.admission.window_miss_ratio (the
+// decision is still a pure function of the call sequence; the gauges are
+// a read-only mirror for the snapshot exporter, written on the driving
+// thread like every gauge).
 
 }  // namespace rrp::serve

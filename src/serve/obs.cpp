@@ -1,0 +1,77 @@
+#include "serve/obs.h"
+
+#include <sstream>
+
+#include "core/metrics.h"
+#include "core/metrics_export.h"
+#include "util/csv.h"
+
+namespace rrp::serve {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool serve_row(const std::string& name) {
+  return name.rfind("serve.", 0) == 0;
+}
+
+// The exposition sanitizes "serve." to "serve_", so the serve slice is
+// exactly the lines whose metric (or TYPE target) starts with "serve_".
+bool serve_exposition_line(const std::string& line) {
+  if (line.rfind("serve_", 0) == 0) return true;
+  return line.rfind("# TYPE serve_", 0) == 0;
+}
+
+}  // namespace
+
+FleetSnapshot capture_fleet_snapshot(std::int64_t tick) {
+  FleetSnapshot snap;
+  snap.tick = tick;
+
+  const core::MetricsSnapshot all = core::capture_metrics();
+  std::ostringstream json;
+  json << "{\"schema_version\":" << kSnapshotSchemaVersion
+       << ",\"tick\":" << tick << ",\"metrics\":[";
+  bool first = true;
+  for (const core::MetricRow& r : all.rows) {
+    if (!serve_row(r.name)) continue;
+    if (!first) json << ",";
+    first = false;
+    json << "\n{\"name\":\"" << json_escape(r.name) << "\",\"kind\":\""
+         << r.kind << "\",\"value\":" << r.value << "}";
+  }
+  json << "\n]}\n";
+  snap.json = json.str();
+
+  std::istringstream prom_all(core::prometheus_exposition());
+  std::ostringstream prom;
+  std::string line;
+  while (std::getline(prom_all, line))
+    if (serve_exposition_line(line)) prom << line << '\n';
+  snap.prom = prom.str();
+  return snap;
+}
+
+std::string timeline_csv(const std::vector<FleetEvent>& events) {
+  std::ostringstream os;
+  os << "tick,stream,kind,detail\n";
+  for (const FleetEvent& e : events)
+    os << e.tick << ',' << csv_escape(e.stream) << ',' << csv_escape(e.kind)
+       << ',' << csv_escape(e.detail) << '\n';
+  return os.str();
+}
+
+}  // namespace rrp::serve

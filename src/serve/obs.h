@@ -1,0 +1,57 @@
+// obs.h — the fleet observability plane's export surface (DESIGN.md §8).
+//
+// The serve engine is instrumented two ways:
+//   * labeled per-stream metrics (util/metrics.h MetricDomain,
+//     stream="<spec_index>") folded into the process-wide registry, and
+//   * a per-tick fleet event timeline (admit / reject / degrade /
+//     restore / shed / slo_breach / burn_alert) recorded in decision
+//     order on the driving thread.
+//
+// This header renders both: every K ticks the engine captures a
+// FleetSnapshot — the serve.* slice of the registry as schema-versioned
+// sorted JSON plus Prometheus text exposition — and the timeline
+// serializes as CSV.  All three artifacts are pure functions of
+// registry/decision state that is itself byte-identical at any
+// RRP_THREADS, so they are too (DESIGN.md invariant 17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrp::serve {
+
+/// Version of the snapshot JSON schema; bumped on any layout change and
+/// pinned by the bench gate (snapshot.schema_version).
+inline constexpr int kSnapshotSchemaVersion = 1;
+
+/// One fleet-level event, in decision order (the timeline).
+struct FleetEvent {
+  std::int64_t tick = 0;
+  std::string stream;  ///< stream name; "fleet" for fleet-wide events
+  std::string kind;    ///< admit|reject|degrade|restore|shed|slo_breach|burn_alert
+  std::string detail;
+
+  bool operator==(const FleetEvent& o) const {
+    return tick == o.tick && stream == o.stream && kind == o.kind &&
+           detail == o.detail;
+  }
+};
+
+/// One periodic snapshot: the serve.* registry slice at the end of
+/// `tick`, rendered both ways.
+struct FleetSnapshot {
+  std::int64_t tick = 0;
+  std::string json;  ///< {"schema_version":1,"tick":T,"metrics":[…]}
+  std::string prom;  ///< Prometheus text exposition, serve_* families
+};
+
+/// Captures the serve.* slice of the process-wide registry.  Driving
+/// thread only (gauge reads race otherwise); the engine calls it at the
+/// end of a tick, after the fold has joined.
+FleetSnapshot capture_fleet_snapshot(std::int64_t tick);
+
+/// "tick,stream,kind,detail" CSV of the timeline.
+std::string timeline_csv(const std::vector<FleetEvent>& events);
+
+}  // namespace rrp::serve

@@ -7,6 +7,7 @@
 #include "sim/scenario_gen.h"
 #include "util/checks.h"
 #include "util/thread_pool.h"
+#include "util/wprof.h"
 
 namespace rrp::serve {
 namespace {
@@ -51,6 +52,26 @@ std::string fmt(const char* format, double v) {
   return buf;
 }
 
+const char* stream_final_state(const StreamResult& r) {
+  if (r.admitted_tick < 0) return "rejected";
+  if (r.shed_tick >= 0) return "shed";
+  return "completed";
+}
+
+std::string json_string_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::uint64_t stream_base_seed(std::uint64_t engine_seed,
                                std::size_t spec_index) {
   return engine_seed +
@@ -68,6 +89,50 @@ std::uint64_t stream_noise_seed(std::uint64_t engine_seed,
                                 std::size_t spec_index) {
   return stream_base_seed(engine_seed, spec_index) ^ kNoiseSalt;
 }
+
+std::vector<core::BurnRateConfig> standard_serve_burn_rates() {
+  std::vector<core::BurnRateConfig> v;
+  core::BurnRateConfig c;
+  c.id = "burn.serve_miss";
+  c.numerator = "serve.deadline_misses";
+  c.denominator = "serve.frames";
+  c.budget = 0.10;
+  c.fast_window = 8;
+  c.slow_window = 32;
+  c.fast_burn_threshold = 2.0;
+  c.slow_burn_threshold = 1.0;
+  c.min_samples = 8;
+  v.push_back(std::move(c));
+  return v;
+}
+
+metrics::MetricDomain stream_metric_domain(std::size_t spec_index) {
+  return metrics::MetricDomain({{"stream", std::to_string(spec_index)}});
+}
+
+namespace {
+
+// Per-stream metric bases under the {stream="<i>"} domain.  frame_ms
+// shares the fleet histogram's bounds so the per-stream histograms merge
+// bucket-for-bucket into serve.frame_ms (property-tested).
+const std::vector<double>& stream_frame_ms_bounds() {
+  static const std::vector<double> bounds{2.0,  4.0,  6.0,  8.0,  10.0,
+                                          12.0, 16.0, 20.0, 30.0, 50.0};
+  return bounds;
+}
+
+// Creates every labeled metric of one stream's domain (driving thread).
+void preregister_stream_metrics(const metrics::MetricDomain& d) {
+  d.counter("serve.stream.frames");
+  d.counter("serve.stream.deadline_misses");
+  d.counter("serve.stream.admitted");
+  d.counter("serve.stream.rejected");
+  d.counter("serve.stream.shed");
+  d.gauge("serve.stream.level");
+  d.histogram("serve.stream.frame_ms", stream_frame_ms_bounds());
+}
+
+}  // namespace
 
 std::vector<core::SloSpec> standard_serve_slos() {
   std::vector<core::SloSpec> specs;
@@ -111,6 +176,16 @@ struct ServeEngine::ActiveStream {
   std::unique_ptr<core::RuntimeController> controller;
   std::unique_ptr<sim::FrameEngine> engine;
   std::unique_ptr<sim::StreamState> state;
+
+  // Labeled observability: the stream's metric domain plus handles
+  // resolved at admission (driving thread — run() pre-registered the
+  // names, so these are pure lookups) and the per-stream latency sketch.
+  metrics::MetricDomain domain;
+  metrics::Counter* miss_ctr = nullptr;
+  metrics::Counter* shed_ctr = nullptr;
+  metrics::Gauge* level_gauge = nullptr;
+  metrics::Histogram* frame_hist = nullptr;
+  std::unique_ptr<QuantileSketch> sketch;
 };
 
 ServeEngine::~ServeEngine() = default;
@@ -127,6 +202,10 @@ ServeEngine::ServeEngine(const ServeInputs& inputs, ServeConfig config)
   RRP_CHECK_MSG(config_.admission.max_floor < shared_->level_count(),
                 "degrade floor outside the ladder");
   if (config_.slos.empty()) config_.slos = standard_serve_slos();
+  if (config_.burn_rates.empty())
+    config_.burn_rates = standard_serve_burn_rates();
+  RRP_CHECK_MSG(config_.snapshot_every_ticks >= 0,
+                "snapshot_every_ticks must be >= 0");
 }
 
 std::unique_ptr<ServeEngine::ActiveStream> ServeEngine::admit_stream(
@@ -145,15 +224,24 @@ std::unique_ptr<ServeEngine::ActiveStream> ServeEngine::admit_stream(
   s->controller = std::make_unique<core::RuntimeController>(
       *s->policy, *s->view, s->monitor.get());
 
+  s->domain = stream_metric_domain(spec_index);
+  s->miss_ctr = &s->domain.counter("serve.stream.deadline_misses");
+  s->shed_ctr = &s->domain.counter("serve.stream.shed");
+  s->level_gauge = &s->domain.gauge("serve.stream.level");
+  s->frame_hist = &s->domain.histogram("serve.stream.frame_ms");
+  s->sketch = std::make_unique<QuantileSketch>(
+      QuantileSketch::Config{config_.sketch_gamma, 1e-6, 1e9});
+
   sim::RunConfig rc;
   rc.deadline_ms = spec.deadline_ms;
+  rc.measure_wall = config_.measure_wall;
   rc.sensing_delay_frames = config_.sensing_delay_frames;
   rc.platform = config_.platform;
   rc.criticality = config_.criticality;
   rc.vision = config_.vision;
   rc.noise_seed =
       spec.seed != 0 ? spec.seed : stream_noise_seed(config_.seed, spec_index);
-  s->engine = std::make_unique<sim::FrameEngine>(rc);
+  s->engine = std::make_unique<sim::FrameEngine>(rc, &s->domain);
   s->state = std::make_unique<sim::StreamState>(
       s->engine->make_stream(s->scenario, *s->controller));
   return s;
@@ -169,6 +257,10 @@ void ServeEngine::retire_stream(std::size_t active_index,
   r.run = s.engine->finish(*s.state);
   r.frames_executed =
       static_cast<std::int64_t>(r.run.telemetry.records().size());
+  if (!s.sketch->empty()) {
+    r.p50_frame_ms = s.sketch->quantile(0.5);
+    r.p99_frame_ms = s.sketch->quantile(0.99);
+  }
   // Erasing the unique_ptr destroys the view, policy, controller and loop
   // state — the stream's entire footprint beyond the SHARED ladder — and
   // keeps the remaining streams in admission order (the fold order).
@@ -185,22 +277,25 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
   metrics::Counter& restored_ctr = metrics::counter("serve.restored");
   metrics::Counter& shed_ctr = metrics::counter("serve.shed");
   metrics::Histogram& frame_hist = metrics::histogram("serve.frame_ms");
-  // The serve.* metrics are reset per run so the online SLOs evaluate a
-  // pure function of THIS run — replaying the same schedule reproduces
-  // the same breaches at the same ticks (invariant 16).
-  ticks_ctr.reset();
-  frames_ctr.reset();
-  misses_ctr.reset();
-  admitted_ctr.reset();
-  rejected_ctr.reset();
-  degraded_ctr.reset();
-  restored_ctr.reset();
-  shed_ctr.reset();
-  frame_hist.reset();
+  // The serve.* metrics are reset per run (labeled per-stream names
+  // included) so the online SLOs evaluate a pure function of THIS run —
+  // replaying the same schedule reproduces the same breaches at the
+  // same ticks (invariant 16).
+  metrics::reset_prefix("serve.");
+
+  // Pre-register every stream's labeled metrics on the driving thread
+  // BEFORE the first fan-out, so worker-thread lookups never mutate the
+  // registry (the MetricDomain contract, util/metrics.h).
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    preregister_stream_metrics(stream_metric_domain(i));
 
   active_.clear();
   AdmissionController admission(config_.admission);
   core::SloMonitor slo(config_.slos);
+  std::vector<core::BurnRateTracker> burns;
+  burns.reserve(config_.burn_rates.size());
+  for (const core::BurnRateConfig& bc : config_.burn_rates)
+    burns.emplace_back(bc);
   QuantileSketch sketch(QuantileSketch::Config{config_.sketch_gamma, 1e-6,
                                                1e9});
 
@@ -222,6 +317,7 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
 
   struct TickSlot {
     double frame_ms = 0.0;
+    int executed_level = 0;
     bool done = false;
   };
   std::vector<TickSlot> slots;
@@ -247,6 +343,7 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
       if (admission.admit(static_cast<int>(active_.size()))) {
         std::unique_ptr<ActiveStream> s = admit_stream(specs[idx], idx, tick);
         s->policy->set_floor(admission.level_floor());
+        s->domain.counter("serve.stream.admitted").add(1);
         active_.push_back(std::move(s));
         admitted_ctr.add(1);
         ++report.admitted;
@@ -255,12 +352,16 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
              "active=" + std::to_string(active_.size())});
       } else {
         report.streams[idx].admitted_tick = -1;
+        stream_metric_domain(idx).counter("serve.stream.rejected").add(1);
         rejected_ctr.add(1);
         ++report.rejected;
         report.events.push_back(
             {tick, name, ServeAction::Reject,
              "capacity=" + std::to_string(config_.admission.max_streams)});
       }
+      const AdmissionEvent& ev = report.events.back();
+      report.timeline.push_back(
+          {ev.tick, ev.stream, serve_action_name(ev.action), ev.detail});
     }
 
     report.peak_active =
@@ -274,6 +375,9 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
     const std::size_t n = active_.size();
     slots.assign(n, TickSlot{});
     if (n > 0) {
+      // Measured tick fan-out time for the wall profiler (no-op unless
+      // --wall enabled it; strictly outside the deterministic channels).
+      wprof::ScopedTimer tick_timer("serve.tick");
       parallel_for(0, static_cast<std::int64_t>(n), 1,
                    [&](std::int64_t begin, std::int64_t end) {
                      for (std::int64_t i = begin; i < end; ++i) {
@@ -283,7 +387,7 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
                            s.state->result.telemetry.records().back();
                        slots[static_cast<std::size_t>(i)] = {
                            rec.latency_ms + rec.switch_us / 1000.0,
-                           s.state->done()};
+                           rec.executed_level, s.state->done()};
                      }
                    });
     }
@@ -302,14 +406,22 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
     std::int64_t tick_frames = 0;
     std::int64_t tick_misses = 0;
     for (std::size_t i = 0; i < n; ++i) {
+      ActiveStream& s = *active_[i];
       const double effective_ms = slots[i].frame_ms * congestion;
       ++tick_frames;
       frames_ctr.add(1);
       frame_hist.observe(effective_ms);
+      // Labeled per-stream mirror of the fleet accounting: same value
+      // into the stream's histogram/sketch, so the per-stream histograms
+      // merge bucket-for-bucket into serve.frame_ms.
+      s.frame_hist->observe(effective_ms);
+      s.level_gauge->set(static_cast<double>(slots[i].executed_level));
+      s.sketch->add(effective_ms);
       sketch.add(effective_ms);
-      if (effective_ms > active_[i]->spec.deadline_ms) {
+      if (effective_ms > s.spec.deadline_ms) {
         ++tick_misses;
         misses_ctr.add(1);
+        s.miss_ctr->add(1);
       }
     }
     report.frames += tick_frames;
@@ -323,12 +435,38 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
         ++i;
     }
 
-    // 4. Online SLOs, then the overload state machine.
+    // 4. Online SLOs and burn-rate trackers, then the overload state
+    // machine.  Everything here runs on the driving thread over counter
+    // values that are byte-identical at any RRP_THREADS, so the timeline
+    // (and the admission decisions it records) is too (invariant 17).
     slo.evaluate(tick);
     const bool slo_breach = slo.incidents().size() > prev_incidents;
+    for (std::size_t i = prev_incidents; i < slo.incidents().size(); ++i)
+      report.timeline.push_back({tick, "fleet", "slo_breach",
+                                 slo.incidents()[i].slo_id});
     prev_incidents = slo.incidents().size();
 
-    switch (admission.update(tick_frames, tick_misses, slo_breach)) {
+    bool burn_alert = false;
+    for (core::BurnRateTracker& b : burns) {
+      const bool was_latched = b.state().latched;
+      const core::BurnRateState& bs = b.update(
+          tick, metrics::counter(b.config().numerator).value(),
+          metrics::counter(b.config().denominator).value());
+      burn_alert = burn_alert || bs.alerting;
+      if (bs.latched && !was_latched) {
+        const std::string detail = b.config().id +
+                                   " fast=" + fmt("%.4f", bs.fast_burn) +
+                                   " slow=" + fmt("%.4f", bs.slow_burn);
+        report.timeline.push_back({tick, "fleet", "burn_alert", detail});
+        slo.note_event(tick, b.config().id, bs.fast_burn,
+                       "error-budget burn alert (" + detail + ")");
+        prev_incidents = slo.incidents().size();
+      }
+    }
+
+    const std::size_t events_before = report.events.size();
+    switch (admission.update(tick_frames, tick_misses, slo_breach,
+                             burn_alert)) {
       case OverloadDecision::None:
         break;
       case OverloadDecision::Degrade: {
@@ -361,6 +499,7 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
             victim = i;
         const std::string name = active_[victim]->name;
         const int priority = active_[victim]->spec.priority;
+        active_[victim]->shed_ctr->add(1);
         retire_stream(victim, tick, report.streams);
         shed_ctr.add(1);
         ++report.sheds;
@@ -372,12 +511,33 @@ ServeReport ServeEngine::run(const std::vector<StreamSpec>& specs) {
       }
     }
 
+    for (std::size_t i = events_before; i < report.events.size(); ++i) {
+      const AdmissionEvent& ev = report.events[i];
+      report.timeline.push_back(
+          {ev.tick, ev.stream, serve_action_name(ev.action), ev.detail});
+    }
+
     ticks_ctr.add(1);
     ++report.ticks;
     ++tick;
+
+    // Periodic exposition snapshot, end of tick on the driving thread —
+    // all parallel work has joined, so the serve.* slice is settled.
+    if (config_.snapshot_every_ticks > 0 &&
+        report.ticks % config_.snapshot_every_ticks == 0)
+      report.snapshots.push_back(capture_fleet_snapshot(tick - 1));
   }
 
   report.final_floor = admission.level_floor();
+  for (const core::BurnRateTracker& b : burns) {
+    BurnAlert a;
+    a.id = b.config().id;
+    a.latched = b.state().latched;
+    a.alert_tick = b.state().alert_tick;
+    a.fast_burn = b.state().fast_burn;
+    a.slow_burn = b.state().slow_burn;
+    report.burn_alerts.push_back(std::move(a));
+  }
   if (!sketch.empty()) {
     report.p50_frame_ms = sketch.quantile(0.5);
     report.p99_frame_ms = sketch.quantile(0.99);
@@ -422,6 +582,18 @@ void write_serve_report(const ServeReport& report, std::ostream& out) {
           << " observed=" << fmt("%.4f", inc.observed)
           << " threshold=" << fmt("%.4f", inc.threshold) << "\n";
   }
+  if (!report.burn_alerts.empty()) {
+    out << "  burn rates:\n";
+    for (const BurnAlert& b : report.burn_alerts) {
+      out << "    " << b.id << ": fast=" << fmt("%.4f", b.fast_burn)
+          << " slow=" << fmt("%.4f", b.slow_burn);
+      if (b.latched)
+        out << " ALERT@tick " << b.alert_tick;
+      else
+        out << " ok";
+      out << "\n";
+    }
+  }
   out << "  per-stream:\n";
   for (const StreamResult& r : report.streams) {
     out << "    " << r.name;
@@ -431,11 +603,69 @@ void write_serve_report(const ServeReport& report, std::ostream& out) {
     }
     out << ": admitted@" << r.admitted_tick;
     if (r.shed_tick >= 0) out << " shed@" << r.shed_tick;
-    out << " frames=" << r.frames_executed
+    out << " state=" << stream_final_state(r) << " frames="
+        << r.frames_executed << " p50=" << fmt("%.3f", r.p50_frame_ms)
+        << " p99=" << fmt("%.3f", r.p99_frame_ms)
         << " acc=" << fmt("%.4f", r.run.summary.accuracy)
         << " miss=" << fmt("%.4f", r.run.summary.deadline_miss_rate)
         << " mean_level=" << fmt("%.3f", r.run.summary.mean_level) << "\n";
   }
+}
+
+void write_serve_report_json(const ServeReport& report, std::ostream& out) {
+  const auto num = [](double v) { return fmt("%.6f", v); };
+  out << "{\"schema_version\":" << kSnapshotSchemaVersion << ",\n";
+  out << "\"fleet\":{"
+      << "\"ticks\":" << report.ticks << ",\"frames\":" << report.frames
+      << ",\"deadline_misses\":" << report.deadline_misses
+      << ",\"admitted\":" << report.admitted
+      << ",\"rejected\":" << report.rejected
+      << ",\"degrades\":" << report.degrades
+      << ",\"restores\":" << report.restores << ",\"sheds\":" << report.sheds
+      << ",\"peak_active\":" << report.peak_active
+      << ",\"final_floor\":" << report.final_floor
+      << ",\"p50_frame_ms\":" << num(report.p50_frame_ms)
+      << ",\"p99_frame_ms\":" << num(report.p99_frame_ms)
+      << ",\"max_frame_ms\":" << num(report.max_frame_ms)
+      << ",\"mean_congestion\":" << num(report.mean_congestion) << "},\n";
+  out << "\"streams\":[";
+  for (std::size_t i = 0; i < report.streams.size(); ++i) {
+    const StreamResult& r = report.streams[i];
+    if (i) out << ",";
+    out << "\n{\"spec_index\":" << r.spec_index << ",\"name\":\""
+        << json_string_escape(r.name) << "\",\"state\":\""
+        << stream_final_state(r) << "\",\"admitted_tick\":" << r.admitted_tick
+        << ",\"shed_tick\":" << r.shed_tick
+        << ",\"frames\":" << r.frames_executed
+        << ",\"priority\":" << r.priority
+        << ",\"p50_frame_ms\":" << num(r.p50_frame_ms)
+        << ",\"p99_frame_ms\":" << num(r.p99_frame_ms)
+        << ",\"accuracy\":" << num(r.run.summary.accuracy)
+        << ",\"deadline_miss_rate\":" << num(r.run.summary.deadline_miss_rate)
+        << ",\"mean_level\":" << num(r.run.summary.mean_level) << "}";
+  }
+  out << "\n],\n";
+  out << "\"burn_alerts\":[";
+  for (std::size_t i = 0; i < report.burn_alerts.size(); ++i) {
+    const BurnAlert& b = report.burn_alerts[i];
+    if (i) out << ",";
+    out << "\n{\"id\":\"" << json_string_escape(b.id)
+        << "\",\"latched\":" << (b.latched ? "true" : "false")
+        << ",\"alert_tick\":" << b.alert_tick
+        << ",\"fast_burn\":" << num(b.fast_burn)
+        << ",\"slow_burn\":" << num(b.slow_burn) << "}";
+  }
+  out << "\n],\n";
+  out << "\"timeline\":[";
+  for (std::size_t i = 0; i < report.timeline.size(); ++i) {
+    const FleetEvent& e = report.timeline[i];
+    if (i) out << ",";
+    out << "\n{\"tick\":" << e.tick << ",\"stream\":\""
+        << json_string_escape(e.stream) << "\",\"kind\":\""
+        << json_string_escape(e.kind) << "\",\"detail\":\""
+        << json_string_escape(e.detail) << "\"}";
+  }
+  out << "\n]}\n";
 }
 
 }  // namespace rrp::serve

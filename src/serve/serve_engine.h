@@ -40,6 +40,7 @@
 
 #include "core/slo.h"
 #include "serve/admission.h"
+#include "serve/obs.h"
 #include "sim/frame_engine.h"
 #include "util/qsketch.h"
 
@@ -81,6 +82,17 @@ struct ServeConfig {
   /// driving thread; a breach counts as overload pressure.  Empty = use
   /// standard_serve_slos().
   std::vector<core::SloSpec> slos;
+  /// Multi-window burn-rate alerts over serve.* counter ratios; an
+  /// alerting tracker counts as overload pressure BEFORE the SLO itself
+  /// latches.  Empty = use standard_serve_burn_rates().
+  std::vector<core::BurnRateConfig> burn_rates;
+  /// Capture a FleetSnapshot every K ticks (serve/obs.h); 0 = never.
+  int snapshot_every_ticks = 0;
+  /// Measured wall-clock channel: per-frame infer wall times land in
+  /// each stream's RunResult::wall, and the util/wprof profiler (when
+  /// enabled) aggregates per-level/per-tick spans.  Never touches the
+  /// deterministic telemetry/trace/metrics channels.
+  bool measure_wall = false;
   sim::PlatformConfig platform;
   sim::CriticalityConfig criticality;
   sim::VisionTaskConfig vision;
@@ -98,6 +110,19 @@ struct StreamResult {
   /// rejected).  Byte-identical to a solo sim/runner run of the same
   /// stream when the floor never engaged.
   sim::RunResult run;
+  /// Congestion-adjusted per-stream frame-time tails (util/qsketch;
+  /// 0 when the stream executed no frames).
+  double p50_frame_ms = 0.0;
+  double p99_frame_ms = 0.0;
+};
+
+/// Final state of one burn-rate tracker after a run.
+struct BurnAlert {
+  std::string id;
+  bool latched = false;
+  std::int64_t alert_tick = -1;  ///< first alerting tick (-1: never)
+  double fast_burn = 0.0;        ///< burns at the END of the run
+  double slow_burn = 0.0;
 };
 
 struct ServeReport {
@@ -118,6 +143,12 @@ struct ServeReport {
   double max_frame_ms = 0.0;
   double mean_congestion = 1.0;  ///< mean per-tick congestion factor
   std::vector<core::Incident> incidents;  ///< from the online SLO monitor
+  std::vector<BurnAlert> burn_alerts;     ///< one per burn-rate tracker
+  /// Unified fleet event timeline: every admission event plus slo_breach
+  /// and burn_alert markers, in decision order (serve/obs.h).
+  std::vector<FleetEvent> timeline;
+  /// Periodic snapshots (config.snapshot_every_ticks; empty when 0).
+  std::vector<FleetSnapshot> snapshots;
 };
 
 /// Engine-owned policy wrapper: max(inner decision, fleet level floor).
@@ -149,6 +180,18 @@ class FloorPolicy : public core::Policy {
 /// The standard serving objectives: congestion-adjusted deadline-miss
 /// rate <= 10% (>= 64 frames) and frame-time p99 <= 30 ms.
 std::vector<core::SloSpec> standard_serve_slos();
+
+/// The standard leading signal: deadline-miss budget 10%, fast window 8
+/// ticks over burn 2x AND slow window 32 ticks over burn 1x (>= 8
+/// samples in the fast window) — fires well before slo.serve_miss_rate
+/// can even evaluate (64 samples).
+std::vector<core::BurnRateConfig> standard_serve_burn_rates();
+
+/// The per-stream metric-label schema: every spec index gets the domain
+/// {stream="<spec_index>"} over these bases.  ServeEngine::run
+/// pre-registers all of them on the driving thread before the first
+/// fan-out, so worker-thread lookups never mutate the registry.
+metrics::MetricDomain stream_metric_domain(std::size_t spec_index);
 
 /// The documented per-stream seed split (DESIGN.md invariant 16): stream
 /// `spec_index` derives its scenario and sensor-noise streams from the
@@ -197,5 +240,10 @@ class ServeEngine {
 
 /// Human-readable report (the `rrp_cli serve` output).
 void write_serve_report(const ServeReport& report, std::ostream& out);
+
+/// Machine-readable report (`rrp_cli serve --report-json`): the same
+/// content as the text report, schema-versioned, deterministically
+/// formatted (sorted keys, fixed precision).
+void write_serve_report_json(const ServeReport& report, std::ostream& out);
 
 }  // namespace rrp::serve

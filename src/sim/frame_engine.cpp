@@ -8,6 +8,7 @@
 #include "util/checks.h"
 #include "util/timer.h"
 #include "util/trace.h"
+#include "util/wprof.h"
 
 namespace rrp::sim {
 
@@ -30,7 +31,8 @@ StreamState::StreamState(const Scenario& scenario_in,
   prev_degrades = monitor ? monitor->watchdog_degrade_count() : 0;
 }
 
-FrameEngine::FrameEngine(const RunConfig& config)
+FrameEngine::FrameEngine(const RunConfig& config,
+                         const metrics::MetricDomain* stream_domain)
     : config_(config),
       platform_(config.platform),
       in_shape_(input_shape(config.vision)),
@@ -40,6 +42,8 @@ FrameEngine::FrameEngine(const RunConfig& config)
       frame_hist_(&metrics::histogram("runner.frame_ms")),
       switch_hist_(&metrics::histogram("prune.switch_us")),
       detect_hist_(&metrics::histogram("integrity.detect_latency_frames")) {
+  if (stream_domain != nullptr)
+    stream_frames_ctr_ = &stream_domain->counter("serve.stream.frames");
   RRP_CHECK(config_.sensing_delay_frames >= 0);
   RRP_CHECK(config_.sensor_blackout_prob >= 0.0 &&
             config_.sensor_blackout_prob <= 1.0);
@@ -281,13 +285,20 @@ void FrameEngine::step(StreamState& s) const {
       monitor != nullptr &&
       rec.executed_level > monitor->certified_max(rec.criticality);
   s.result.telemetry.add(rec);
-  if (config.measure_wall)
+  if (config.measure_wall) {
     s.result.wall.frames.push_back({rec.frame, rec.executed_level,
                                     infer_wall_us, rec.latency_ms * 1000.0});
+    // Per-level measured breakdown for the wall-channel profiler.  Like
+    // RunResult::wall, this never touches telemetry/trace/metrics and
+    // wprof::record is a no-op unless --wall flipped the enable switch.
+    wprof::record("infer.L" + std::to_string(rec.executed_level),
+                  infer_wall_us);
+  }
 
   const double frame_ms = rec.latency_ms + rec.switch_us / 1000.0;
   frame_span.add_modeled_us(rec.latency_ms * 1000.0 + rec.switch_us);
   frames_ctr_->add(1);
+  if (stream_frames_ctr_ != nullptr) stream_frames_ctr_->add(1);
   if (frame_ms > rec.deadline_ms) misses_ctr_->add(1);
   budget_gauge_->set(input.energy_budget_frac);
   frame_hist_->observe(frame_ms);

@@ -69,7 +69,13 @@ struct StreamState {
 /// bit lives in the StreamState.
 class FrameEngine {
  public:
-  explicit FrameEngine(const RunConfig& config);
+  /// `stream_domain` (optional) labels this engine's per-stream serve
+  /// metrics (serve.stream.frames) — the serve engine passes the
+  /// stream's MetricDomain, whose names it pre-registered on the driving
+  /// thread; the solo simulator passes nothing and stays label-free.
+  /// The domain is only read during construction (handles are cached).
+  explicit FrameEngine(const RunConfig& config,
+                       const metrics::MetricDomain* stream_domain = nullptr);
 
   /// Validates the scenario and builds a fresh stream over it.
   StreamState make_stream(const Scenario& scenario,
@@ -103,6 +109,8 @@ class FrameEngine {
   metrics::Histogram* frame_hist_;
   metrics::Histogram* switch_hist_;
   metrics::Histogram* detect_hist_;
+  /// Labeled per-stream counter (serve only); nullptr when unlabeled.
+  metrics::Counter* stream_frames_ctr_ = nullptr;
 };
 
 }  // namespace rrp::sim

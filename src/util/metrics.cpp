@@ -79,6 +79,9 @@ Registry::Registry() {
   for (const char* name : kCounters)
     counters_.emplace(name, std::make_unique<Counter>());
   gauges_.emplace("runner.energy_budget_frac", std::make_unique<Gauge>());
+  gauges_.emplace("serve.admission.floor", std::make_unique<Gauge>());
+  gauges_.emplace("serve.admission.window_miss_ratio",
+                  std::make_unique<Gauge>());
   histograms_.emplace(
       "prune.switch_us",
       std::make_unique<Histogram>(std::vector<double>{
@@ -160,5 +163,84 @@ Histogram& histogram(const std::string& name) {
   return Registry::instance().histogram(name);
 }
 void reset_all() { Registry::instance().reset(); }
+
+void reset_prefix(const std::string& prefix) {
+  Registry& reg = Registry::instance();
+  for (auto& [name, c] : reg.counters())
+    if (name.rfind(prefix, 0) == 0) c->reset();
+  for (auto& [name, g] : reg.gauges())
+    if (name.rfind(prefix, 0) == 0) g->reset();
+  for (auto& [name, h] : reg.histograms())
+    if (name.rfind(prefix, 0) == 0) h->reset();
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool label_key_ok(const std::string& k) {
+  if (k.empty()) return false;
+  const auto alpha = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  if (!alpha(k[0])) return false;
+  for (char c : k)
+    if (!alpha(c) && !digit(c)) return false;
+  return true;
+}
+
+}  // namespace
+
+MetricDomain::MetricDomain(std::vector<Label> labels)
+    : labels_(std::move(labels)) {
+  std::sort(labels_.begin(), labels_.end());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    RRP_CHECK_MSG(label_key_ok(labels_[i].first),
+                  "metric label key '" << labels_[i].first
+                                       << "' must match "
+                                          "[a-zA-Z_][a-zA-Z0-9_]*");
+    if (i > 0)
+      RRP_CHECK_MSG(labels_[i - 1].first != labels_[i].first,
+                    "duplicate metric label key '" << labels_[i].first << "'");
+  }
+  if (!labels_.empty()) {
+    suffix_ = "{";
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      if (i > 0) suffix_ += ',';
+      suffix_ += labels_[i].first;
+      suffix_ += "=\"";
+      suffix_ += escape_label_value(labels_[i].second);
+      suffix_ += '"';
+    }
+    suffix_ += '}';
+  }
+}
+
+Counter& MetricDomain::counter(const std::string& base) const {
+  return Registry::instance().counter(labeled_name(base));
+}
+Gauge& MetricDomain::gauge(const std::string& base) const {
+  return Registry::instance().gauge(labeled_name(base));
+}
+Histogram& MetricDomain::histogram(const std::string& base) const {
+  return Registry::instance().histogram(labeled_name(base));
+}
+Histogram& MetricDomain::histogram(const std::string& base,
+                                   std::vector<double> bounds) const {
+  return Registry::instance().histogram(labeled_name(base), std::move(bounds));
+}
 
 }  // namespace rrp::metrics

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rrp::metrics {
@@ -124,5 +125,54 @@ Histogram& histogram(const std::string& name);
 
 /// Zeroes every metric in the process-wide registry.
 void reset_all();
+
+/// Zeroes every metric whose name starts with `prefix` (labeled variants
+/// included: "serve." also matches "serve.stream.frames{stream=\"0\"}").
+void reset_prefix(const std::string& prefix);
+
+/// Escapes a label VALUE for the {k="v"} grammar: backslash, double
+/// quote and newline become \\ \" \n (the Prometheus escaping rules, so
+/// the mangled registry key doubles as the exposition label string).
+std::string escape_label_value(const std::string& v);
+
+/// A (base name, labels) scope over the process-wide registry
+/// (DESIGN.md §8: metric-label grammar).
+///
+/// `MetricDomain({{"stream", "3"}}).counter("serve.stream.frames")`
+/// resolves to the registry entry `serve.stream.frames{stream="3"}`.
+/// Label keys must match [a-zA-Z_][a-zA-Z0-9_]* and be unique; keys are
+/// sorted and values escaped, so equal label SETS always mangle to the
+/// same registry key (and therefore the same sorted export position).
+///
+/// The determinism contract is exactly the unlabeled one: the labeled
+/// name is a plain registry key, so creation is only legal outside
+/// parallel regions — pre-register every per-stream domain's metrics on
+/// the driving thread (ServeEngine does this at the start of run())
+/// before any worker thread looks them up.
+class MetricDomain {
+ public:
+  using Label = std::pair<std::string, std::string>;
+
+  /// The empty domain: labeled_name(base) == base (plain registry key).
+  MetricDomain() = default;
+  /// Validates keys, sorts by key, precomputes the {…} suffix.
+  explicit MetricDomain(std::vector<Label> labels);
+
+  const std::vector<Label>& labels() const { return labels_; }
+  /// base -> base{k1="v1",k2="v2"} (empty domain: base unchanged).
+  std::string labeled_name(const std::string& base) const {
+    return base + suffix_;
+  }
+
+  Counter& counter(const std::string& base) const;
+  Gauge& gauge(const std::string& base) const;
+  Histogram& histogram(const std::string& base) const;
+  Histogram& histogram(const std::string& base,
+                       std::vector<double> bounds) const;
+
+ private:
+  std::vector<Label> labels_;  // sorted by key, keys unique
+  std::string suffix_;         // "{k=\"v\",…}", or "" for the empty domain
+};
 
 }  // namespace rrp::metrics

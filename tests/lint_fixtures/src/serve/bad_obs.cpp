@@ -1,0 +1,15 @@
+// Fixture: the fleet observability exporters (serve/obs.*,
+// core/metrics_export.*) are pure functions of registry state — snapshot
+// JSON, Prometheus exposition and the event timeline must be
+// byte-identical at any RRP_THREADS (DESIGN.md invariant 17) — so they
+// sit on NO determinism whitelist.  A wall-clock "snapshot timestamp" is
+// exactly the bug the rules exist to catch: every chrono use below must
+// fire R5, and the argless now() read fires R1a on top.  Never compiled.
+#include <chrono>
+
+long long snapshot_stamp_ms() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}

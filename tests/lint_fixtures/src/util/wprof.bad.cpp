@@ -1,0 +1,18 @@
+// Fixture: src/util/wprof.* is thread-whitelisted (its aggregation map
+// is guarded by a plain mutex) but sits on NO other determinism
+// whitelist: the profiler reads time only through the rrp::Timer facade,
+// so a direct chrono read or an ambient-entropy draw inside wprof still
+// fires R1a/R5 while the mutex machinery below stays silent.  The file
+// name shares the "src/util/wprof." prefix so the thread whitelist
+// genuinely applies (like thread_pool.fixture.cpp).  Never compiled.
+#include <random>
+#include <chrono>
+#include <mutex>
+
+double sampled_span_us() {
+  std::mt19937 gen(std::random_device{}());
+  static std::mutex m;
+  const std::lock_guard<std::mutex> lock(m);
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count() * 1e-3 * (gen() % 3u);
+}

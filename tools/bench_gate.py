@@ -257,6 +257,37 @@ def self_test():
         and not srv_tail_w
     )
 
+    # Snapshot-schema pin (bench_serve exports snapshot.schema_version so
+    # the fleet-snapshot JSON layout can't change silently): the exact
+    # baseline value compares clean, any bump is a hard failure — integer
+    # version steps always exceed every sane relative tolerance band —
+    # while the wall metrics riding along stay ungated.
+    snap = {
+        "schema_version": 2,
+        "name": "serve",
+        "config": {"mode": "gate"},
+        "metrics": [
+            {"id": "snapshot.schema_version", "value": 1.0, "unit": "version"},
+        ],
+        "wall_metrics": [
+            {"id": "wall_s8_fps83.frames_per_s", "value": 7000.0,
+             "unit": "frames/s"},
+        ],
+    }
+    snap_clean_f, snap_clean_w = compare(snap, snap, tolerance=0.05)
+    snap_bumped = json.loads(json.dumps(snap))
+    snap_bumped["metrics"][0]["value"] = 2.0  # unannounced schema bump
+    snap_bumped["wall_metrics"][0]["value"] = 123.0  # still never gated
+    snap_f, snap_w = compare(snap, snap_bumped, tolerance=0.05)
+    ok = (
+        ok
+        and not snap_clean_f
+        and not snap_clean_w
+        and len(snap_f) == 1
+        and "snapshot.schema_version" in snap_f[0]
+        and not snap_w
+    )
+
     print("bench_gate self-test:", "PASS" if ok else "FAIL")
     if not ok:
         for f in failures:

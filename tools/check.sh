@@ -10,9 +10,10 @@
 #       rrp_lint --self-test and a --json report parsed back through
 #       python3's json module (the machine-readable round-trip);
 #   (c) the fault-injection / integrity campaign suite (ctest -L faults),
-#       the scenario-DSL / Monte-Carlo campaign suite (-L campaign) and
-#       the multi-stream serving suite (-L serve), so a robustness or
-#       serving regression is called out by name;
+#       the scenario-DSL / Monte-Carlo campaign suite (-L campaign), the
+#       multi-stream serving suite (-L serve) and the fleet observability
+#       suite (-L obs), so a robustness, serving or observability
+#       regression is called out by name;
 #   (d) the ThreadSanitizer smoke suite (pool mechanics, parallel GEMM,
 #       parallel provisioning);
 #   (e) a UBSan build of the unit tests, -fno-sanitize-recover=all;
@@ -72,6 +73,9 @@ ctest --test-dir build-check --output-on-failure -L campaign
 
 step "(c'') multi-stream serving suite (ctest -L serve)"
 ctest --test-dir build-check --output-on-failure -L serve
+
+step "(c''') fleet observability suite (ctest -L obs)"
+ctest --test-dir build-check --output-on-failure -L obs
 
 step "(d) ThreadSanitizer smoke suite"
 cmake -B build-check-tsan -S . -DRRP_SANITIZE=thread

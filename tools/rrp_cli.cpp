@@ -74,6 +74,23 @@
 //        --policy P      greedy|fixed<K> (default greedy)
 //        --deadline MS   per-frame deadline (default 12.0)
 //        --out FILE      also write the report to FILE
+//        --report-json F machine-readable report (schema-versioned JSON)
+//        --wall 1        enable the measured wall-clock channel: per-frame
+//                        infer wall times plus the util/wprof sampling
+//                        profiler (per-level/per-tick spans, printed after
+//                        the report; never gated, never deterministic)
+//        --snapshot-every K  capture a fleet snapshot every K ticks
+//        --snapshot-out BASE write BASE_tick<N>.json / .prom per snapshot
+//                        plus BASE_timeline.csv (implies --snapshot-every
+//                        50 when not given)
+//   rrp_cli report [opts]                  offline observability analyzer
+//        --bench FILE    BENCH_serve.json from `bench_serve --wall`:
+//                        renders the streams-vs-throughput saturation
+//                        table with marginal scaling efficiency + knee
+//        --snapshot F    fleet snapshot JSON (repeatable, tick order)
+//        --heatmap BASE  write BASE_level.csv / BASE_p99.csv heatmaps
+//                        (rows = snapshot ticks, cols = streams) from the
+//                        --snapshot files
 //   rrp_cli inspect <file.rrpn>            dump a serialized network
 //   rrp_cli blackbox dump <model> <suite> [opts]
 //                                          closed-loop fault run with the
@@ -107,11 +124,15 @@
 //
 // Model caches are read/written in $RRP_CACHE_DIR (default "cache",
 // auto-created on first save).
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
 
 #include "core/assurance_export.h"
 #include "core/flight_recorder.h"
@@ -133,6 +154,7 @@
 #include "util/log.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "util/wprof.h"
 
 using namespace rrp;
 
@@ -190,7 +212,11 @@ int usage() {
          "[--out FILE] [--bundle BASE] [--bundles 0]\n"
          "  rrp_cli serve <model> [--streams N] [--suites a,b] [--frames N] "
          "[--seed S] [--budget MS] [--capacity N] [--stagger N] "
-         "[--policy greedy|fixed<K>] [--deadline MS] [--out FILE]\n"
+         "[--policy greedy|fixed<K>] [--deadline MS] [--out FILE] "
+         "[--report-json FILE] [--wall 1] [--snapshot-every K] "
+         "[--snapshot-out BASE]\n"
+         "  rrp_cli report [--bench BENCH_serve.json] [--snapshot FILE]... "
+         "[--heatmap BASE]\n"
          "  rrp_cli inspect <file.rrpn>\n"
          "  rrp_cli blackbox dump <model> <suite> [--frames N] [--seed S] "
          "[--policy greedy|fixed<K>] [--hysteresis K] [--faults N] "
@@ -775,6 +801,10 @@ struct ServeCliOptions {
   std::string policy = "greedy";
   double deadline_ms = 12.0;
   std::string out;
+  std::string report_json;
+  bool wall = false;
+  int snapshot_every = 0;
+  std::string snapshot_out;
 };
 
 int cmd_serve(models::ModelKind kind, const ServeCliOptions& opt) {
@@ -791,6 +821,10 @@ int cmd_serve(models::ModelKind kind, const ServeCliOptions& opt) {
   cfg.seed = opt.seed;
   cfg.tick_budget_ms = opt.budget_ms;
   cfg.admission.max_streams = opt.capacity;
+  cfg.measure_wall = opt.wall;
+  cfg.snapshot_every_ticks =
+      opt.snapshot_every > 0 ? opt.snapshot_every
+                             : (!opt.snapshot_out.empty() ? 50 : 0);
 
   std::vector<serve::StreamSpec> specs;
   specs.reserve(static_cast<std::size_t>(opt.streams));
@@ -808,14 +842,298 @@ int cmd_serve(models::ModelKind kind, const ServeCliOptions& opt) {
   }
 
   serve::ServeEngine engine(inputs, cfg);
+  if (opt.wall) {
+    wprof::reset();
+    wprof::set_enabled(true);
+  }
   const serve::ServeReport report = engine.run(specs);
+  if (opt.wall) wprof::set_enabled(false);
   serve::write_serve_report(report, std::cout);
+  if (opt.wall) {
+    // Measured wall-clock channel only: never part of the byte-identity
+    // contract, never consumed by gates or tests.
+    std::cout << "\nwall profile (measured; excluded from every gate):\n";
+    TableFormatter table({"span", "count", "total_ms", "mean_us", "max_us"});
+    for (const wprof::Stat& s : wprof::stats())
+      table.row({s.key, std::to_string(s.count), fmt(s.total_us / 1000.0, 3),
+                 fmt(s.mean_us(), 3), fmt(s.max_us, 3)});
+    table.print(std::cout);
+  }
   if (!opt.out.empty()) {
     if (!write_output_file(opt.out, [&](std::ostream& o) {
           serve::write_serve_report(report, o);
         }))
       return 1;
     std::cout << "serve report written to " << opt.out << "\n";
+  }
+  if (!opt.report_json.empty()) {
+    if (!write_output_file(opt.report_json, [&](std::ostream& o) {
+          serve::write_serve_report_json(report, o);
+        }))
+      return 1;
+    std::cout << "serve report JSON written to " << opt.report_json << "\n";
+  }
+  if (!opt.snapshot_out.empty()) {
+    for (const serve::FleetSnapshot& s : report.snapshots) {
+      const std::string base =
+          opt.snapshot_out + "_tick" + std::to_string(s.tick);
+      if (!write_output_file(base + ".json",
+                             [&](std::ostream& o) { o << s.json; }))
+        return 1;
+      if (!write_output_file(base + ".prom",
+                             [&](std::ostream& o) { o << s.prom; }))
+        return 1;
+    }
+    if (!write_output_file(opt.snapshot_out + "_timeline.csv",
+                           [&](std::ostream& o) {
+                             o << serve::timeline_csv(report.timeline);
+                           }))
+      return 1;
+    std::cout << report.snapshots.size() << " snapshot(s) + timeline written "
+              << "to " << opt.snapshot_out << "_*\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// rrp_cli report — offline analyzer over the CLI's own JSON artifacts.
+
+/// One `"name"/"id": "<string>", ... "value": <number>` pair scanned out
+/// of a JSON document.  Escape-aware on the string; NOT a general JSON
+/// parser — just enough to round-trip files this toolchain writes itself
+/// (fleet snapshots, bench reports), whose layout is deterministic.
+struct ScannedRow {
+  std::string name;
+  double value = 0.0;
+};
+
+std::vector<ScannedRow> scan_json_rows(const std::string& text,
+                                       const std::string& key) {
+  std::vector<ScannedRow> rows;
+  const std::string key_tok = "\"" + key + "\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key_tok, pos)) != std::string::npos) {
+    std::size_t p = pos + key_tok.size();
+    while (p < text.size() && (text[p] == ' ' || text[p] == ':')) ++p;
+    if (p >= text.size() || text[p] != '"') {
+      pos = p;
+      continue;
+    }
+    ++p;
+    std::string name;
+    bool closed = false;
+    while (p < text.size()) {
+      const char c = text[p++];
+      if (c == '\\' && p < text.size()) {
+        const char e = text[p++];
+        name += e == 'n' ? '\n' : e;  // \" \\ \n are the writer's escapes
+      } else if (c == '"') {
+        closed = true;
+        break;
+      } else {
+        name += c;
+      }
+    }
+    if (!closed) break;
+    const std::size_t vpos = text.find("\"value\"", p);
+    if (vpos == std::string::npos) break;
+    std::size_t v = vpos + 7;
+    while (v < text.size() && (text[v] == ' ' || text[v] == ':')) ++v;
+    rows.push_back({name, std::strtod(text.c_str() + v, nullptr)});
+    pos = v;
+  }
+  return rows;
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "error: cannot read '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Splits a labeled per-stream metric name into (stream index, suffix
+/// after the label block).  Returns false for unlabeled / non-stream rows.
+bool parse_stream_metric(const std::string& name, const std::string& base,
+                         int& stream, std::string& suffix) {
+  const std::string want = base + "{stream=\"";
+  if (name.rfind(want, 0) != 0) return false;
+  std::size_t p = want.size();
+  std::size_t digits = 0;
+  int idx = 0;
+  while (p < name.size() && name[p] >= '0' && name[p] <= '9') {
+    idx = idx * 10 + (name[p] - '0');
+    ++p;
+    ++digits;
+  }
+  if (digits == 0 || p + 1 >= name.size() || name[p] != '"' ||
+      name[p + 1] != '}')
+    return false;
+  stream = idx;
+  suffix = name.substr(p + 2);
+  return true;
+}
+
+int report_saturation(const std::string& bench_path) {
+  std::string text;
+  if (!read_text_file(bench_path, text)) return 1;
+  // wall ids: wall_s<N>_fps<F>.frames_per_s (bench_serve --wall).
+  std::map<int, double> throughput;  // streams -> fleet frames/s
+  for (const ScannedRow& r : scan_json_rows(text, "id")) {
+    if (r.name.rfind("wall_s", 0) != 0) continue;
+    if (r.name.size() < 13 ||
+        r.name.compare(r.name.size() - 13, 13, ".frames_per_s") != 0)
+      continue;
+    std::size_t p = 6;
+    int streams = 0, digits = 0;
+    while (p < r.name.size() && r.name[p] >= '0' && r.name[p] <= '9') {
+      streams = streams * 10 + (r.name[p] - '0');
+      ++p;
+      ++digits;
+    }
+    if (digits == 0) continue;
+    throughput[streams] = r.value;
+  }
+  if (throughput.empty()) {
+    std::cerr << "no wall_s<N>*.frames_per_s metrics in " << bench_path
+              << " (run bench_serve --wall 1 first)\n";
+    return 1;
+  }
+  std::cout << "streams-vs-throughput saturation (" << bench_path << "):\n";
+  TableFormatter table(
+      {"streams", "frames_per_s", "per_stream", "efficiency", "marginal", ""});
+  const double base = throughput.begin()->second /
+                      static_cast<double>(throughput.begin()->first);
+  int prev_n = 0;
+  double prev_t = 0.0;
+  bool knee_seen = false;
+  for (const auto& [n, t] : throughput) {
+    // Marginal efficiency: extra throughput per extra stream, relative to
+    // the single-stream rate.  The knee is the first point where adding
+    // streams returns less than half a stream's worth of throughput each.
+    double marginal = 1.0;
+    if (prev_n > 0 && n > prev_n && base > 0.0)
+      marginal = (t - prev_t) / (base * static_cast<double>(n - prev_n));
+    const bool knee = !knee_seen && prev_n > 0 && marginal < 0.5;
+    if (knee) knee_seen = true;
+    table.row({std::to_string(n), fmt(t, 1), fmt(t / n, 1),
+               base > 0.0 ? fmt(t / (base * n), 3) : "-", fmt(marginal, 3),
+               knee ? "<- knee" : ""});
+    prev_n = n;
+    prev_t = t;
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int report_heatmaps(const std::vector<std::string>& snapshot_paths,
+                    const std::string& heatmap_base) {
+  struct TickData {
+    std::int64_t tick = 0;
+    std::map<int, double> level;                          // stream -> gauge
+    std::map<int, std::map<std::string, double>> hist;    // stream -> rows
+  };
+  std::vector<TickData> ticks;
+  std::map<int, bool> stream_set;
+  for (const std::string& path : snapshot_paths) {
+    std::string text;
+    if (!read_text_file(path, text)) return 1;
+    TickData td;
+    const std::size_t tpos = text.find("\"tick\":");
+    if (tpos != std::string::npos)
+      td.tick = std::strtoll(text.c_str() + tpos + 7, nullptr, 10);
+    for (const ScannedRow& r : scan_json_rows(text, "name")) {
+      int stream = 0;
+      std::string suffix;
+      if (parse_stream_metric(r.name, "serve.stream.level", stream, suffix) &&
+          suffix.empty()) {
+        td.level[stream] = r.value;
+        stream_set[stream] = true;
+      } else if (parse_stream_metric(r.name, "serve.stream.frame_ms", stream,
+                                     suffix) &&
+                 !suffix.empty()) {
+        td.hist[stream][suffix] = r.value;  // ".le_<b>" | ".overflow" | ".total"
+        stream_set[stream] = true;
+      }
+    }
+    ticks.push_back(std::move(td));
+  }
+  std::sort(ticks.begin(), ticks.end(),
+            [](const TickData& a, const TickData& b) { return a.tick < b.tick; });
+
+  // p99 upper bound from the cumulative bucket counts: the first bound
+  // whose cumulative count covers 99% of the total ("inf" on overflow).
+  const auto hist_p99 = [](const std::map<std::string, double>& rows)
+      -> std::string {
+    const auto tot_it = rows.find(".total");
+    if (tot_it == rows.end() || tot_it->second <= 0.0) return "";
+    const double want = 0.99 * tot_it->second;
+    std::vector<std::pair<double, double>> buckets;  // bound -> count
+    for (const auto& [suffix, count] : rows)
+      if (suffix.rfind(".le_", 0) == 0)
+        buckets.emplace_back(std::strtod(suffix.c_str() + 4, nullptr), count);
+    std::sort(buckets.begin(), buckets.end());
+    double cum = 0.0;
+    for (const auto& [bound, count] : buckets) {
+      cum += count;
+      if (cum >= want) return fmt(bound, 6);
+    }
+    return "inf";
+  };
+
+  for (int which = 0; which < 2; ++which) {
+    const bool level = which == 0;
+    const std::string path =
+        heatmap_base + (level ? "_level.csv" : "_p99.csv");
+    const bool ok = write_output_file(path, [&](std::ostream& o) {
+      o << "tick";
+      for (const auto& [s, _] : stream_set) o << ",stream" << s;
+      o << "\n";
+      for (const TickData& td : ticks) {
+        o << td.tick;
+        for (const auto& [s, _] : stream_set) {
+          o << ",";
+          if (level) {
+            const auto it = td.level.find(s);
+            if (it != td.level.end()) o << fmt(it->second, 6);
+          } else {
+            const auto it = td.hist.find(s);
+            if (it != td.hist.end()) o << hist_p99(it->second);
+          }
+        }
+        o << "\n";
+      }
+    });
+    if (!ok) return 1;
+    std::cout << (level ? "level" : "p99") << " heatmap written to " << path
+              << " (" << ticks.size() << " tick(s) x " << stream_set.size()
+              << " stream(s))\n";
+  }
+  return 0;
+}
+
+int cmd_report(const std::string& bench_path,
+               const std::vector<std::string>& snapshot_paths,
+               const std::string& heatmap_base) {
+  if (bench_path.empty() && snapshot_paths.empty()) {
+    std::cerr << "report needs --bench and/or --snapshot inputs\n";
+    return 2;
+  }
+  if (!bench_path.empty()) {
+    const int rc = report_saturation(bench_path);
+    if (rc != 0) return rc;
+  }
+  if (!snapshot_paths.empty()) {
+    if (heatmap_base.empty()) {
+      std::cerr << "--snapshot inputs need --heatmap BASE for the output\n";
+      return 2;
+    }
+    return report_heatmaps(snapshot_paths, heatmap_base);
   }
   return 0;
 }
@@ -1035,6 +1353,10 @@ int main(int argc, char** argv) {
         else if (flag == "--policy") opt.policy = value;
         else if (flag == "--deadline") opt.deadline_ms = std::stod(value);
         else if (flag == "--out") opt.out = value;
+        else if (flag == "--report-json") opt.report_json = value;
+        else if (flag == "--wall") opt.wall = value != "0";
+        else if (flag == "--snapshot-every") opt.snapshot_every = std::stoi(value);
+        else if (flag == "--snapshot-out") opt.snapshot_out = value;
         else {
           std::cerr << "unknown flag " << flag << "\n";
           return 2;
@@ -1044,7 +1366,27 @@ int main(int argc, char** argv) {
         std::cerr << "serve needs --streams >= 1 and a non-empty --suites\n";
         return 2;
       }
+      if (opt.snapshot_every < 0) {
+        std::cerr << "--snapshot-every expects K >= 0\n";
+        return 2;
+      }
       return cmd_serve(*kind, opt);
+    }
+    if (cmd == "report") {
+      std::string bench_path, heatmap_base;
+      std::vector<std::string> snapshot_paths;
+      for (int i = 2; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string value = argv[i + 1];
+        if (flag == "--bench") bench_path = value;
+        else if (flag == "--snapshot") snapshot_paths.push_back(value);
+        else if (flag == "--heatmap") heatmap_base = value;
+        else {
+          std::cerr << "unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_report(bench_path, snapshot_paths, heatmap_base);
     }
     if (cmd == "campaign") {
       if (argc < 4) return usage();

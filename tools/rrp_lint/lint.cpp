@@ -121,8 +121,17 @@ const char* const kChronoHeaders[] = {"chrono"};
 // byte-identically from its --seed.
 const char* const kRandomWhitelist[] = {"src/util/rng.", "src/util/timer.h",
                                         "src/core/telemetry."};
+// wprof is thread-whitelisted for exactly one reason: its aggregation
+// map is guarded by a plain mutex (profiling happens on pool workers;
+// routing samples through the deterministic pool would perturb the very
+// schedule being measured).  That is the ONLY whitelist it sits on: it
+// reads time exclusively through the rrp::Timer facade, so R1a/R5 keep
+// applying to it — a direct chrono read or an ambient-entropy draw in
+// the profiler still fires (enforced by test_rrp_lint.cpp's
+// ObservabilityPlaneWhitelistBoundaries).
 const char* const kThreadWhitelist[] = {"src/util/thread_pool.",
-                                        "src/util/log.cpp"};
+                                        "src/util/log.cpp",
+                                        "src/util/wprof."};
 // Timer facade, span tracer (optional wall capture), pool (timed waits)
 // and telemetry (already random-whitelisted for timestamps) may touch
 // chrono; every other module uses Timer or modeled time.  In particular
@@ -130,6 +139,11 @@ const char* const kThreadWhitelist[] = {"src/util/thread_pool.",
 // bundles are byte-identical replay oracles, so a wall-clock timestamp in
 // a record would break the determinism contract (DESIGN.md §8; enforced
 // by test_rrp_lint.cpp's FlightRecorderStaysOffTheChronoWhitelist).
+// src/util/wprof.* (the wall-clock sampling profiler) is deliberately
+// ABSENT here too: its measured spans flow through the rrp::Timer facade
+// like everyone else's, so the only exemption it needs is the thread one
+// above.  core/metrics_export.* and serve/obs.* are on NO whitelist at
+// all — exposition and snapshots are pure functions of registry state.
 const char* const kChronoWhitelist[] = {"src/util/timer.h", "src/util/trace.",
                                         "src/util/thread_pool.",
                                         "src/core/telemetry."};
